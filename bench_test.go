@@ -1,0 +1,526 @@
+package forestview
+
+// One benchmark family per paper artifact (figure or quantified claim).
+// DESIGN.md Section 4 maps each to its experiment ID; EXPERIMENTS.md records
+// the measured series next to what the paper reports.
+
+import (
+	"bytes"
+	"fmt"
+	"image/color"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"forestview/internal/baseline"
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/golem"
+	"forestview/internal/microarray"
+	"forestview/internal/ontology"
+	"forestview/internal/render"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+	"forestview/internal/wall"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures, built once.
+
+type fixture struct {
+	universe *synth.Universe
+	caseCol  []*microarray.Dataset
+	panes    []*core.ClusteredDataset
+	fv       *core.ForestView
+	onto     *ontology.Ontology
+	leafOf   map[string]string
+	ann      *ontology.Annotations
+	enricher *golem.Enricher
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func getFixture(b testing.TB) *fixture {
+	fixOnce.Do(func() {
+		u := synth.NewUniverse(800, 16, 7)
+		col := synth.StressCaseCollection(u, 500)
+		var panes []*core.ClusteredDataset
+		for _, ds := range col {
+			cd, err := core.Cluster(ds, core.ClusterOptions{
+				Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+			if err != nil {
+				panic(err)
+			}
+			panes = append(panes, cd)
+		}
+		fv, err := core.New(panes)
+		if err != nil {
+			panic(err)
+		}
+		var names []string
+		for _, m := range u.Modules {
+			names = append(names, m.Name)
+		}
+		onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: names, Seed: 9})
+		if err != nil {
+			panic(err)
+		}
+		ann := ontology.AnnotateFromModules(u.Annotations(), leafOf)
+		enr, err := golem.NewEnricher(onto, ann, u.GeneIDs())
+		if err != nil {
+			panic(err)
+		}
+		fix = &fixture{
+			universe: u, caseCol: col, panes: panes, fv: fv,
+			onto: onto, leafOf: leafOf, ann: ann, enricher: enr,
+		}
+	})
+	return fix
+}
+
+// ---------------------------------------------------------------------------
+// F1 — Figure 1 (software architecture): merged dataset interface.
+
+func BenchmarkF1_MergedInterfaceBuild(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewMerged(f.caseCol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1_MergedInterfaceAccess(b *testing.B) {
+	f := getFixture(b)
+	m := f.fv.Merged()
+	rng := rand.New(rand.NewSource(1))
+	nD, nG := m.NumDatasets(), m.NumGenes()
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		d := rng.Intn(nD)
+		g := rng.Intn(nG)
+		sink += m.Value(d, g, i%m.NumExperiments(d))
+	}
+	_ = sink
+}
+
+// ---------------------------------------------------------------------------
+// F2 — Figure 2 (gene subset across datasets): synchronized pane rendering.
+
+func BenchmarkF2_SynchronizedPanes(b *testing.B) {
+	u := synth.NewUniverse(600, 12, 3)
+	for _, nPanes := range []int{1, 3, 6, 12} {
+		b.Run(fmt.Sprintf("panes-%d", nPanes), func(b *testing.B) {
+			var cds []*core.ClusteredDataset
+			for i := 0; i < nPanes; i++ {
+				ds := u.Generate(synth.DatasetSpec{
+					Name: fmt.Sprintf("ds%d", i), NumExperiments: 20, Seed: int64(i + 1)})
+				cd, err := core.Cluster(ds, core.ClusterOptions{
+					Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cds = append(cds, cd)
+			}
+			fv, err := core.New(cds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fv.SelectRegion(0, 0, 29); err != nil {
+				b.Fatal(err)
+			}
+			c := render.NewCanvas(1920, 1080, color.RGBA{A: 255})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fv.RenderScene(c, 1920, 1080)
+			}
+		})
+	}
+}
+
+func BenchmarkF2_SelectionSize(b *testing.B) {
+	f := getFixture(b)
+	for _, sel := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("genes-%d", sel), func(b *testing.B) {
+			if err := f.fv.SelectRegion(0, 0, sel-1); err != nil {
+				b.Fatal(err)
+			}
+			c := render.NewCanvas(1920, 1080, color.RGBA{A: 255})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.fv.RenderScene(c, 1920, 1080)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F3 — Figure 3 (display wall deployment): synchronized frame rendering
+// across tile grids, local and over the TCP control plane.
+
+func BenchmarkF3_WallScaling(b *testing.B) {
+	f := getFixture(b)
+	if err := f.fv.SelectRegion(0, 0, 29); err != nil {
+		b.Fatal(err)
+	}
+	scene := core.WallScene{FV: f.fv}
+	configs := []struct {
+		name string
+		cfg  wall.Config
+	}{
+		{"desktop-1x1-2MP", wall.Desktop2MP()},
+		{"tiles-2x2-3MP", wall.Config{TilesX: 2, TilesY: 2, TileW: 1024, TileH: 768}},
+		{"princeton-8x3-19MP", wall.PrincetonWall()},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			w, err := wall.NewWall(c.cfg, scene)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var skew int64
+			for i := 0; i < b.N; i++ {
+				fs := w.RenderFrame()
+				skew += fs.SkewNS
+			}
+			b.StopTimer()
+			pixPerFrame := float64(c.cfg.Pixels())
+			b.ReportMetric(pixPerFrame*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpix/s")
+			b.ReportMetric(float64(skew)/float64(b.N)/1e6, "skew-ms/frame")
+		})
+	}
+}
+
+func BenchmarkF3_WallNetProtocol(b *testing.B) {
+	f := getFixture(b)
+	scene := core.WallScene{FV: f.fv}
+	cfg := wall.Config{TilesX: 2, TilesY: 2, TileW: 512, TileH: 384}
+	nw, err := wall.StartNetWall(cfg, scene)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nw.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.RenderFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F4 — Figure 4 (SPELL search): latency vs compendium size.
+
+func BenchmarkF4_SPELL(b *testing.B) {
+	u := synth.NewUniverse(1000, 20, 13)
+	query := u.ModuleGeneIDs(4)[:4]
+	for _, nDS := range []int{5, 10, 20} {
+		b.Run(fmt.Sprintf("datasets-%d", nDS), func(b *testing.B) {
+			dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+				NumDatasets: nDS, MinExperiments: 12, MaxExperiments: 24,
+				ActiveFraction: 0.4, Noise: 0.25, Seed: 17,
+			})
+			engine, err := spell.NewEngine(dss)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Search(query, spell.Options{MaxGenes: 50}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkF4_SPELLEngineBuild(b *testing.B) {
+	u := synth.NewUniverse(1000, 20, 13)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 10, MinExperiments: 12, MaxExperiments: 24,
+		ActiveFraction: 0.4, Noise: 0.25, Seed: 17,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spell.NewEngine(dss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F5 — Figure 5 (GOLEM): enrichment analysis and local-map layout.
+
+func BenchmarkF5_GOLEMEnrichment(b *testing.B) {
+	f := getFixture(b)
+	selection := f.universe.ModuleGeneIDs(f.universe.ESRInduced)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.enricher.Analyze(selection, golem.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF5_GOLEMOntologyScale(b *testing.B) {
+	for _, nTerms := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("terms-%d", nTerms), func(b *testing.B) {
+			names := make([]string, nTerms)
+			for i := range names {
+				names[i] = fmt.Sprintf("process %d", i)
+			}
+			onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{
+				LeafNames: names, IntermediateLevels: 3, Seed: 23})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// 2000 genes spread across terms.
+			ann := ontology.NewAnnotations()
+			var background []string
+			for g := 0; g < 2000; g++ {
+				id := fmt.Sprintf("G%04d", g)
+				background = append(background, id)
+				ann.Add(id, leafOf[names[g%nTerms]])
+			}
+			enr, err := golem.NewEnricher(onto, ann, background)
+			if err != nil {
+				b.Fatal(err)
+			}
+			selection := background[:100]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := enr.Analyze(selection, golem.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkF5_GOLEMLocalMapLayout(b *testing.B) {
+	f := getFixture(b)
+	selection := f.universe.ModuleGeneIDs(f.universe.ESRInduced)
+	results, err := f.enricher.Analyze(selection, golem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	focus := golem.TopTerms(results, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := golem.LocalMap(f.onto, focus, 1)
+		golem.LayoutGraph(g, 4)
+	}
+}
+
+func BenchmarkF5_GOLEMGraphRender(b *testing.B) {
+	f := getFixture(b)
+	selection := f.universe.ModuleGeneIDs(f.universe.ESRInduced)
+	results, _ := f.enricher.Analyze(selection, golem.Options{})
+	g := golem.LocalMap(f.onto, golem.TopTerms(results, 5), 1)
+	lay := golem.LayoutGraph(g, 4)
+	c := render.NewCanvas(1200, 600, color.RGBA{A: 255})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.RenderGOGraph(c, render.Rect{X: 0, Y: 0, W: 1200, H: 600}, g, lay, render.GOGraphOptions{})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F6 — Figure 6 (combined system): the full select → analyze → render loop.
+
+func BenchmarkF6_CombinedPipeline(b *testing.B) {
+	f := getFixture(b)
+	engine, err := f.fv.SpellEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := f.universe.ModuleGeneIDs(f.universe.ESRInduced)[:4]
+	c := render.NewCanvas(2400, 800, color.RGBA{A: 255})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// SPELL reorders panes + selects top genes.
+		if _, err := f.fv.ApplySpellSearch(engine, query, 20); err != nil {
+			b.Fatal(err)
+		}
+		// GOLEM enriches the selection.
+		results, err := f.fv.EnrichSelection(f.enricher, golem.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Combined screen: ForestView scene plus the GO local map.
+		f.fv.RenderScene(c, 2400, 800)
+		g := golem.LocalMap(f.onto, golem.TopTerms(results, 3), 1)
+		lay := golem.LayoutGraph(g, 2)
+		render.RenderGOGraph(c, render.Rect{X: 1800, Y: 500, W: 580, H: 280}, g, lay, render.GOGraphOptions{})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// C1 — §1 claim: display walls beat the desktop by ~two orders of magnitude.
+
+func BenchmarkC1_PixelCapability(b *testing.B) {
+	f := getFixture(b)
+	scene := core.WallScene{FV: f.fv}
+	desktop := wall.Desktop2MP()
+	for _, c := range []struct {
+		name string
+		cfg  wall.Config
+	}{
+		{"desktop", desktop},
+		{"princeton", wall.PrincetonWall()},
+		{"large", wall.LargeWall()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			w, err := wall.NewWall(c.cfg, scene)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RenderFrame()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.cfg.Pixels())/1e6, "Mpix")
+			b.ReportMetric(float64(c.cfg.Pixels())/float64(desktop.Pixels()), "x-desktop")
+			b.ReportMetric(float64(c.cfg.Pixels())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpix/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// C2 — §4 case study: the full cross-dataset stress-response analysis.
+
+func BenchmarkC2_CaseStudy(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Select a cluster in the nutrient pane, read its coherence from
+		// the synchronized zoom views of both stress panes.
+		if err := f.fv.SelectRegion(2, 100, 129); err != nil {
+			b.Fatal(err)
+		}
+		for p := 0; p < 2; p++ {
+			rows := f.fv.ZoomContent(p)
+			if len(rows) == 0 {
+				b.Fatal("no zoom content")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// C3 — §4 claim: "launch over a dozen independent instances and continually
+// cut and paste" vs one ForestView selection.
+
+func BenchmarkC3_WorkflowComparison(b *testing.B) {
+	u := synth.NewUniverse(400, 10, 19)
+	for _, nDS := range []int{4, 13} {
+		var cds []*core.ClusteredDataset
+		for i := 0; i < nDS; i++ {
+			ds := u.Generate(synth.DatasetSpec{
+				Name: fmt.Sprintf("s%d", i), NumExperiments: 12, Seed: int64(i + 40)})
+			cd, err := core.Cluster(ds, core.ClusterOptions{
+				Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cds = append(cds, cd)
+		}
+		b.Run(fmt.Sprintf("baseline-%d-viewers", nDS), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				wf, _, err := baseline.CrossDatasetComparison(cds, 0, 0, 29)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = len(wf.Steps)
+			}
+			b.ReportMetric(float64(steps), "user-steps")
+		})
+		b.Run(fmt.Sprintf("forestview-%d-panes", nDS), func(b *testing.B) {
+			fv, err := core.New(cds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var steps int
+			for i := 0; i < b.N; i++ {
+				wf, err := baseline.ForestViewComparison(fv, 0, 0, 29)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = len(wf.Steps)
+			}
+			b.ReportMetric(float64(steps), "user-steps")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// C4 — §1 scale claim: datasets of 6,000-50,000 genes × hundreds of
+// conditions; millions of values.
+
+func BenchmarkC4_DatasetScaleCluster(b *testing.B) {
+	for _, nGenes := range []int{500, 1000, 2000} {
+		b.Run(fmt.Sprintf("genes-%d", nGenes), func(b *testing.B) {
+			u := synth.NewUniverse(nGenes, 20, 29)
+			ds := u.Generate(synth.DatasetSpec{Name: "scale", NumExperiments: 50, Seed: 31})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Hierarchical(ds.Data, cluster.PearsonDist, cluster.AverageLinkage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkC4_DatasetScaleRender(b *testing.B) {
+	for _, nGenes := range []int{6000, 20000, 50000} {
+		b.Run(fmt.Sprintf("genes-%d", nGenes), func(b *testing.B) {
+			u := synth.NewUniverse(nGenes, 30, 37)
+			ds := u.Generate(synth.DatasetSpec{Name: "scale", NumExperiments: 100, Seed: 41})
+			cd, err := core.FromDataset(ds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fv, err := core.New([]*core.ClusteredDataset{cd})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fv.SelectRegion(0, 0, 49); err != nil {
+				b.Fatal(err)
+			}
+			c := render.NewCanvas(1920, 1080, color.RGBA{A: 255})
+			b.ReportMetric(float64(nGenes*100)/1e6, "Mvalues")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fv.RenderScene(c, 1920, 1080)
+			}
+		})
+	}
+}
+
+func BenchmarkC4_PCLParse(b *testing.B) {
+	u := synth.NewUniverse(6000, 20, 43)
+	ds := u.Generate(synth.DatasetSpec{Name: "parse", NumExperiments: 100, Seed: 47})
+	var buf bytes.Buffer
+	if err := microarray.WritePCL(&buf, ds); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microarray.ReadPCL(bytes.NewReader(data), "parse"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

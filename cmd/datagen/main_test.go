@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"forestview/internal/microarray"
+	"forestview/internal/ontology"
+)
+
+func TestRunGeneratesWorkspace(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 120, 8, 2, 7, false, true, 0.25, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pcl, cdt, gtr, atr, obo, assoc int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".pcl"):
+			pcl++
+		case strings.HasSuffix(e.Name(), ".cdt"):
+			cdt++
+		case strings.HasSuffix(e.Name(), ".gtr"):
+			gtr++
+		case strings.HasSuffix(e.Name(), ".atr"):
+			atr++
+		case e.Name() == "ontology.obo":
+			obo++
+		case e.Name() == "associations.tsv":
+			assoc++
+		}
+	}
+	if pcl != 2 || cdt != 2 || gtr != 2 || atr != 2 || obo != 1 || assoc != 1 {
+		t.Fatalf("workspace files: pcl=%d cdt=%d gtr=%d atr=%d obo=%d assoc=%d",
+			pcl, cdt, gtr, atr, obo, assoc)
+	}
+	// The generated files parse back.
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		switch {
+		case strings.HasSuffix(e.Name(), ".pcl"):
+			f, _ := os.Open(path)
+			ds, err := microarray.ReadPCL(f, e.Name())
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if ds.NumGenes() != 120 {
+				t.Fatalf("%s genes = %d", e.Name(), ds.NumGenes())
+			}
+		case e.Name() == "ontology.obo":
+			f, _ := os.Open(path)
+			o, err := ontology.ReadOBO(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Len() == 0 {
+				t.Fatal("empty ontology")
+			}
+		case e.Name() == "associations.tsv":
+			f, _ := os.Open(path)
+			a, err := ontology.ReadAssociations(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() != 120 {
+				t.Fatalf("associations = %d", a.Len())
+			}
+		}
+	}
+}
+
+func TestRunCaseStudyMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 100, 8, 0, 3, true, false, 0.25, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	pcl := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pcl") {
+			pcl++
+		}
+	}
+	if pcl != 4 {
+		t.Fatalf("case-study datasets = %d, want 4", pcl)
+	}
+}

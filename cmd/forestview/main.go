@@ -1,0 +1,198 @@
+// Command forestview is the headless ForestView application: it loads one
+// or more PCL datasets (or generates a demo collection), clusters them,
+// applies a selection (region, annotation query, or gene-list file),
+// renders the multi-pane display to a PNG, and can export the selection.
+//
+// Usage:
+//
+//	forestview -files a.pcl,b.pcl,c.pcl -query "heat shock" -out view.png
+//	forestview -demo -region 0:100:140 -width 3072 -height 768
+//	forestview -files a.pcl,b.pcl -list genes.txt -export-list sel.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/color"
+	"os"
+	"strconv"
+	"strings"
+
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/microarray"
+	"forestview/internal/render"
+	"forestview/internal/synth"
+)
+
+func main() {
+	var (
+		files      = flag.String("files", "", "comma-separated PCL files to load")
+		demo       = flag.Bool("demo", false, "generate a three-dataset synthetic demo instead of loading files")
+		query      = flag.String("query", "", "annotation search selecting genes across all datasets")
+		region     = flag.String("region", "", "region selection pane:from:to (display positions)")
+		listFile   = flag.String("list", "", "file with one gene ID per line to select")
+		unsync     = flag.Bool("unsync", false, "disable synchronized zoom views")
+		width      = flag.Int("width", 1600, "scene width in pixels")
+		height     = flag.Int("height", 900, "scene height in pixels")
+		out        = flag.String("out", "forestview.png", "output PNG path")
+		exportList = flag.String("export-list", "", "also write the selected gene list to this file")
+		exportPCL  = flag.String("export-merged", "", "also write the merged selection matrix (PCL) to this file")
+		script     = flag.String("script", "", "run this command script against the session instead of the one-shot flags")
+		seed       = flag.Int64("seed", 1, "demo generator seed")
+	)
+	flag.Parse()
+	if err := run(*files, *demo, *query, *region, *listFile, *unsync, *width, *height, *out, *exportList, *exportPCL, *script, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "forestview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(files string, demo bool, query, region, listFile string, unsync bool, width, height int, out, exportList, exportPCL, script string, seed int64) error {
+	datasets, err := loadDatasets(files, demo, seed)
+	if err != nil {
+		return err
+	}
+	var cds []*core.ClusteredDataset
+	for _, ds := range datasets {
+		cd, err := core.Cluster(ds, core.ClusterOptions{
+			Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage, ClusterArrays: true,
+		})
+		if err != nil {
+			return err
+		}
+		cds = append(cds, cd)
+		fmt.Printf("loaded %q: %d genes x %d experiments\n", ds.Name, ds.NumGenes(), ds.NumExperiments())
+	}
+	fv, err := core.New(cds)
+	if err != nil {
+		return err
+	}
+	fv.SetSynchronized(!unsync)
+
+	if script != "" {
+		f, err := os.Open(script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		res, err := fv.RunScript(f)
+		for _, line := range res.Log {
+			fmt.Println(line)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("script: %d commands executed\n", res.Commands)
+		return nil
+	}
+
+	switch {
+	case query != "":
+		n, err := fv.SelectQuery(query)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %q selected %d genes\n", query, n)
+	case region != "":
+		parts := strings.Split(region, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("region must be pane:from:to, got %q", region)
+		}
+		pane, err1 := strconv.Atoi(parts[0])
+		from, err2 := strconv.Atoi(parts[1])
+		to, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("region must be numeric pane:from:to, got %q", region)
+		}
+		if err := fv.SelectRegion(pane, from, to); err != nil {
+			return err
+		}
+		fmt.Printf("region selected %d genes\n", fv.Selection().Len())
+	case listFile != "":
+		f, err := os.Open(listFile)
+		if err != nil {
+			return err
+		}
+		ids, err := microarray.ReadGeneList(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fv.SelectList(ids, "list "+listFile)
+		fmt.Printf("list selected %d genes\n", fv.Selection().Len())
+	}
+
+	c := render.NewCanvas(width, height, color.RGBA{A: 255})
+	fv.RenderScene(c, width, height)
+	if err := c.SavePNG(out); err != nil {
+		return err
+	}
+	fmt.Printf("rendered %dx%d scene with %d panes -> %s\n", width, height, fv.NumPanes(), out)
+
+	if exportList != "" {
+		f, err := os.Create(exportList)
+		if err != nil {
+			return err
+		}
+		if err := fv.ExportGeneList(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("exported gene list -> %s\n", exportList)
+	}
+	if exportPCL != "" {
+		f, err := os.Create(exportPCL)
+		if err != nil {
+			return err
+		}
+		if err := fv.ExportMerged(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("exported merged matrix -> %s\n", exportPCL)
+	}
+	return nil
+}
+
+func loadDatasets(files string, demo bool, seed int64) ([]*microarray.Dataset, error) {
+	if demo || files == "" {
+		u := synth.NewUniverse(800, 15, seed)
+		return synth.StressCaseCollection(u, seed+10)[:3], nil
+	}
+	var out []*microarray.Dataset
+	for _, path := range strings.Split(files, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(strings.TrimSuffix(pathBase(path), ".pcl"), ".PCL")
+		ds, err := microarray.ReadPCL(f, name)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, ds)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no datasets given (use -files or -demo)")
+	}
+	return out, nil
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemoRegion(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "view.png")
+	list := filepath.Join(dir, "sel.txt")
+	merged := filepath.Join(dir, "merged.pcl")
+	err := run("", true, "", "0:10:19", "", false, 400, 300, out, list, merged, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{out, list, merged} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestRunDemoQuery(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "view.png")
+	if err := run("", true, "stress response induced", "", "", true, 300, 200, out, "", "", "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoScript(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "s.fvs")
+	png := filepath.Join(dir, "scripted.png")
+	body := "select-region 0 0 9\nrender " + png + " 300 200\n"
+	if err := os.WriteFile(script, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, "", "", "", false, 300, 200,
+		filepath.Join(dir, "ignored.png"), "", "", script, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(png); err != nil {
+		t.Fatal("script render output missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.png")
+	if err := run("/no/such.pcl", false, "", "", "", false, 100, 100, out, "", "", "", 1); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if err := run("", true, "", "bad-region", "", false, 100, 100, out, "", "", "", 1); err == nil {
+		t.Fatal("malformed region should error")
+	}
+	if err := run("", true, "", "a:b:c", "", false, 100, 100, out, "", "", "", 1); err == nil {
+		t.Fatal("non-numeric region should error")
+	}
+	if err := run("", true, "zzz-no-match", "", "", false, 100, 100, out, "", "", "", 1); err == nil {
+		t.Fatal("no-match query should error")
+	}
+}
+
+func TestRunLoadsPCLFiles(t *testing.T) {
+	// Generate a demo view, export its merged matrix, reload it as input.
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "m.pcl")
+	if err := run("", true, "", "0:0:9", "", false, 200, 150,
+		filepath.Join(dir, "first.png"), "", merged, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(dir, "second.png")
+	if err := run(merged, false, "", "", "", false, 200, 150, out2, "", "", "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out2); err != nil {
+		t.Fatal(err)
+	}
+}

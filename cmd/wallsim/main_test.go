@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallWall(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wall.png")
+	if err := run("", 2, 1, 160, 120, 2, false, out, 200, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("composite empty")
+	}
+}
+
+func TestRunNetMode(t *testing.T) {
+	if err := run("", 2, 1, 64, 48, 1, true, "", 150, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPresets(t *testing.T) {
+	// The desktop preset should work quickly with a small scene.
+	if err := run("desktop", 0, 0, 0, 0, 1, false, "", 150, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", 1, 1, 8, 8, 1, false, "", 100, 1, 1); err == nil {
+		t.Fatal("unknown preset should error")
+	}
+}

@@ -1,0 +1,13 @@
+// Package forestview is a from-scratch Go reproduction of "Scalable,
+// Dynamic Analysis and Visualization for Genomic Datasets" (Wallace, Hibbs,
+// Dunham, Sealfon, Troyanskaya, Li — IPPS 2007): the ForestView
+// multi-dataset microarray visualization system, the SPELL compendium
+// search engine and the GOLEM gene-ontology enrichment tool it integrates,
+// and the scalable display wall substrate it runs on.
+//
+// The root package holds the experiment harness: one benchmark family per
+// paper figure/claim (bench_test.go) and one integration test per
+// experiment (experiments_test.go). The implementation lives under
+// internal/ — see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package forestview

@@ -1,0 +1,158 @@
+// Stresscase reproduces the paper's Section-4 biological case study on
+// synthetic data with a planted Environmental Stress Response (ESR):
+//
+// A collaborator studying stress response selected clusters of co-expressed
+// genes in a nutrient-limitation study and a knockout compendium, then used
+// ForestView's synchronized views to see how those genes behave in the
+// classic stress datasets. Some clusters fell apart there — they were
+// nutrient-specific effects. But certain clusters "exhibited a strong
+// pattern of correlation within the stress response datasets as well",
+// suggesting the general stress response supersedes the condition-specific
+// effects.
+//
+// The program performs that exact workflow and quantifies every claim:
+//
+//  1. find the tightest co-expression windows in the nutrient-limitation
+//     pane (what a biologist's eye picks out of the global view);
+//  2. for each candidate, use the synchronized views to measure coherence
+//     inside the two stress datasets;
+//  3. classify candidates: nutrient-specific (coherent at home, incoherent
+//     under stress) vs stress-signature (coherent everywhere);
+//  4. verify against ground truth that the cross-study cluster is the
+//     planted ESR;
+//  5. render the four-pane session as a PNG.
+package main
+
+import (
+	"fmt"
+	"image/color"
+	"log"
+	"sort"
+
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/render"
+	"forestview/internal/stats"
+	"forestview/internal/synth"
+)
+
+const (
+	nutrientPane = 2
+	windowSize   = 30
+)
+
+func main() {
+	u := synth.NewUniverse(800, 16, 7)
+	collection := synth.StressCaseCollection(u, 500)
+
+	var panes []*core.ClusteredDataset
+	for _, ds := range collection {
+		cd, err := core.Cluster(ds, core.ClusterOptions{
+			Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+		if err != nil {
+			log.Fatal(err)
+		}
+		panes = append(panes, cd)
+	}
+	fv, err := core.New(panes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: candidate windows — the tightest co-expressed stretches of
+	// the nutrient-limitation pane in clustered display order.
+	nd := panes[nutrientPane]
+	rows := nd.RowsInDisplayOrder()
+	type window struct {
+		start int
+		coh   float64
+	}
+	var wins []window
+	for s := 0; s+windowSize <= len(rows); s += windowSize / 2 {
+		wins = append(wins, window{s, stats.MeanPairwiseCorrelation(rows[s : s+6])})
+	}
+	sort.Slice(wins, func(a, b int) bool { return wins[a].coh > wins[b].coh })
+	if len(wins) > 4 {
+		wins = wins[:4]
+	}
+	fmt.Printf("step 1: the %d tightest clusters in %q:\n", len(wins), nd.Data.Name)
+
+	// Steps 2-3: test every candidate across the stress panes.
+	esr := make(map[string]bool)
+	for _, id := range u.ModuleGeneIDs(u.ESRInduced) {
+		esr[id] = true
+	}
+	for _, id := range u.ModuleGeneIDs(u.ESRRepressed) {
+		esr[id] = true
+	}
+	type verdict struct {
+		win         window
+		stressCoh   float64
+		esrFraction float64
+		ids         []string
+	}
+	var verdicts []verdict
+	for _, w := range wins {
+		if err := fv.SelectRegion(nutrientPane, w.start, w.start+windowSize-1); err != nil {
+			log.Fatal(err)
+		}
+		stressCoh := (selectionCoherence(fv, 0) + selectionCoherence(fv, 1)) / 2
+		ids := append([]string(nil), fv.Selection().IDs...)
+		hits := 0
+		for _, id := range ids {
+			if esr[id] {
+				hits++
+			}
+		}
+		verdicts = append(verdicts, verdict{
+			win: w, stressCoh: stressCoh,
+			esrFraction: float64(hits) / float64(len(ids)), ids: ids,
+		})
+		kind := "nutrient-specific effect (falls apart under stress)"
+		if stressCoh > 0.4 {
+			kind = "STRESS SIGNATURE (coherent in the stress data too)"
+		}
+		fmt.Printf("  rows %4d-%4d: nutrient coherence %.2f, stress coherence %+.2f -> %s\n",
+			w.start, w.start+windowSize-1, w.coh, stressCoh, kind)
+	}
+
+	// Step 4: the cross-study cluster must be the planted ESR.
+	sort.Slice(verdicts, func(a, b int) bool { return verdicts[a].stressCoh > verdicts[b].stressCoh })
+	best := verdicts[0]
+	fmt.Printf("\nstep 4: ground truth on the cross-study cluster: %.0f%% of its genes are\n",
+		best.esrFraction*100)
+	fmt.Println("planted ESR members — the signal really is the general stress response.")
+	if best.stressCoh < 0.4 {
+		log.Fatal("case study failed: no cluster survived the stress datasets")
+	}
+	if best.esrFraction < 0.5 {
+		log.Fatalf("case study failed: cross-study cluster is only %.0f%% ESR", best.esrFraction*100)
+	}
+	fmt.Println("conclusion: effects of nutrient limitation can be superseded by the more")
+	fmt.Println("general stress response — the paper's Section-4 insight, found in one session.")
+
+	// Step 5: render the four-pane session with the ESR cluster selected.
+	fv.SelectList(best.ids, "stress-signature cluster")
+	c := render.NewCanvas(2000, 700, color.RGBA{A: 255})
+	fv.RenderScene(c, 2000, 700)
+	if err := c.SavePNG("stresscase.png"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote stresscase.png")
+}
+
+// selectionCoherence computes the mean pairwise correlation of the current
+// selection's expression inside one pane via the synchronized zoom view.
+func selectionCoherence(fv *core.ForestView, pane int) float64 {
+	cd := fv.Pane(pane).DS
+	var rows [][]float64
+	for _, zr := range fv.ZoomContent(pane) {
+		if zr.Row >= 0 {
+			rows = append(rows, cd.Data.Row(zr.Row))
+		}
+	}
+	if len(rows) > 12 {
+		rows = rows[:12] // pairwise cost cap; 12 genes is plenty for the score
+	}
+	return stats.MeanPairwiseCorrelation(rows)
+}

@@ -1,0 +1,184 @@
+// Package baseline models the pre-ForestView workflow the paper's Section 4
+// contrasts against: one independent single-dataset viewer per dataset
+// (Java TreeView instances), with gene lists moved between them by manual
+// export / cut-and-paste / import. The workflow bench (experiment C3)
+// counts the user-visible steps and the redundant work this forces,
+// quantifying the paper's claim that the same analysis "would need to
+// launch over a dozen independent instances of a program and continually
+// cut and paste selections between instances".
+package baseline
+
+import (
+	"fmt"
+	"image/color"
+
+	"forestview/internal/core"
+	"forestview/internal/render"
+)
+
+// Viewer is a single-dataset visualization instance: it knows nothing about
+// any other dataset (the defining limitation).
+type Viewer struct {
+	CD        *core.ClusteredDataset
+	selection []string
+	selSet    map[string]bool
+	launched  bool
+}
+
+// Launch simulates starting the program instance (a real step: each
+// TreeView instance had to be opened and its file loaded by hand).
+func Launch(cd *core.ClusteredDataset) *Viewer {
+	return &Viewer{CD: cd, launched: true, selSet: make(map[string]bool)}
+}
+
+// SelectRegion selects display positions [from, to] within this viewer.
+func (v *Viewer) SelectRegion(from, to int) int {
+	if from > to {
+		from, to = to, from
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(v.CD.DisplayOrder) {
+		to = len(v.CD.DisplayOrder) - 1
+	}
+	v.selection = nil
+	v.selSet = make(map[string]bool)
+	for pos := from; pos <= to; pos++ {
+		id := v.CD.Data.Genes[v.CD.DisplayOrder[pos]].ID
+		v.selection = append(v.selection, id)
+		v.selSet[id] = true
+	}
+	return len(v.selection)
+}
+
+// ExportList returns the selected IDs (the clipboard payload).
+func (v *Viewer) ExportList() []string {
+	return append([]string(nil), v.selection...)
+}
+
+// ImportList highlights the given genes in this viewer and returns how many
+// were found here. Genes absent from this dataset are silently lost — the
+// information loss the merged interface exists to prevent.
+func (v *Viewer) ImportList(ids []string) int {
+	v.selection = nil
+	v.selSet = make(map[string]bool)
+	found := 0
+	for _, id := range ids {
+		if _, ok := v.CD.Data.GeneIndex(id); ok {
+			v.selection = append(v.selection, id)
+			v.selSet[id] = true
+			found++
+		}
+	}
+	return found
+}
+
+// Selection returns the current highlight.
+func (v *Viewer) Selection() []string { return append([]string(nil), v.selection...) }
+
+// Render draws this viewer's single pane (global strip + zoomed selection),
+// the per-instance window the analyst had to arrange on screen manually.
+func (v *Viewer) Render(c *render.Canvas, w, h int) {
+	c.FillRect(0, 0, w, h, color.RGBA{R: 24, G: 24, B: 32, A: 255})
+	c.DrawTextClipped(3, 2, v.CD.Data.Name, 1, w-6, color.RGBA{R: 235, G: 235, B: 235, A: 255})
+	top := render.TextHeight(1) + 4
+	globalW := w / 4
+	render.RenderHeatmap(c, render.Rect{X: 2, Y: top, W: globalW, H: h - top - 2},
+		v.CD.RowsInDisplayOrder(), render.HeatmapOptions{
+			ColorMap: render.GreenBlackRed, Limit: 2,
+			Highlight: v.highlightPositions(),
+		})
+	var zoomRows [][]float64
+	for _, id := range v.selection {
+		if r, ok := v.CD.Data.GeneIndex(id); ok {
+			zoomRows = append(zoomRows, v.CD.Data.Row(r))
+		}
+	}
+	render.RenderHeatmap(c, render.Rect{X: globalW + 6, Y: top, W: w - globalW - 8, H: h - top - 2},
+		zoomRows, render.HeatmapOptions{ColorMap: render.GreenBlackRed, Limit: 2, CellBorder: true})
+}
+
+func (v *Viewer) highlightPositions() map[int]bool {
+	out := make(map[int]bool)
+	for _, id := range v.selection {
+		if r, ok := v.CD.Data.GeneIndex(id); ok {
+			if pos := v.CD.DisplayPos(r); pos >= 0 {
+				out[pos] = true
+			}
+		}
+	}
+	return out
+}
+
+// Step is one user-visible workflow action.
+type Step struct {
+	// Kind is one of launch, select, export, paste, import, inspect.
+	Kind string
+	// Where names the viewer instance involved.
+	Where string
+	// Detail describes the action.
+	Detail string
+}
+
+// Workflow records the manual actions a cross-dataset comparison costs.
+type Workflow struct {
+	Steps []Step
+	// Transfers counts export/paste/import round trips (the error-prone
+	// part of the manual workflow).
+	Transfers int
+	// GenesLost counts selection genes that silently disappeared because a
+	// target dataset does not measure them.
+	GenesLost int
+}
+
+func (w *Workflow) add(kind, where, detail string) {
+	w.Steps = append(w.Steps, Step{Kind: kind, Where: where, Detail: detail})
+}
+
+// CrossDatasetComparison performs the Section-4 analysis with independent
+// viewers: select a region in the source dataset, then propagate that
+// selection into every other dataset by export + paste + import, and
+// inspect each window. It returns the recorded workflow and the per-viewer
+// final selections.
+func CrossDatasetComparison(cds []*core.ClusteredDataset, source, from, to int) (*Workflow, []*Viewer, error) {
+	if source < 0 || source >= len(cds) {
+		return nil, nil, fmt.Errorf("baseline: source %d out of range", source)
+	}
+	wf := &Workflow{}
+	viewers := make([]*Viewer, len(cds))
+	for i, cd := range cds {
+		viewers[i] = Launch(cd)
+		wf.add("launch", cd.Data.Name, "open instance and load file")
+	}
+	src := viewers[source]
+	n := src.SelectRegion(from, to)
+	wf.add("select", src.CD.Data.Name, fmt.Sprintf("highlight %d genes", n))
+	list := src.ExportList()
+	wf.add("export", src.CD.Data.Name, "export gene list")
+	for i, v := range viewers {
+		if i == source {
+			continue
+		}
+		wf.add("paste", v.CD.Data.Name, "paste gene list into search box")
+		wf.Transfers++
+		found := v.ImportList(list)
+		wf.GenesLost += len(list) - found
+		wf.add("import", v.CD.Data.Name, fmt.Sprintf("matched %d of %d genes", found, len(list)))
+		wf.add("inspect", v.CD.Data.Name, "arrange window and read expression pattern")
+	}
+	return wf, viewers, nil
+}
+
+// ForestViewComparison performs the same analysis in ForestView and records
+// the equivalent workflow: one selection, every pane updates.
+func ForestViewComparison(fv *core.ForestView, source, from, to int) (*Workflow, error) {
+	wf := &Workflow{}
+	wf.add("launch", "ForestView", "open one instance with all datasets")
+	if err := fv.SelectRegion(source, from, to); err != nil {
+		return nil, err
+	}
+	wf.add("select", "ForestView", "highlight region in one global view")
+	wf.add("inspect", "ForestView", "all panes update synchronously")
+	return wf, nil
+}

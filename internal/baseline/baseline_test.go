@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"image/color"
+	"testing"
+
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/microarray"
+	"forestview/internal/render"
+	"forestview/internal/synth"
+)
+
+func fixtureDatasets(t *testing.T, n int) []*core.ClusteredDataset {
+	t.Helper()
+	u := synth.NewUniverse(40, 5, 3)
+	var out []*core.ClusteredDataset
+	for i := 0; i < n; i++ {
+		ds := u.Generate(synth.DatasetSpec{
+			Name: "ds" + string(rune('A'+i)), NumExperiments: 8, Seed: int64(i + 1),
+		})
+		cd, err := core.Cluster(ds, core.ClusterOptions{
+			Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, cd)
+	}
+	return out
+}
+
+func TestViewerSelectExportImport(t *testing.T) {
+	cds := fixtureDatasets(t, 2)
+	v1 := Launch(cds[0])
+	v2 := Launch(cds[1])
+	n := v1.SelectRegion(0, 9)
+	if n != 10 {
+		t.Fatalf("selected %d", n)
+	}
+	list := v1.ExportList()
+	if len(list) != 10 {
+		t.Fatalf("exported %d", len(list))
+	}
+	found := v2.ImportList(list)
+	if found != 10 { // same universe: all genes exist
+		t.Fatalf("imported %d", found)
+	}
+	if len(v2.Selection()) != 10 {
+		t.Fatalf("selection = %d", len(v2.Selection()))
+	}
+}
+
+func TestViewerImportLosesUnknownGenes(t *testing.T) {
+	cds := fixtureDatasets(t, 1)
+	v := Launch(cds[0])
+	found := v.ImportList([]string{"NOT-A-GENE", cds[0].Data.Genes[0].ID})
+	if found != 1 {
+		t.Fatalf("found = %d, want 1", found)
+	}
+}
+
+func TestViewerSelectRegionClamps(t *testing.T) {
+	cds := fixtureDatasets(t, 1)
+	v := Launch(cds[0])
+	n := v.SelectRegion(-5, 1000)
+	if n != 40 {
+		t.Fatalf("clamped selection = %d", n)
+	}
+	n = v.SelectRegion(9, 5)
+	if n != 5 {
+		t.Fatalf("reversed region = %d", n)
+	}
+}
+
+func TestViewerRender(t *testing.T) {
+	cds := fixtureDatasets(t, 1)
+	v := Launch(cds[0])
+	v.SelectRegion(0, 5)
+	c := render.NewCanvas(200, 120, color.RGBA{A: 255})
+	v.Render(c, 200, 120)
+	nonBG := 0
+	bg := color.RGBA{R: 24, G: 24, B: 32, A: 255}
+	for y := 0; y < 120; y += 3 {
+		for x := 0; x < 200; x += 3 {
+			if c.At(x, y) != bg {
+				nonBG++
+			}
+		}
+	}
+	if nonBG < 50 {
+		t.Fatalf("viewer rendered too little: %d", nonBG)
+	}
+}
+
+func TestCrossDatasetComparisonStepCount(t *testing.T) {
+	k := 5
+	cds := fixtureDatasets(t, k)
+	wf, viewers, err := CrossDatasetComparison(cds, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps: k launches + 1 select + 1 export + (k-1)*(paste+import+inspect).
+	want := k + 2 + (k-1)*3
+	if len(wf.Steps) != want {
+		t.Fatalf("steps = %d, want %d", len(wf.Steps), want)
+	}
+	if wf.Transfers != k-1 {
+		t.Fatalf("transfers = %d, want %d", wf.Transfers, k-1)
+	}
+	// All viewers ended up highlighting the genes they share.
+	for i, v := range viewers {
+		if i == 0 {
+			continue
+		}
+		if len(v.Selection()) != 10 {
+			t.Fatalf("viewer %d selection = %d", i, len(v.Selection()))
+		}
+	}
+	if _, _, err := CrossDatasetComparison(cds, 99, 0, 9); err == nil {
+		t.Fatal("bad source should error")
+	}
+}
+
+func TestWorkflowScalesLinearly(t *testing.T) {
+	// The baseline's step count grows linearly with dataset count; the
+	// paper's "over a dozen instances" pain.
+	s5, _, _ := CrossDatasetComparison(fixtureDatasets(t, 5), 0, 0, 9)
+	s10, _, _ := CrossDatasetComparison(fixtureDatasets(t, 10), 0, 0, 9)
+	if len(s10.Steps) <= len(s5.Steps) {
+		t.Fatal("baseline workflow should grow with dataset count")
+	}
+	growth := len(s10.Steps) - len(s5.Steps)
+	if growth != 5*4 { // 5 more launches + 5 more paste/import/inspect triples
+		t.Fatalf("growth = %d, want 20", growth)
+	}
+}
+
+func TestForestViewComparisonConstantSteps(t *testing.T) {
+	for _, k := range []int{3, 8} {
+		cds := fixtureDatasets(t, k)
+		fv, err := core.New(cds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := ForestViewComparison(fv, 0, 0, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wf.Steps) != 3 {
+			t.Fatalf("ForestView steps = %d, want 3 (constant)", len(wf.Steps))
+		}
+		if wf.Transfers != 0 {
+			t.Fatal("ForestView needs no manual transfers")
+		}
+		// And the selection is live in every pane.
+		if fv.Selection().Len() != 10 {
+			t.Fatalf("selection = %d", fv.Selection().Len())
+		}
+	}
+}
+
+func TestGenesLostAccounting(t *testing.T) {
+	// Build two datasets with partially disjoint genes.
+	a := microarray.NewDataset("a", []string{"x", "y", "z"})
+	for i := 0; i < 10; i++ {
+		_ = a.AddGene(microarray.Gene{ID: microarray.GeneLeafID(i)}, []float64{1, 2, 3})
+	}
+	b := microarray.NewDataset("b", []string{"x", "y", "z"})
+	for i := 5; i < 15; i++ {
+		_ = b.AddGene(microarray.Gene{ID: microarray.GeneLeafID(i)}, []float64{1, 2, 3})
+	}
+	ca, _ := core.FromDataset(a)
+	cb, _ := core.FromDataset(b)
+	wf, _, err := CrossDatasetComparison([]*core.ClusteredDataset{ca, cb}, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Genes 0..4 are absent from b: 5 genes silently lost.
+	if wf.GenesLost != 5 {
+		t.Fatalf("genes lost = %d, want 5", wf.GenesLost)
+	}
+}

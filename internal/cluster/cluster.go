@@ -1,0 +1,463 @@
+// Package cluster implements the clustering substrate of the ForestView
+// reproduction: agglomerative hierarchical clustering with the metrics and
+// linkages of Cluster 3.0 (whose CDT/GTR/ATR output Java TreeView — and
+// therefore ForestView — renders), tree manipulation (leaf ordering,
+// cutting), the GTR/ATR tree file formats, and k-means as the flat
+// alternative.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"forestview/internal/stats"
+)
+
+// Metric selects the pairwise dissimilarity between expression rows.
+type Metric int
+
+const (
+	// PearsonDist is 1 - centered Pearson correlation, Cluster 3.0's
+	// default gene similarity.
+	PearsonDist Metric = iota
+	// PearsonAbsDist is 1 - |r|, grouping correlated and anti-correlated
+	// profiles together.
+	PearsonAbsDist
+	// UncenteredDist is 1 - uncentered correlation (cosine distance).
+	UncenteredDist
+	// SpearmanDist is 1 - Spearman rank correlation.
+	SpearmanDist
+	// EuclideanDist is the missing-rescaled Euclidean distance.
+	EuclideanDist
+	// ManhattanDist is the missing-rescaled city-block distance.
+	ManhattanDist
+)
+
+// String returns the Cluster 3.0-style name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case PearsonDist:
+		return "correlation (centered)"
+	case PearsonAbsDist:
+		return "absolute correlation"
+	case UncenteredDist:
+		return "correlation (uncentered)"
+	case SpearmanDist:
+		return "spearman rank correlation"
+	case EuclideanDist:
+		return "euclidean"
+	case ManhattanDist:
+		return "city-block"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Distance returns the dissimilarity between two expression vectors under
+// the metric. Undefined correlations (constant or all-missing vectors)
+// yield the maximum distance so degenerate rows cluster last rather than
+// poisoning the tree.
+func (m Metric) Distance(a, b []float64) float64 {
+	switch m {
+	case PearsonDist:
+		r := stats.Pearson(a, b)
+		if math.IsNaN(r) {
+			return 2
+		}
+		return 1 - r
+	case PearsonAbsDist:
+		r := stats.Pearson(a, b)
+		if math.IsNaN(r) {
+			return 1
+		}
+		return 1 - math.Abs(r)
+	case UncenteredDist:
+		r := stats.PearsonUncentered(a, b)
+		if math.IsNaN(r) {
+			return 2
+		}
+		return 1 - r
+	case SpearmanDist:
+		r := stats.Spearman(a, b)
+		if math.IsNaN(r) {
+			return 2
+		}
+		return 1 - r
+	case EuclideanDist:
+		d := stats.Euclidean(a, b)
+		if math.IsNaN(d) {
+			return math.MaxFloat64
+		}
+		return d
+	case ManhattanDist:
+		d := stats.Manhattan(a, b)
+		if math.IsNaN(d) {
+			return math.MaxFloat64
+		}
+		return d
+	default:
+		return math.MaxFloat64
+	}
+}
+
+// Linkage selects how the distance between merged clusters is defined.
+type Linkage int
+
+const (
+	// AverageLinkage (UPGMA) is Cluster 3.0's default.
+	AverageLinkage Linkage = iota
+	// CompleteLinkage uses the maximum pairwise distance.
+	CompleteLinkage
+	// SingleLinkage uses the minimum pairwise distance.
+	SingleLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case AverageLinkage:
+		return "average"
+	case CompleteLinkage:
+		return "complete"
+	case SingleLinkage:
+		return "single"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step. A and B index either leaves
+// (0..NLeaves-1) or earlier merges (NLeaves+i for Merges[i]). Height is the
+// inter-cluster distance at which the merge happened.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Tree is a dendrogram over NLeaves items: exactly NLeaves-1 merges, the
+// last of which is the root.
+type Tree struct {
+	NLeaves int
+	Merges  []Merge
+}
+
+// Root returns the index of the root node (NLeaves + len(Merges) - 1), or
+// 0 for single-leaf trees.
+func (t *Tree) Root() int {
+	if len(t.Merges) == 0 {
+		return 0
+	}
+	return t.NLeaves + len(t.Merges) - 1
+}
+
+// Validate checks that the tree is a well-formed dendrogram: the right
+// number of merges, children referencing only leaves or earlier merges, and
+// every node used exactly once as a child (except the root).
+func (t *Tree) Validate() error {
+	if t.NLeaves <= 0 {
+		return errors.New("cluster: tree has no leaves")
+	}
+	if len(t.Merges) != t.NLeaves-1 {
+		return fmt.Errorf("cluster: %d merges for %d leaves, want %d",
+			len(t.Merges), t.NLeaves, t.NLeaves-1)
+	}
+	used := make([]bool, t.NLeaves+len(t.Merges))
+	for i, m := range t.Merges {
+		limit := t.NLeaves + i
+		for _, c := range []int{m.A, m.B} {
+			if c < 0 || c >= limit {
+				return fmt.Errorf("cluster: merge %d references node %d (limit %d)", i, c, limit)
+			}
+			if used[c] {
+				return fmt.Errorf("cluster: node %d used as child twice", c)
+			}
+			used[c] = true
+		}
+	}
+	for n := 0; n < t.NLeaves+len(t.Merges)-1; n++ {
+		if !used[n] {
+			return fmt.Errorf("cluster: node %d never merged", n)
+		}
+	}
+	return nil
+}
+
+// LeafOrder returns the left-to-right order of leaves produced by a
+// depth-first traversal, the order in which the clustered heatmap draws its
+// rows.
+func (t *Tree) LeafOrder() []int {
+	if t.NLeaves == 1 {
+		return []int{0}
+	}
+	order := make([]int, 0, t.NLeaves)
+	// Iterative DFS to stay safe on degenerate (chain-shaped) trees of
+	// paper-scale datasets.
+	stack := []int{t.Root()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n < t.NLeaves {
+			order = append(order, n)
+			continue
+		}
+		m := t.Merges[n-t.NLeaves]
+		// Push right first so left is visited first.
+		stack = append(stack, m.B, m.A)
+	}
+	return order
+}
+
+// LeavesUnder returns the leaves of the subtree rooted at node (a leaf
+// index < NLeaves, or NLeaves+i for merge i), in leaf-order within the
+// subtree. This backs ForestView's "select a tree node" interaction.
+func (t *Tree) LeavesUnder(node int) []int {
+	if node < 0 || node >= t.NLeaves+len(t.Merges) {
+		return nil
+	}
+	if node < t.NLeaves {
+		return []int{node}
+	}
+	var out []int
+	stack := []int{node}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n < t.NLeaves {
+			out = append(out, n)
+			continue
+		}
+		m := t.Merges[n-t.NLeaves]
+		stack = append(stack, m.B, m.A)
+	}
+	return out
+}
+
+// Cut returns a flat clustering with k clusters by cutting the dendrogram
+// below its k-1 highest merges. The result maps each leaf to a cluster ID
+// in 0..k-1, numbered by first appearance in leaf order.
+func (t *Tree) Cut(k int) ([]int, error) {
+	if k < 1 || k > t.NLeaves {
+		return nil, fmt.Errorf("cluster: cannot cut %d leaves into %d clusters", t.NLeaves, k)
+	}
+	// The merges are produced in nondecreasing height order for the
+	// algorithms here, but user-loaded trees may not be; cut by suppressing
+	// the k-1 highest merges globally.
+	type hm struct {
+		idx int
+		h   float64
+	}
+	hs := make([]hm, len(t.Merges))
+	for i, m := range t.Merges {
+		hs[i] = hm{i, m.Height}
+	}
+	// Partial selection of the k-1 largest heights.
+	suppressed := make(map[int]bool, k-1)
+	for c := 0; c < k-1; c++ {
+		best := -1
+		for i, e := range hs {
+			if suppressed[e.idx] {
+				continue
+			}
+			if best == -1 || e.h > hs[best].h || (e.h == hs[best].h && e.idx > hs[best].idx) {
+				best = i
+			}
+		}
+		suppressed[hs[best].idx] = true
+	}
+	// Union the surviving merges.
+	parent := make([]int, t.NLeaves+len(t.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, m := range t.Merges {
+		node := t.NLeaves + i
+		if suppressed[i] {
+			continue
+		}
+		ra, rb := find(m.A), find(m.B)
+		parent[ra] = node
+		parent[rb] = node
+	}
+	// Number clusters by first appearance in leaf order.
+	ids := make(map[int]int)
+	out := make([]int, t.NLeaves)
+	for _, leaf := range t.LeafOrder() {
+		root := find(leaf)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		out[leaf] = id
+	}
+	if len(ids) != k {
+		return nil, fmt.Errorf("cluster: cut produced %d clusters, want %d", len(ids), k)
+	}
+	return out, nil
+}
+
+// Hierarchical builds a dendrogram over the rows using the given metric and
+// linkage. It computes the full pairwise distance matrix (O(n²) space), the
+// regime Cluster 3.0 operates in for genome-scale inputs, then performs
+// Lance-Williams agglomeration.
+func Hierarchical(rows [][]float64, metric Metric, linkage Linkage) (*Tree, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, errors.New("cluster: no rows")
+	}
+	t := &Tree{NLeaves: n}
+	if n == 1 {
+		return t, nil
+	}
+	// Condensed distance matrix d[i][j] for j<i stored in flat triangular
+	// layout to halve memory at paper scale.
+	dist := newTriMatrix(n)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			dist.set(i, j, metric.Distance(rows[i], rows[j]))
+		}
+	}
+	return agglomerate(n, dist, linkage), nil
+}
+
+// HierarchicalFromDistance builds a dendrogram from a precomputed symmetric
+// distance matrix, for callers that already paid the O(n²) metric cost.
+func HierarchicalFromDistance(d [][]float64, linkage Linkage) (*Tree, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, errors.New("cluster: empty distance matrix")
+	}
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("cluster: distance matrix row %d has %d entries, want %d", i, len(d[i]), n)
+		}
+	}
+	t := &Tree{NLeaves: n}
+	if n == 1 {
+		return t, nil
+	}
+	dist := newTriMatrix(n)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			dist.set(i, j, d[i][j])
+		}
+	}
+	return agglomerate(n, dist, linkage), nil
+}
+
+// triMatrix is a flat lower-triangular matrix (i>j).
+type triMatrix struct {
+	n int
+	v []float64
+}
+
+func newTriMatrix(n int) *triMatrix {
+	return &triMatrix{n: n, v: make([]float64, n*(n-1)/2)}
+}
+
+func (m *triMatrix) idx(i, j int) int {
+	if i < j {
+		i, j = j, i
+	}
+	return i*(i-1)/2 + j
+}
+
+func (m *triMatrix) at(i, j int) float64     { return m.v[m.idx(i, j)] }
+func (m *triMatrix) set(i, j int, d float64) { m.v[m.idx(i, j)] = d }
+
+// agglomerate runs generic Lance-Williams agglomeration over an existing
+// triangular distance matrix. Cluster slots are reused: after merging a and
+// b (a<b as slots), the merged cluster lives in slot a and slot b dies.
+func agglomerate(n int, dist *triMatrix, linkage Linkage) *Tree {
+	t := &Tree{NLeaves: n, Merges: make([]Merge, 0, n-1)}
+	active := make([]bool, n)
+	size := make([]int, n)   // cluster sizes for average linkage
+	nodeOf := make([]int, n) // tree node ID currently held by each slot
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		nodeOf[i] = i
+	}
+	// nearest[i] caches the current best neighbour of slot i to cut the
+	// O(n³) naive scan down to ~O(n²) in practice.
+	nearest := make([]int, n)
+	nearDist := make([]float64, n)
+	recomputeNearest := func(i int) {
+		nearest[i] = -1
+		nearDist[i] = math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i || !active[j] {
+				continue
+			}
+			if d := dist.at(i, j); d < nearDist[i] {
+				nearDist[i] = d
+				nearest[i] = j
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		recomputeNearest(i)
+	}
+	for step := 0; step < n-1; step++ {
+		// Find the globally closest active pair via the nearest cache.
+		bi, bd := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if active[i] && nearest[i] >= 0 && nearDist[i] < bd {
+				bd = nearDist[i]
+				bi = i
+			}
+		}
+		a, b := bi, nearest[bi]
+		if a > b {
+			a, b = b, a
+		}
+		t.Merges = append(t.Merges, Merge{A: nodeOf[a], B: nodeOf[b], Height: bd})
+		newNode := n + step
+		// Lance-Williams update of distances from the merged cluster to
+		// every other active cluster; merged cluster occupies slot a.
+		for j := 0; j < n; j++ {
+			if j == a || j == b || !active[j] {
+				continue
+			}
+			da, db := dist.at(a, j), dist.at(b, j)
+			var d float64
+			switch linkage {
+			case AverageLinkage:
+				wa := float64(size[a]) / float64(size[a]+size[b])
+				wb := float64(size[b]) / float64(size[a]+size[b])
+				d = wa*da + wb*db
+			case CompleteLinkage:
+				d = math.Max(da, db)
+			case SingleLinkage:
+				d = math.Min(da, db)
+			}
+			dist.set(a, j, d)
+		}
+		active[b] = false
+		size[a] += size[b]
+		nodeOf[a] = newNode
+		// Refresh nearest caches invalidated by the merge.
+		recomputeNearest(a)
+		for j := 0; j < n; j++ {
+			if !active[j] || j == a {
+				continue
+			}
+			if nearest[j] == a || nearest[j] == b {
+				recomputeNearest(j)
+			} else if d := dist.at(a, j); d < nearDist[j] {
+				nearDist[j] = d
+				nearest[j] = a
+			}
+		}
+	}
+	return t
+}

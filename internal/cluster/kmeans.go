@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds a flat clustering: Assign maps each row to a cluster
+// in 0..K-1; Centroids are the cluster mean profiles; Inertia is the total
+// within-cluster squared Euclidean distance.
+type KMeansResult struct {
+	K         int
+	Assign    []int
+	Centroids [][]float64
+	Inertia   float64
+}
+
+// KMeans clusters rows into k groups with Lloyd's algorithm, restarting
+// `restarts` times from k-means++ seedings and keeping the best inertia.
+// Missing values are handled by computing means and distances over observed
+// positions only. The RNG makes results reproducible.
+func KMeans(rows [][]float64, k, restarts, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, errors.New("cluster: no rows")
+	}
+	if k < 1 || k > n {
+		return nil, errors.New("cluster: k out of range")
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	var best *KMeansResult
+	for r := 0; r < restarts; r++ {
+		res := kmeansOnce(rows, k, maxIter, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(rows [][]float64, k, maxIter int, rng *rand.Rand) *KMeansResult {
+	n, dim := len(rows), len(rows[0])
+	centroids := seedPlusPlus(rows, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, row := range rows {
+			bi, bd := 0, math.Inf(1)
+			for c := range centroids {
+				d := sqDist(row, centroids[c])
+				if d < bd {
+					bd, bi = d, c
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids as per-dimension means over observed values.
+		sums := make([][]float64, k)
+		counts := make([][]int, k)
+		members := make([]int, k)
+		for c := 0; c < k; c++ {
+			sums[c] = make([]float64, dim)
+			counts[c] = make([]int, dim)
+		}
+		for i, row := range rows {
+			c := assign[i]
+			members[c]++
+			for j, v := range row {
+				if !math.IsNaN(v) {
+					sums[c][j] += v
+					counts[c][j]++
+				}
+			}
+		}
+		for c := 0; c < k; c++ {
+			if members[c] == 0 {
+				// Re-seed an empty cluster at the row farthest from its
+				// centroid, the standard fix for collapse.
+				far, fd := 0, -1.0
+				for i, row := range rows {
+					d := sqDist(row, centroids[assign[i]])
+					if d > fd {
+						fd, far = d, i
+					}
+				}
+				centroids[c] = copyObserved(rows[far])
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				if counts[c][j] > 0 {
+					centroids[c][j] = sums[c][j] / float64(counts[c][j])
+				} else {
+					centroids[c][j] = 0
+				}
+			}
+		}
+	}
+	inertia := 0.0
+	for i, row := range rows {
+		inertia += sqDist(row, centroids[assign[i]])
+	}
+	return &KMeansResult{K: k, Assign: assign, Centroids: centroids, Inertia: inertia}
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(rows)
+	centroids := make([][]float64, 0, k)
+	first := 0
+	if rng != nil {
+		first = rng.Intn(n)
+	}
+	centroids = append(centroids, copyObserved(rows[first]))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, row := range rows {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(row, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 || rng == nil {
+			pick = len(centroids) % n
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, copyObserved(rows[pick]))
+	}
+	return centroids
+}
+
+// sqDist is squared Euclidean distance over observed pairs, rescaled for
+// missingness like stats.Euclidean.
+func sqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	ss, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		d := a[i] - b[i]
+		ss += d * d
+		cnt++
+	}
+	if cnt == 0 {
+		return math.MaxFloat64
+	}
+	return ss * float64(n) / float64(cnt)
+}
+
+func copyObserved(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for i, v := range row {
+		if math.IsNaN(v) {
+			out[i] = 0
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Silhouette returns the mean silhouette coefficient of a flat clustering
+// under the given metric — the cluster-quality score used by the ablation
+// benchmarks. Values near 1 indicate tight, well-separated clusters.
+func Silhouette(rows [][]float64, assign []int, metric Metric) float64 {
+	n := len(rows)
+	if n != len(assign) || n < 2 {
+		return math.NaN()
+	}
+	// Precompute cluster membership lists.
+	clusters := make(map[int][]int)
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+	if len(clusters) < 2 {
+		return math.NaN()
+	}
+	total, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		own := clusters[assign[i]]
+		if len(own) <= 1 {
+			continue // silhouette undefined for singletons
+		}
+		a := 0.0
+		for _, j := range own {
+			if j != i {
+				a += metric.Distance(rows[i], rows[j])
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for c, members := range clusters {
+			if c == assign[i] {
+				continue
+			}
+			s := 0.0
+			for _, j := range members {
+				s += metric.Distance(rows[i], rows[j])
+			}
+			s /= float64(len(members))
+			if s < b {
+				b = s
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return total / float64(cnt)
+}

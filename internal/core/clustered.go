@@ -1,0 +1,146 @@
+// Package core implements ForestView itself — the paper's primary
+// contribution (Section 2, Figure 1): the merged dataset interface exposing
+// many microarray datasets as one logical 3-D array, per-dataset panes with
+// global and zoom views, synchronized and unsynchronized viewing, gene
+// selection by region / annotation query / analysis result, dataset
+// ordering, list and matrix export, per-dataset display preferences, and
+// scene rendering that scales from a desktop framebuffer to the simulated
+// display wall.
+package core
+
+import (
+	"fmt"
+
+	"forestview/internal/cluster"
+	"forestview/internal/microarray"
+)
+
+// ClusteredDataset pairs a dataset with its clustering trees, the unit a
+// ForestView pane displays (the analogue of a CDT/GTR/ATR triple in the
+// Java TreeView world).
+type ClusteredDataset struct {
+	// Data holds the expression matrix in its original row order.
+	Data *microarray.Dataset
+	// GeneTree and ArrayTree are optional dendrograms whose leaves index
+	// Data rows / columns.
+	GeneTree  *cluster.Tree
+	ArrayTree *cluster.Tree
+	// DisplayOrder maps display position -> data row. With a gene tree it
+	// is the tree's leaf order; without one it is the identity.
+	DisplayOrder []int
+	// displayPos is the inverse: data row -> display position.
+	displayPos []int
+}
+
+// ClusterOptions configure Cluster.
+type ClusterOptions struct {
+	Metric  cluster.Metric
+	Linkage cluster.Linkage
+	// ClusterArrays also builds the experiment (column) tree.
+	ClusterArrays bool
+	// OptimizeOrder runs the Gruvaeus-Wainer orientation pass so adjacent
+	// display rows are maximally similar across subtree boundaries.
+	OptimizeOrder bool
+}
+
+// Cluster runs hierarchical clustering on the dataset and returns it
+// wrapped as a pane-ready ClusteredDataset. The dataset itself is not
+// reordered; display order lives alongside.
+func Cluster(ds *microarray.Dataset, opt ClusterOptions) (*ClusteredDataset, error) {
+	if ds == nil || ds.NumGenes() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	gt, err := cluster.Hierarchical(ds.Data, opt.Metric, opt.Linkage)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering genes of %q: %w", ds.Name, err)
+	}
+	cd := &ClusteredDataset{Data: ds, GeneTree: gt}
+	if opt.ClusterArrays {
+		cols := make([][]float64, ds.NumExperiments())
+		for e := range cols {
+			cols[e] = ds.Column(e)
+		}
+		at, err := cluster.Hierarchical(cols, opt.Metric, opt.Linkage)
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering arrays of %q: %w", ds.Name, err)
+		}
+		cd.ArrayTree = at
+	}
+	cd.refreshOrder()
+	if opt.OptimizeOrder {
+		order, err := cluster.OptimizeLeafOrder(gt, ds.Data, opt.Metric)
+		if err != nil {
+			return nil, fmt.Errorf("core: optimizing leaf order of %q: %w", ds.Name, err)
+		}
+		cd.SetDisplayOrder(order)
+	}
+	return cd, nil
+}
+
+// SetDisplayOrder installs an explicit display order (e.g. an optimized
+// leaf orientation). The order must be a permutation of the data rows.
+func (cd *ClusteredDataset) SetDisplayOrder(order []int) {
+	if len(order) != cd.Data.NumGenes() {
+		return
+	}
+	cd.DisplayOrder = append([]int(nil), order...)
+	cd.displayPos = make([]int, len(order))
+	for pos, row := range order {
+		cd.displayPos[row] = pos
+	}
+}
+
+// FromDataset wraps an already-ordered dataset without clustering (e.g.
+// loaded from a CDT whose order is meaningful, or a SPELL result subset).
+func FromDataset(ds *microarray.Dataset) (*ClusteredDataset, error) {
+	if ds == nil || ds.NumGenes() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	cd := &ClusteredDataset{Data: ds}
+	cd.refreshOrder()
+	return cd, nil
+}
+
+// refreshOrder recomputes DisplayOrder from the gene tree (or identity).
+func (cd *ClusteredDataset) refreshOrder() {
+	n := cd.Data.NumGenes()
+	if cd.GeneTree != nil && cd.GeneTree.NLeaves == n {
+		cd.DisplayOrder = cd.GeneTree.LeafOrder()
+	} else {
+		cd.DisplayOrder = make([]int, n)
+		for i := range cd.DisplayOrder {
+			cd.DisplayOrder[i] = i
+		}
+	}
+	cd.displayPos = make([]int, n)
+	for pos, row := range cd.DisplayOrder {
+		cd.displayPos[row] = pos
+	}
+}
+
+// DisplayPos returns the display position of a data row, or -1.
+func (cd *ClusteredDataset) DisplayPos(row int) int {
+	if row < 0 || row >= len(cd.displayPos) {
+		return -1
+	}
+	return cd.displayPos[row]
+}
+
+// RowsInDisplayOrder returns the expression rows arranged for display.
+// The returned slices alias the dataset.
+func (cd *ClusteredDataset) RowsInDisplayOrder() [][]float64 {
+	out := make([][]float64, len(cd.DisplayOrder))
+	for pos, row := range cd.DisplayOrder {
+		out[pos] = cd.Data.Row(row)
+	}
+	return out
+}
+
+// IDsInDisplayOrder returns gene IDs arranged for display.
+func (cd *ClusteredDataset) IDsInDisplayOrder() []string {
+	out := make([]string, len(cd.DisplayOrder))
+	for pos, row := range cd.DisplayOrder {
+		out[pos] = cd.Data.Genes[row].ID
+	}
+	return out
+}

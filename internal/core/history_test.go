@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSelectTreeNode(t *testing.T) {
+	_, fv := buildFixture(t)
+	cd := fv.Pane(0).DS
+	// The root selects everything.
+	root := cd.GeneTree.Root()
+	if err := fv.SelectTreeNode(0, root); err != nil {
+		t.Fatal(err)
+	}
+	if fv.Selection().Len() != cd.Data.NumGenes() {
+		t.Fatalf("root selection = %d, want %d", fv.Selection().Len(), cd.Data.NumGenes())
+	}
+	// A leaf selects one gene.
+	if err := fv.SelectTreeNode(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fv.Selection().Len() != 1 {
+		t.Fatalf("leaf selection = %d", fv.Selection().Len())
+	}
+	if fv.Selection().IDs[0] != cd.Data.Genes[0].ID {
+		t.Fatal("leaf selection picked the wrong gene")
+	}
+	// An internal node selects a contiguous display block.
+	node := cd.GeneTree.NLeaves // first merge
+	if err := fv.SelectTreeNode(0, node); err != nil {
+		t.Fatal(err)
+	}
+	sel := fv.Selection()
+	if sel.Len() != 2 {
+		t.Fatalf("first-merge selection = %d", sel.Len())
+	}
+	// Selection order follows display order; the two genes are adjacent.
+	posOf := func(id string) int {
+		row, _ := cd.Data.GeneIndex(id)
+		return cd.DisplayPos(row)
+	}
+	if posOf(sel.IDs[1]) != posOf(sel.IDs[0])+1 {
+		t.Fatalf("subtree genes not adjacent in display: %d vs %d",
+			posOf(sel.IDs[0]), posOf(sel.IDs[1]))
+	}
+}
+
+func TestSelectTreeNodeErrors(t *testing.T) {
+	_, fv := buildFixture(t)
+	if err := fv.SelectTreeNode(99, 0); err == nil {
+		t.Fatal("bad pane should error")
+	}
+	if err := fv.SelectTreeNode(0, 10_000); err == nil {
+		t.Fatal("bad node should error")
+	}
+	// Pane without a gene tree.
+	ds := fv.Pane(0).DS.Data
+	bare, err := FromDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv2, err := New([]*ClusteredDataset{bare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fv2.SelectTreeNode(0, 0); err == nil {
+		t.Fatal("tree-less pane should error")
+	}
+}
+
+func TestUndoRedoSelection(t *testing.T) {
+	_, fv := buildFixture(t)
+	if fv.UndoSelection() {
+		t.Fatal("nothing to undo initially")
+	}
+	_ = fv.SelectRegion(0, 0, 4)   // A
+	_ = fv.SelectRegion(0, 10, 19) // B
+	if fv.Selection().Len() != 10 {
+		t.Fatal("precondition")
+	}
+	if !fv.UndoSelection() {
+		t.Fatal("undo should succeed")
+	}
+	if fv.Selection().Len() != 5 {
+		t.Fatalf("after undo = %d, want 5 (A)", fv.Selection().Len())
+	}
+	if !fv.UndoSelection() {
+		t.Fatal("second undo should succeed")
+	}
+	if fv.Selection() != nil {
+		t.Fatal("after two undos, selection should be the initial nil")
+	}
+	if !fv.RedoSelection() {
+		t.Fatal("redo should succeed")
+	}
+	if fv.Selection().Len() != 5 {
+		t.Fatalf("after redo = %d, want 5", fv.Selection().Len())
+	}
+	if !fv.RedoSelection() {
+		t.Fatal("second redo should succeed")
+	}
+	if fv.Selection().Len() != 10 {
+		t.Fatalf("after second redo = %d, want 10", fv.Selection().Len())
+	}
+	if fv.RedoSelection() {
+		t.Fatal("nothing left to redo")
+	}
+}
+
+func TestNewSelectionClearsRedo(t *testing.T) {
+	_, fv := buildFixture(t)
+	_ = fv.SelectRegion(0, 0, 4)
+	_ = fv.SelectRegion(0, 10, 19)
+	fv.UndoSelection()
+	// A fresh selection invalidates the redo branch.
+	_ = fv.SelectRegion(0, 20, 24)
+	if fv.RedoSelection() {
+		t.Fatal("redo must be cleared by a new selection")
+	}
+}
+
+func TestClearSelectionIsUndoable(t *testing.T) {
+	_, fv := buildFixture(t)
+	_ = fv.SelectRegion(0, 0, 9)
+	fv.ClearSelection()
+	if fv.Selection() != nil {
+		t.Fatal("clear failed")
+	}
+	if !fv.UndoSelection() {
+		t.Fatal("clear should be undoable")
+	}
+	if fv.Selection().Len() != 10 {
+		t.Fatalf("after undoing clear = %d", fv.Selection().Len())
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	_, fv := buildFixture(t)
+	for i := 0; i < maxHistory+20; i++ {
+		_ = fv.SelectRegion(0, i%30, i%30+2)
+	}
+	undos := 0
+	for fv.UndoSelection() {
+		undos++
+	}
+	if undos != maxHistory {
+		t.Fatalf("undo depth = %d, want %d", undos, maxHistory)
+	}
+}
+
+func TestLeavesUnderMatchesDisplayBlock(t *testing.T) {
+	// Every internal node's leaves occupy one contiguous block of the
+	// display order — the invariant that makes tree-node selection look
+	// like a region selection.
+	_, fv := buildFixture(t)
+	cd := fv.Pane(1).DS
+	tree := cd.GeneTree
+	for i := range tree.Merges {
+		leaves := tree.LeavesUnder(tree.NLeaves + i)
+		lo, hi := len(cd.DisplayOrder), -1
+		for _, l := range leaves {
+			p := cd.DisplayPos(l)
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if hi-lo+1 != len(leaves) {
+			t.Fatalf("merge %d leaves not contiguous: span %d-%d for %d leaves",
+				i, lo, hi, len(leaves))
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"image/color"
+	"testing"
+
+	"forestview/internal/render"
+)
+
+// renderToCanvas renders the fixture scene and returns the canvas.
+func renderToCanvas(fv *ForestView) *render.Canvas {
+	c := render.NewCanvas(600, 300, color.RGBA{A: 255})
+	fv.RenderScene(c, 600, 300)
+	return c
+}
+
+func diffPixels(a, b *render.Canvas) int {
+	n := 0
+	for y := 0; y < a.Height(); y++ {
+		for x := 0; x < a.Width(); x++ {
+			if a.At(x, y) != b.At(x, y) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Per-dataset preferences must change only that pane's rendering
+// ("the expression level colors can be adjusted independently for
+// datasets", Section 2).
+func TestPerPanePrefsIndependent(t *testing.T) {
+	_, fv := buildFixture(t)
+	_ = fv.SelectRegion(0, 0, 9)
+	before := renderToCanvas(fv)
+
+	// Change pane 1's colormap only.
+	fv.Pane(1).Prefs.ColorMap = render.BlueYellow
+	after := renderToCanvas(fv)
+
+	// Pane layout: 3 panes over 600px => pane width ~196. Pane 0 occupies
+	// roughly x in [4, 200), pane 1 in [204, 400).
+	pane0Diff, pane1Diff := 0, 0
+	for y := 0; y < 300; y++ {
+		for x := 4; x < 196; x++ {
+			if before.At(x, y) != after.At(x, y) {
+				pane0Diff++
+			}
+		}
+		for x := 208; x < 392; x++ {
+			if before.At(x, y) != after.At(x, y) {
+				pane1Diff++
+			}
+		}
+	}
+	if pane1Diff == 0 {
+		t.Fatal("changing pane 1's colormap changed nothing in pane 1")
+	}
+	if pane0Diff != 0 {
+		t.Fatalf("changing pane 1's colormap leaked %d pixels into pane 0", pane0Diff)
+	}
+}
+
+func TestContrastLimitChangesRendering(t *testing.T) {
+	_, fv := buildFixture(t)
+	_ = fv.SelectRegion(0, 0, 9)
+	before := renderToCanvas(fv)
+	for p := 0; p < fv.NumPanes(); p++ {
+		fv.Pane(p).Prefs.ContrastLimit = 0.25 // much hotter colors
+	}
+	after := renderToCanvas(fv)
+	if diffPixels(before, after) < 100 {
+		t.Fatal("contrast change barely affected the scene")
+	}
+}
+
+func TestShowGeneTreeToggle(t *testing.T) {
+	_, fv := buildFixture(t)
+	before := renderToCanvas(fv)
+	for p := 0; p < fv.NumPanes(); p++ {
+		fv.Pane(p).Prefs.ShowGeneTree = false
+	}
+	after := renderToCanvas(fv)
+	if diffPixels(before, after) == 0 {
+		t.Fatal("hiding gene trees changed nothing")
+	}
+}
+
+func TestGlobalViewFracAffectsLayout(t *testing.T) {
+	_, fv := buildFixture(t)
+	_ = fv.SelectRegion(0, 0, 9)
+	before := renderToCanvas(fv)
+	for p := 0; p < fv.NumPanes(); p++ {
+		fv.Pane(p).Prefs.GlobalViewFrac = 0.5
+	}
+	after := renderToCanvas(fv)
+	if diffPixels(before, after) < 100 {
+		t.Fatal("global/zoom split change barely affected the scene")
+	}
+}

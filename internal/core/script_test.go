@@ -1,0 +1,188 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunScriptFullSession(t *testing.T) {
+	_, fv := buildFixture(t)
+	dir := t.TempDir()
+	png := filepath.Join(dir, "out.png")
+	list := filepath.Join(dir, "sel.txt")
+	merged := filepath.Join(dir, "merged.pcl")
+	session := filepath.Join(dir, "s.json")
+	script := strings.NewReader(`
+# a complete scripted session
+select-region 0 5 14
+sync off
+scroll 1 3
+sync on
+render ` + png + ` 640 360
+export-list ` + list + `
+export-merged ` + merged + `
+save-session ` + session + `
+clear
+load-session ` + session + `
+echo done
+`)
+	res, err := fv.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands != 11 {
+		t.Fatalf("commands = %d, want 11", res.Commands)
+	}
+	// Session restored the selection after clear.
+	if fv.Selection().Len() != 10 {
+		t.Fatalf("selection after load-session = %d", fv.Selection().Len())
+	}
+	for _, p := range []string{png, list, merged, session} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("script output %s missing: %v", p, err)
+		}
+	}
+	if res.Log[len(res.Log)-1] != "done" {
+		t.Fatalf("echo log = %q", res.Log[len(res.Log)-1])
+	}
+}
+
+func TestRunScriptQuery(t *testing.T) {
+	_, fv := buildFixture(t)
+	res, err := fv.RunScript(strings.NewReader(`select-query "stress response induced"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands != 1 || fv.Selection().Len() == 0 {
+		t.Fatalf("query script: %+v, selection %d", res, fv.Selection().Len())
+	}
+}
+
+func TestRunScriptSelectListFile(t *testing.T) {
+	_, fv := buildFixture(t)
+	path := filepath.Join(t.TempDir(), "genes.txt")
+	ids := fv.Merged().GeneID(0) + "\n# comment\n" + fv.Merged().GeneID(1) + "\n"
+	if err := os.WriteFile(path, []byte(ids), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fv.RunScript(strings.NewReader("select-list " + path)); err != nil {
+		t.Fatal(err)
+	}
+	if fv.Selection().Len() != 2 {
+		t.Fatalf("list selection = %d", fv.Selection().Len())
+	}
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	_, fv := buildFixture(t)
+	cases := []string{
+		"frobnicate",                 // unknown command
+		"select-region 0 5",          // wrong arity
+		"select-region 0 x y",        // bad number
+		"sync maybe",                 // bad flag
+		"select-region 99 0 5",       // bad pane
+		"select-query zzz-nothing",   // no matches
+		"select-list /no/such/file",  // missing file
+		"load-session /no/such/file", // missing file
+	}
+	for _, c := range cases {
+		if _, err := fv.RunScript(strings.NewReader(c)); err == nil {
+			t.Errorf("script %q should fail", c)
+		}
+	}
+}
+
+func TestRunScriptStopsAtFirstError(t *testing.T) {
+	_, fv := buildFixture(t)
+	script := strings.NewReader("select-region 0 0 4\nbogus\nselect-region 0 0 9\n")
+	res, err := fv.RunScript(script)
+	if err == nil {
+		t.Fatal("script should fail at line 2")
+	}
+	if res.Commands != 1 {
+		t.Fatalf("commands before failure = %d", res.Commands)
+	}
+	// The third command never ran.
+	if fv.Selection().Len() != 5 {
+		t.Fatalf("selection = %d, want 5 from the first command", fv.Selection().Len())
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name the line: %v", err)
+	}
+}
+
+func TestSplitScriptLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`a b c`, []string{"a", "b", "c"}},
+		{`select-query "heat shock"`, []string{"select-query", "heat shock"}},
+		{`x "a b" y`, []string{"x", "a b", "y"}},
+		{`""`, []string{""}},
+		{``, nil},
+		{`  spaced   out  `, []string{"spaced", "out"}},
+	}
+	for _, c := range cases {
+		got := splitScriptLine(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("split(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("split(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRunScriptNodeAndHistory(t *testing.T) {
+	_, fv := buildFixture(t)
+	root := fv.Pane(0).DS.GeneTree.Root()
+	script := strings.NewReader(
+		"select-region 0 0 4\n" +
+			"select-node 0 " + itoa(root) + "\n" +
+			"undo\n" +
+			"redo\n")
+	res, err := fv.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands != 4 {
+		t.Fatalf("commands = %d", res.Commands)
+	}
+	if fv.Selection().Len() != fv.Pane(0).DS.Data.NumGenes() {
+		t.Fatalf("after redo selection = %d", fv.Selection().Len())
+	}
+	// Undo with empty history errors.
+	fresh, _ := New([]*ClusteredDataset{fv.Pane(0).DS})
+	if _, err := fresh.RunScript(strings.NewReader("undo")); err == nil {
+		t.Fatal("undo on fresh session should error")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestRunScriptComments(t *testing.T) {
+	_, fv := buildFixture(t)
+	res, err := fv.RunScript(strings.NewReader("# only comments\n\n   \n# more\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands != 0 {
+		t.Fatalf("comments executed: %d", res.Commands)
+	}
+}

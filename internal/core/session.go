@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"forestview/internal/render"
+)
+
+// SessionState is the serializable snapshot of a ForestView session: what
+// the user selected, how views are synchronized, the pane arrangement and
+// per-pane preferences. Saving and restoring sessions lets a display-wall
+// analysis continue on a laptop (and vice versa) — the cross-platform
+// continuity Section 2 asks for.
+type SessionState struct {
+	Version      int  `json:"version"`
+	Synchronized bool `json:"synchronized"`
+	SyncScroll   int  `json:"syncScroll"`
+	// PaneOrder lists dataset names in display order.
+	PaneOrder []string `json:"paneOrder"`
+	// Selection and its provenance; empty when nothing is selected.
+	SelectionIDs    []string `json:"selectionIds,omitempty"`
+	SelectionSource string   `json:"selectionSource,omitempty"`
+	// Prefs keyed by dataset name.
+	Prefs map[string]PrefsState `json:"prefs"`
+}
+
+// PrefsState is the serializable form of Prefs.
+type PrefsState struct {
+	ColorMap       int     `json:"colorMap"`
+	ContrastLimit  float64 `json:"contrastLimit"`
+	ShowGeneTree   bool    `json:"showGeneTree"`
+	ShowLabels     bool    `json:"showLabels"`
+	GlobalViewFrac float64 `json:"globalViewFrac"`
+}
+
+// SaveSession writes the current session state as JSON.
+func (fv *ForestView) SaveSession(w io.Writer) error {
+	fv.mu.RLock()
+	st := SessionState{
+		Version:      1,
+		Synchronized: fv.syncViews,
+		SyncScroll:   fv.syncScroll,
+		Prefs:        make(map[string]PrefsState, len(fv.panes)),
+	}
+	for _, pi := range fv.order {
+		st.PaneOrder = append(st.PaneOrder, fv.panes[pi].DS.Data.Name)
+	}
+	if fv.selection != nil {
+		st.SelectionIDs = append([]string(nil), fv.selection.IDs...)
+		st.SelectionSource = fv.selection.Source
+	}
+	for _, p := range fv.panes {
+		st.Prefs[p.DS.Data.Name] = PrefsState{
+			ColorMap:       int(p.Prefs.ColorMap),
+			ContrastLimit:  p.Prefs.ContrastLimit,
+			ShowGeneTree:   p.Prefs.ShowGeneTree,
+			ShowLabels:     p.Prefs.ShowLabels,
+			GlobalViewFrac: p.Prefs.GlobalViewFrac,
+		}
+	}
+	fv.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&st)
+}
+
+// RestoreSession applies a saved session to this ForestView. Datasets are
+// matched by name; names in the state that are not loaded are ignored, and
+// loaded datasets missing from the state keep their current settings.
+func (fv *ForestView) RestoreSession(r io.Reader) error {
+	var st SessionState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: decoding session: %w", err)
+	}
+	if st.Version != 1 {
+		return fmt.Errorf("core: unsupported session version %d", st.Version)
+	}
+	fv.mu.Lock()
+	defer fv.mu.Unlock()
+	fv.syncViews = st.Synchronized
+
+	// Pane order: first the named panes in saved order, then the rest.
+	byName := make(map[string]int, len(fv.panes))
+	for i, p := range fv.panes {
+		byName[p.DS.Data.Name] = i
+	}
+	used := make(map[int]bool, len(fv.panes))
+	var order []int
+	for _, name := range st.PaneOrder {
+		if i, ok := byName[name]; ok && !used[i] {
+			order = append(order, i)
+			used[i] = true
+		}
+	}
+	for i := range fv.panes {
+		if !used[i] {
+			order = append(order, i)
+		}
+	}
+	fv.order = order
+
+	if len(st.SelectionIDs) > 0 {
+		fv.selection = newSelection(st.SelectionIDs, st.SelectionSource)
+	} else {
+		fv.selection = nil
+	}
+	fv.syncScroll = st.SyncScroll
+	if n := fv.selection.Len(); fv.syncScroll >= n {
+		if n == 0 {
+			fv.syncScroll = 0
+		} else {
+			fv.syncScroll = n - 1
+		}
+	}
+
+	for name, ps := range st.Prefs {
+		i, ok := byName[name]
+		if !ok {
+			continue
+		}
+		fv.panes[i].Prefs = Prefs{
+			ColorMap:       render.ColorMap(ps.ColorMap),
+			ContrastLimit:  ps.ContrastLimit,
+			ShowGeneTree:   ps.ShowGeneTree,
+			ShowLabels:     ps.ShowLabels,
+			GlobalViewFrac: ps.GlobalViewFrac,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"forestview/internal/cluster"
+	"forestview/internal/synth"
+)
+
+func TestSessionRoundTrip(t *testing.T) {
+	_, fv := buildFixture(t)
+	// Mutate every dimension of the state.
+	_ = fv.SelectRegion(1, 5, 14)
+	fv.SetSynchronized(false)
+	fv.OrderPanesBy(map[string]float64{"gamma": 3, "beta": 2, "alpha": 1})
+	fv.Pane(0).Prefs.ContrastLimit = 3.5
+	fv.Pane(0).Prefs.ColorMap = 1
+	fv.Pane(2).Prefs.ShowLabels = false
+
+	var buf bytes.Buffer
+	if err := fv.SaveSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh ForestView over the same datasets.
+	_, fv2 := buildFixture(t)
+	if err := fv2.RestoreSession(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fv2.Synchronized() {
+		t.Fatal("sync flag lost")
+	}
+	order := fv2.PaneOrder()
+	if fv2.Pane(order[0]).DS.Data.Name != "gamma" {
+		t.Fatalf("pane order lost: %v", order)
+	}
+	sel := fv2.Selection()
+	if sel.Len() != 10 {
+		t.Fatalf("selection lost: %d", sel.Len())
+	}
+	for i, id := range fv.Selection().IDs {
+		if sel.IDs[i] != id {
+			t.Fatal("selection order changed")
+		}
+	}
+	if fv2.Pane(0).Prefs.ContrastLimit != 3.5 || fv2.Pane(0).Prefs.ColorMap != 1 {
+		t.Fatalf("prefs lost: %+v", fv2.Pane(0).Prefs)
+	}
+	if fv2.Pane(2).Prefs.ShowLabels {
+		t.Fatal("ShowLabels lost")
+	}
+}
+
+func TestSessionRestoreEmptySelection(t *testing.T) {
+	_, fv := buildFixture(t)
+	var buf bytes.Buffer
+	if err := fv.SaveSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, fv2 := buildFixture(t)
+	_ = fv2.SelectRegion(0, 0, 5)
+	if err := fv2.RestoreSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fv2.Selection() != nil {
+		t.Fatal("restoring an empty-selection session should clear the selection")
+	}
+}
+
+func TestSessionRestoreUnknownDatasets(t *testing.T) {
+	// A session saved with extra datasets restores gracefully onto fewer.
+	_, fv := buildFixture(t)
+	_ = fv.SelectRegion(0, 0, 4)
+	var buf bytes.Buffer
+	if err := fv.SaveSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Build a ForestView with only one of the datasets.
+	u := synth.NewUniverse(60, 6, 7)
+	ds := u.Generate(synth.DatasetSpec{Name: "alpha", Kind: synth.StressStudy,
+		NumExperiments: 12, ESRStrength: 1, Seed: 11})
+	cd, err := Cluster(ds, ClusterOptions{Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := New([]*ClusteredDataset{cd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.RestoreSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if small.Selection().Len() != 5 {
+		t.Fatal("selection should survive partial restore")
+	}
+}
+
+func TestSessionRestoreErrors(t *testing.T) {
+	_, fv := buildFixture(t)
+	if err := fv.RestoreSession(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	if err := fv.RestoreSession(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("unknown version should error")
+	}
+}
+
+func TestClusterWithOptimizedOrder(t *testing.T) {
+	u := synth.NewUniverse(50, 6, 9)
+	ds := u.Generate(synth.DatasetSpec{Name: "opt", NumExperiments: 12, Seed: 15})
+	plain, err := Cluster(ds, ClusterOptions{
+		Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Cluster(ds, ClusterOptions{
+		Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage, OptimizeOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPlain := cluster.OrderQuality(ds.Data, plain.DisplayOrder, cluster.PearsonDist)
+	qOpt := cluster.OrderQuality(ds.Data, opt.DisplayOrder, cluster.PearsonDist)
+	if qOpt < qPlain-1e-9 {
+		t.Fatalf("optimized order quality %v worse than naive %v", qOpt, qPlain)
+	}
+	// DisplayPos stays the inverse.
+	for pos, row := range opt.DisplayOrder {
+		if opt.DisplayPos(row) != pos {
+			t.Fatal("DisplayPos broken after SetDisplayOrder")
+		}
+	}
+}
+
+func TestSetDisplayOrderRejectsWrongLength(t *testing.T) {
+	u := synth.NewUniverse(10, 4, 9)
+	ds := u.Generate(synth.DatasetSpec{Name: "x", NumExperiments: 5, Seed: 1})
+	cd, _ := FromDataset(ds)
+	before := append([]int(nil), cd.DisplayOrder...)
+	cd.SetDisplayOrder([]int{0, 1}) // wrong length: ignored
+	for i := range before {
+		if cd.DisplayOrder[i] != before[i] {
+			t.Fatal("wrong-length order should be ignored")
+		}
+	}
+}

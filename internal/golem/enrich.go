@@ -1,0 +1,206 @@
+// Package golem reimplements GOLEM (Gene Ontology Local Exploration Map,
+// Sealfon et al. 2006), the enrichment-analysis and GO-visualization tool
+// the paper integrates with ForestView (Section 3, Figure 5): hypergeometric
+// functional-enrichment testing of a gene list with multiple-hypothesis
+// correction, extraction of the local DAG neighbourhood around significant
+// terms, and a layered layout of that neighbourhood for display.
+package golem
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"forestview/internal/ontology"
+	"forestview/internal/stats"
+)
+
+// Enrichment is the test result for one term.
+type Enrichment struct {
+	TermID   string
+	TermName string
+	// Selected is k: selection genes annotated to the term.
+	Selected int
+	// Background is K: background genes annotated to the term.
+	Background int
+	// SelectionSize (n) and BackgroundSize (N) complete the 2×2 table.
+	SelectionSize  int
+	BackgroundSize int
+	// PValue is the hypergeometric upper tail P(X >= k).
+	PValue float64
+	// Bonferroni and FDR are the corrected values across all tested terms.
+	Bonferroni float64
+	FDR        float64
+	// Fold is the observed/expected annotation ratio.
+	Fold float64
+}
+
+// Enricher performs enrichment analyses against a fixed background. Build
+// it once per (ontology, annotations, background) and reuse it for many
+// selections — ForestView calls it every time the user re-selects genes.
+type Enricher struct {
+	onto       *ontology.Ontology
+	ann        *ontology.Annotations // propagated
+	background map[string]bool
+	termGenes  map[string]map[string]bool // term -> background genes
+}
+
+// NewEnricher prepares an enrichment context. annotations are direct
+// (unpropagated); the constructor applies the true-path rule. background
+// lists the gene universe; genes without annotations still count toward N,
+// mirroring GOLEM's population handling.
+func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background []string) (*Enricher, error) {
+	if o == nil || direct == nil {
+		return nil, errors.New("golem: nil ontology or annotations")
+	}
+	if len(background) == 0 {
+		return nil, errors.New("golem: empty background")
+	}
+	e := &Enricher{
+		onto:       o,
+		ann:        direct.Propagate(o),
+		background: make(map[string]bool, len(background)),
+		termGenes:  make(map[string]map[string]bool),
+	}
+	for _, g := range background {
+		e.background[g] = true
+	}
+	for term, genes := range e.ann.GenesPerTerm() {
+		set := make(map[string]bool)
+		for g := range genes {
+			if e.background[g] {
+				set[g] = true
+			}
+		}
+		if len(set) > 0 {
+			e.termGenes[term] = set
+		}
+	}
+	return e, nil
+}
+
+// BackgroundSize returns N, the size of the gene universe.
+func (e *Enricher) BackgroundSize() int { return len(e.background) }
+
+// Options tune an analysis.
+type Options struct {
+	// MinSelected skips terms with fewer than this many selection genes
+	// (default 1).
+	MinSelected int
+	// MaxPValue filters results by raw p-value (0 = keep all).
+	MaxPValue float64
+}
+
+// Analyze tests the selection against every term with at least one
+// selection gene and returns results sorted by ascending p-value. Genes
+// outside the background are ignored (a selection pasted from another
+// dataset may contain IDs this universe lacks).
+func (e *Enricher) Analyze(selection []string, opt Options) ([]Enrichment, error) {
+	if opt.MinSelected < 1 {
+		opt.MinSelected = 1
+	}
+	sel := make(map[string]bool, len(selection))
+	for _, g := range selection {
+		if e.background[g] {
+			sel[g] = true
+		}
+	}
+	if len(sel) == 0 {
+		return nil, errors.New("golem: no selection genes in the background")
+	}
+	N := len(e.background)
+	n := len(sel)
+
+	var results []Enrichment
+	// Deterministic term order for stable output and reproducible
+	// corrections.
+	terms := make([]string, 0, len(e.termGenes))
+	for t := range e.termGenes {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		tg := e.termGenes[term]
+		k := 0
+		for g := range sel {
+			if tg[g] {
+				k++
+			}
+		}
+		if k < opt.MinSelected {
+			continue
+		}
+		K := len(tg)
+		name := term
+		if t := e.onto.Term(term); t != nil {
+			if t.Obsolete {
+				continue
+			}
+			name = t.Name
+		}
+		results = append(results, Enrichment{
+			TermID:         term,
+			TermName:       name,
+			Selected:       k,
+			Background:     K,
+			SelectionSize:  n,
+			BackgroundSize: N,
+			PValue:         stats.HypergeomUpperTail(k, N, K, n),
+			Fold:           stats.FoldEnrichment(k, N, K, n),
+		})
+	}
+	// Corrections over the tested family.
+	ps := make([]float64, len(results))
+	for i := range results {
+		ps[i] = results[i].PValue
+	}
+	bon := stats.Bonferroni(ps)
+	fdr := stats.BenjaminiHochberg(ps)
+	for i := range results {
+		results[i].Bonferroni = bon[i]
+		results[i].FDR = fdr[i]
+	}
+	if opt.MaxPValue > 0 {
+		kept := results[:0]
+		for _, r := range results {
+			if r.PValue <= opt.MaxPValue {
+				kept = append(kept, r)
+			}
+		}
+		results = kept
+	}
+	sort.SliceStable(results, func(a, b int) bool {
+		if results[a].PValue != results[b].PValue {
+			return results[a].PValue < results[b].PValue
+		}
+		return results[a].TermID < results[b].TermID
+	})
+	return results, nil
+}
+
+// TopTerms returns the IDs of the first n results.
+func TopTerms(results []Enrichment, n int) []string {
+	if n > len(results) {
+		n = len(results)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = results[i].TermID
+	}
+	return out
+}
+
+// MinusLog10P is a display helper: -log10(p) clamped to 300 for p = 0.
+func MinusLog10P(p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return 300
+	}
+	v := -math.Log10(p)
+	if v > 300 {
+		return 300
+	}
+	return v
+}

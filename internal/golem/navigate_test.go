@@ -1,0 +1,100 @@
+package golem
+
+import (
+	"testing"
+
+	"forestview/internal/ontology"
+)
+
+// deepOntology builds root -> mid -> leafA/leafB -> subA (under leafA).
+func deepOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	o := ontology.New()
+	for _, term := range []*ontology.Term{
+		{ID: "R", Name: "root"},
+		{ID: "M", Name: "mid", Parents: []string{"R"}},
+		{ID: "LA", Name: "leafA", Parents: []string{"M"}},
+		{ID: "LB", Name: "leafB", Parents: []string{"M"}},
+		{ID: "SA", Name: "subA", Parents: []string{"LA"}},
+	} {
+		if err := o.AddTerm(term); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestExpandAddsChildren(t *testing.T) {
+	o := deepOntology(t)
+	g := LocalMap(o, []string{"M"}, 0) // root + mid only
+	if g.Contains("LA") {
+		t.Fatal("precondition: LA not yet present")
+	}
+	g2 := g.Expand(o, "M", 1)
+	if !g2.Contains("LA") || !g2.Contains("LB") {
+		t.Fatalf("expand missed children: %v", g2.Nodes)
+	}
+	if g2.Contains("SA") {
+		t.Fatal("depth 1 must not include grandchildren")
+	}
+	// Original untouched.
+	if g.Contains("LA") {
+		t.Fatal("Expand mutated the original graph")
+	}
+	// Deeper expand reaches SA.
+	g3 := g.Expand(o, "M", 2)
+	if !g3.Contains("SA") {
+		t.Fatal("depth 2 should include SA")
+	}
+	// Edges consistent: every edge endpoint in Nodes.
+	for _, e := range g3.Edges {
+		if !g3.Contains(e[0]) || !g3.Contains(e[1]) {
+			t.Fatalf("dangling edge %v", e)
+		}
+	}
+}
+
+func TestExpandUnknownOrZeroDepth(t *testing.T) {
+	o := deepOntology(t)
+	g := LocalMap(o, []string{"M"}, 0)
+	if got := g.Expand(o, "NOPE", 1); len(got.Nodes) != len(g.Nodes) {
+		t.Fatal("expanding an absent term should be a no-op copy")
+	}
+	if got := g.Expand(o, "M", 0); len(got.Nodes) != len(g.Nodes) {
+		t.Fatal("zero depth should be a no-op copy")
+	}
+}
+
+func TestCollapseRemovesDescendants(t *testing.T) {
+	o := deepOntology(t)
+	g := LocalMap(o, []string{"SA"}, 0) // whole chain R-M-LA-SA via ancestors
+	if !g.Contains("SA") {
+		t.Fatal("precondition")
+	}
+	g2 := g.Collapse(o, "M")
+	if g2.Contains("LA") {
+		t.Fatal("collapse left a non-focus descendant")
+	}
+	// SA is focus: survives even though it is a descendant of M.
+	if !g2.Contains("SA") {
+		t.Fatal("collapse removed a focus term")
+	}
+	if !g2.Contains("M") || !g2.Contains("R") {
+		t.Fatal("collapse removed the node itself or its ancestors")
+	}
+}
+
+func TestExpandCollapseRoundTrip(t *testing.T) {
+	o := deepOntology(t)
+	g := LocalMap(o, []string{"M"}, 0)
+	expanded := g.Expand(o, "M", 2)
+	collapsed := expanded.Collapse(o, "M")
+	if len(collapsed.Nodes) != len(g.Nodes) {
+		t.Fatalf("round trip nodes = %v, want %v", collapsed.Nodes, g.Nodes)
+	}
+	// Layout still valid after navigation.
+	lay := LayoutGraph(collapsed, 2)
+	if lay.LayerCount < 2 {
+		t.Fatalf("layout layers = %d", lay.LayerCount)
+	}
+}

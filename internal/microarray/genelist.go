@@ -1,0 +1,52 @@
+package microarray
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gene-list files are the interchange currency of the Figure-1 UI ("Export
+// Gene List") and of the baseline cut-and-paste workflow: one gene ID per
+// line, '#' comments, blank lines ignored. The first whitespace-separated
+// token of each line is the ID, so annotated exports round trip.
+
+// ReadGeneList parses a gene-list stream, preserving order and dropping
+// duplicates (first occurrence wins).
+func ReadGeneList(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var out []string
+	seen := make(map[string]bool)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id := line
+		if i := strings.IndexAny(line, " \t"); i > 0 {
+			id = line[:i]
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("microarray: reading gene list: %w", err)
+	}
+	return out, nil
+}
+
+// WriteGeneList writes IDs one per line with an optional comment header.
+func WriteGeneList(w io.Writer, ids []string, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		fmt.Fprintf(bw, "# %s\n", header)
+	}
+	for _, id := range ids {
+		fmt.Fprintln(bw, id)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,69 @@
+package microarray
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadGeneList(t *testing.T) {
+	in := `# ForestView gene list (3 genes)
+YAL001C
+YBR072W  heat shock protein
+# trailing comment
+
+YAL001C
+YGR192C
+`
+	ids, err := ReadGeneList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"YAL001C", "YBR072W", "YGR192C"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestReadGeneListEmpty(t *testing.T) {
+	ids, err := ReadGeneList(strings.NewReader("# nothing\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestGeneListRoundTrip(t *testing.T) {
+	ids := []string{"G1", "G2", "G3"}
+	var buf bytes.Buffer
+	if err := WriteGeneList(&buf, ids, "test header"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# test header\n") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+	back, err := ReadGeneList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != "G1" || back[2] != "G3" {
+		t.Fatalf("round trip = %v", back)
+	}
+}
+
+func TestWriteGeneListNoHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGeneList(&buf, []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "A\n" {
+		t.Fatalf("output = %q", buf.String())
+	}
+}

@@ -1,0 +1,237 @@
+package microarray
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const samplePCL = `ID	NAME	GWEIGHT	heat 10min	heat 30min	cold 20min
+EWEIGHT			1	1	0.5
+YAL001C	TFC3 transcription initiation	1	0.43	-0.12	1.5
+YAL002W	VPS8	2	-0.8		0.1
+YAL003W	EFB1 translation elongation	1	NA	0.33	-0.2
+`
+
+func TestReadPCL(t *testing.T) {
+	ds, err := ReadPCL(strings.NewReader(samplePCL), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "sample" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+	if ds.NumGenes() != 3 || ds.NumExperiments() != 3 {
+		t.Fatalf("dims = %dx%d", ds.NumGenes(), ds.NumExperiments())
+	}
+	if ds.Experiments[0] != "heat 10min" || ds.Experiments[2] != "cold 20min" {
+		t.Fatalf("experiments = %v", ds.Experiments)
+	}
+	if ds.EWeights[2] != 0.5 {
+		t.Fatalf("EWeights = %v", ds.EWeights)
+	}
+	g := ds.Genes[0]
+	if g.ID != "YAL001C" || g.Name != "TFC3" || g.Annotation != "transcription initiation" {
+		t.Fatalf("gene[0] = %+v", g)
+	}
+	if ds.Genes[1].Name != "VPS8" || ds.Genes[1].Annotation != "" {
+		t.Fatalf("gene[1] = %+v", ds.Genes[1])
+	}
+	if ds.GWeights[1] != 2 {
+		t.Fatalf("GWeights = %v", ds.GWeights)
+	}
+	if ds.Value(0, 0) != 0.43 {
+		t.Fatalf("Value(0,0) = %v", ds.Value(0, 0))
+	}
+	if !math.IsNaN(ds.Value(1, 1)) {
+		t.Fatal("empty cell should be missing")
+	}
+	if !math.IsNaN(ds.Value(2, 0)) {
+		t.Fatal("NA cell should be missing")
+	}
+}
+
+func TestReadPCLWithoutGweight(t *testing.T) {
+	in := "ID\tNAME\texp1\texp2\nG1\tN1\t1\t2\n"
+	ds, err := ReadPCL(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumExperiments() != 2 || ds.Value(0, 1) != 2 {
+		t.Fatalf("parsed wrong: %v", ds.Data)
+	}
+}
+
+func TestReadPCLErrors(t *testing.T) {
+	if _, err := ReadPCL(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReadPCL(strings.NewReader("ID\n"), "x"); err == nil {
+		t.Fatal("short header should error")
+	}
+	bad := "ID\tNAME\tGWEIGHT\te1\nG1\tN\t1\tnot-a-number\n"
+	if _, err := ReadPCL(strings.NewReader(bad), "x"); err == nil {
+		t.Fatal("bad cell should error")
+	}
+	dup := "ID\tNAME\tGWEIGHT\te1\nG1\tN\t1\t1\nG1\tN\t1\t2\n"
+	if _, err := ReadPCL(strings.NewReader(dup), "x"); err == nil {
+		t.Fatal("duplicate ID should error")
+	}
+}
+
+func TestPCLRoundTrip(t *testing.T) {
+	ds, err := ReadPCL(strings.NewReader(samplePCL), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePCL(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPCL(&buf, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, ds, back)
+}
+
+func assertDatasetsEqual(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if a.NumGenes() != b.NumGenes() || a.NumExperiments() != b.NumExperiments() {
+		t.Fatalf("dims %dx%d vs %dx%d", a.NumGenes(), a.NumExperiments(), b.NumGenes(), b.NumExperiments())
+	}
+	for i := range a.Experiments {
+		if a.Experiments[i] != b.Experiments[i] {
+			t.Fatalf("experiment %d: %q vs %q", i, a.Experiments[i], b.Experiments[i])
+		}
+		if math.Abs(a.EWeights[i]-b.EWeights[i]) > 1e-9 {
+			t.Fatalf("eweight %d: %v vs %v", i, a.EWeights[i], b.EWeights[i])
+		}
+	}
+	for g := range a.Genes {
+		if a.Genes[g] != b.Genes[g] {
+			t.Fatalf("gene %d: %+v vs %+v", g, a.Genes[g], b.Genes[g])
+		}
+		if math.Abs(a.GWeights[g]-b.GWeights[g]) > 1e-9 {
+			t.Fatalf("gweight %d: %v vs %v", g, a.GWeights[g], b.GWeights[g])
+		}
+		for e := range a.Experiments {
+			av, bv := a.Value(g, e), b.Value(g, e)
+			if math.IsNaN(av) != math.IsNaN(bv) {
+				t.Fatalf("missingness mismatch at (%d,%d): %v vs %v", g, e, av, bv)
+			}
+			if !math.IsNaN(av) && math.Abs(av-bv) > 1e-6 {
+				t.Fatalf("value (%d,%d): %v vs %v", g, e, av, bv)
+			}
+		}
+	}
+}
+
+func TestPCLRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nG, nE := r.Intn(30)+1, r.Intn(10)+1
+		exps := make([]string, nE)
+		for i := range exps {
+			exps[i] = "exp" + string(rune('A'+i))
+		}
+		ds := NewDataset("rand", exps)
+		for i := range ds.EWeights {
+			ds.EWeights[i] = float64(r.Intn(4)) + 0.5
+		}
+		for g := 0; g < nG; g++ {
+			vals := make([]float64, nE)
+			for e := range vals {
+				if r.Float64() < 0.15 {
+					vals[e] = Missing
+				} else {
+					vals[e] = math.Round(r.NormFloat64()*1000) / 1000
+				}
+			}
+			gene := Gene{ID: GeneLeafID(g), Name: "N" + GeneLeafID(g)}
+			if r.Float64() < 0.5 {
+				gene.Annotation = "some description here"
+			}
+			if err := ds.AddGene(gene, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WritePCL(&buf, ds); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPCL(&buf, "rand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertDatasetsEqual(t, ds, back)
+	}
+}
+
+func TestCDTRoundTrip(t *testing.T) {
+	ds, err := ReadPCL(strings.NewReader(samplePCL), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &CDT{Dataset: ds,
+		GIDs: []string{"GENE0X", "GENE1X", "GENE2X"},
+		AIDs: []string{"ARRY0X", "ARRY1X", "ARRY2X"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCDT(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCDT(&buf, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, ds, back.Dataset)
+	for i := range c.GIDs {
+		if back.GIDs[i] != c.GIDs[i] {
+			t.Fatalf("GIDs = %v", back.GIDs)
+		}
+	}
+	for i := range c.AIDs {
+		if back.AIDs[i] != c.AIDs[i] {
+			t.Fatalf("AIDs = %v", back.AIDs)
+		}
+	}
+}
+
+func TestCDTWithoutTrees(t *testing.T) {
+	ds, _ := ReadPCL(strings.NewReader(samplePCL), "sample")
+	c := &CDT{Dataset: ds}
+	var buf bytes.Buffer
+	if err := WriteCDT(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCDT(&buf, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GIDs != nil || back.AIDs != nil {
+		t.Fatalf("expected no tree IDs, got %v / %v", back.GIDs, back.AIDs)
+	}
+	assertDatasetsEqual(t, ds, back.Dataset)
+}
+
+func TestWriteCDTValidation(t *testing.T) {
+	ds, _ := ReadPCL(strings.NewReader(samplePCL), "sample")
+	c := &CDT{Dataset: ds, GIDs: []string{"only-one"}}
+	var buf bytes.Buffer
+	if err := WriteCDT(&buf, c); err == nil {
+		t.Fatal("mismatched GIDs should error")
+	}
+	c = &CDT{Dataset: ds, AIDs: []string{"only-one"}}
+	if err := WriteCDT(&buf, c); err == nil {
+		t.Fatal("mismatched AIDs should error")
+	}
+}
+
+func TestLeafIDFormat(t *testing.T) {
+	if GeneLeafID(3) != "GENE3X" || ArrayLeafID(0) != "ARRY0X" {
+		t.Fatalf("leaf IDs: %s %s", GeneLeafID(3), ArrayLeafID(0))
+	}
+}

@@ -1,0 +1,135 @@
+package microarray
+
+import (
+	"math"
+
+	"forestview/internal/stats"
+)
+
+// Transforms mirror the Cluster 3.0 "Adjust Data" operations applied before
+// clustering and visualization: log transform, median centering of rows or
+// columns, and row normalization. All operate in place and skip missing
+// values.
+
+// LogTransform replaces every positive value with log2(value). Zero and
+// negative values (meaningless as raw intensities) become missing, matching
+// Cluster 3.0.
+func (d *Dataset) LogTransform() {
+	for _, row := range d.Data {
+		for i, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v <= 0 {
+				row[i] = Missing
+				continue
+			}
+			row[i] = math.Log2(v)
+		}
+	}
+}
+
+// MedianCenterGenes subtracts each row's median from the row, the standard
+// preprocessing for comparing expression shapes across genes.
+func (d *Dataset) MedianCenterGenes() {
+	for _, row := range d.Data {
+		m := stats.Median(row)
+		if math.IsNaN(m) {
+			continue
+		}
+		for i, v := range row {
+			if !math.IsNaN(v) {
+				row[i] = v - m
+			}
+		}
+	}
+}
+
+// MeanCenterGenes subtracts each row's mean from the row.
+func (d *Dataset) MeanCenterGenes() {
+	for _, row := range d.Data {
+		m := stats.Mean(row)
+		if math.IsNaN(m) {
+			continue
+		}
+		for i, v := range row {
+			if !math.IsNaN(v) {
+				row[i] = v - m
+			}
+		}
+	}
+}
+
+// MedianCenterArrays subtracts each column's median from the column,
+// removing per-hybridization intensity bias.
+func (d *Dataset) MedianCenterArrays() {
+	for e := 0; e < d.NumExperiments(); e++ {
+		col := d.Column(e)
+		m := stats.Median(col)
+		if math.IsNaN(m) {
+			continue
+		}
+		for g := range d.Data {
+			if !math.IsNaN(d.Data[g][e]) {
+				d.Data[g][e] -= m
+			}
+		}
+	}
+}
+
+// NormalizeGenes scales each row to unit Euclidean norm.
+func (d *Dataset) NormalizeGenes() {
+	for _, row := range d.Data {
+		stats.Normalize(row)
+	}
+}
+
+// ZTransformGenes replaces each row with its z-scores, the preprocessing
+// SPELL applies dataset-by-dataset so correlations are comparable across
+// studies with different dynamic ranges.
+func (d *Dataset) ZTransformGenes() {
+	for g, row := range d.Data {
+		d.Data[g] = stats.ZScores(row)
+	}
+}
+
+// FilterGenes returns the row indices of genes that pass the Cluster 3.0
+// style filter: at least minPresent observed values and at least one value
+// with absolute magnitude >= minAbs.
+func (d *Dataset) FilterGenes(minPresent int, minAbs float64) []int {
+	var keep []int
+	for g, row := range d.Data {
+		present := 0
+		maxAbs := 0.0
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			present++
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if present >= minPresent && maxAbs >= minAbs {
+			keep = append(keep, g)
+		}
+	}
+	return keep
+}
+
+// ImputeRowMean fills missing cells with their row mean, a simple
+// imputation used before algorithms that cannot tolerate missing values.
+// Rows that are entirely missing are filled with zeros.
+func (d *Dataset) ImputeRowMean() {
+	for _, row := range d.Data {
+		m := stats.Mean(row)
+		if math.IsNaN(m) {
+			m = 0
+		}
+		for i, v := range row {
+			if math.IsNaN(v) {
+				row[i] = m
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package microarray
+
+import (
+	"math"
+	"testing"
+
+	"forestview/internal/stats"
+)
+
+func TestLogTransform(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c", "d"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{8, 1, 0, -2})
+	ds.LogTransform()
+	row := ds.Row(0)
+	if row[0] != 3 || row[1] != 0 {
+		t.Fatalf("log transform = %v", row)
+	}
+	if !math.IsNaN(row[2]) || !math.IsNaN(row[3]) {
+		t.Fatal("non-positive values must become missing")
+	}
+}
+
+func TestMedianCenterGenes(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{1, 2, 6})
+	ds.MedianCenterGenes()
+	row := ds.Row(0)
+	if row[0] != -1 || row[1] != 0 || row[2] != 4 {
+		t.Fatalf("median centered = %v", row)
+	}
+}
+
+func TestMeanCenterGenes(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{1, 2, 3})
+	ds.MeanCenterGenes()
+	if m := stats.Mean(ds.Row(0)); math.Abs(m) > 1e-12 {
+		t.Fatalf("mean after centering = %v", m)
+	}
+}
+
+func TestMedianCenterArrays(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{1, 10})
+	_ = ds.AddGene(Gene{ID: "G2"}, []float64{3, 20})
+	_ = ds.AddGene(Gene{ID: "G3"}, []float64{5, 30})
+	ds.MedianCenterArrays()
+	if ds.Value(0, 0) != -2 || ds.Value(2, 0) != 2 {
+		t.Fatalf("col 0 = %v %v %v", ds.Value(0, 0), ds.Value(1, 0), ds.Value(2, 0))
+	}
+	if ds.Value(0, 1) != -10 || ds.Value(1, 1) != 0 {
+		t.Fatalf("col 1 = %v %v", ds.Value(0, 1), ds.Value(1, 1))
+	}
+}
+
+func TestNormalizeGenes(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{3, 4})
+	ds.NormalizeGenes()
+	row := ds.Row(0)
+	norm := math.Sqrt(row[0]*row[0] + row[1]*row[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("norm = %v", norm)
+	}
+}
+
+func TestZTransformGenes(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{10, 20, 30})
+	_ = ds.AddGene(Gene{ID: "G2"}, []float64{5, 5, 5})
+	ds.ZTransformGenes()
+	if m := stats.Mean(ds.Row(0)); math.Abs(m) > 1e-12 {
+		t.Fatalf("z mean = %v", m)
+	}
+	for _, v := range ds.Row(1) {
+		if v != 0 {
+			t.Fatal("flat row should z-transform to zeros")
+		}
+	}
+}
+
+func TestFilterGenes(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{2, -2, 1})            // passes
+	_ = ds.AddGene(Gene{ID: "G2"}, []float64{0.1, 0.1, 0.1})       // fails minAbs
+	_ = ds.AddGene(Gene{ID: "G3"}, []float64{5, Missing, Missing}) // fails minPresent
+	keep := ds.FilterGenes(2, 1.0)
+	if len(keep) != 1 || keep[0] != 0 {
+		t.Fatalf("FilterGenes = %v", keep)
+	}
+}
+
+func TestImputeRowMean(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{1, Missing, 3})
+	_ = ds.AddGene(Gene{ID: "G2"}, []float64{Missing, Missing, Missing})
+	ds.ImputeRowMean()
+	if ds.Value(0, 1) != 2 {
+		t.Fatalf("imputed = %v", ds.Value(0, 1))
+	}
+	for _, v := range ds.Row(1) {
+		if v != 0 {
+			t.Fatal("all-missing row should impute to zeros")
+		}
+	}
+}
+
+func TestTransformsSkipMissing(t *testing.T) {
+	ds := NewDataset("x", []string{"a", "b", "c"})
+	_ = ds.AddGene(Gene{ID: "G1"}, []float64{1, Missing, 3})
+	ds.MedianCenterGenes()
+	if !math.IsNaN(ds.Value(0, 1)) {
+		t.Fatal("centering must not fill missing cells")
+	}
+	ds.ZTransformGenes()
+	if !math.IsNaN(ds.Value(0, 1)) {
+		t.Fatal("z-transform must not fill missing cells")
+	}
+}

@@ -1,0 +1,61 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Gene-association files map genes to terms, one pair per line:
+//
+//	YAL001C	GO:0008150
+//
+// This is a minimal cousin of the GO Consortium's GAF format carrying just
+// the columns the tool chain uses. Lines starting with '!' or '#' are
+// comments, as in GAF.
+
+// ReadAssociations parses an association stream into direct annotations.
+func ReadAssociations(r io.Reader) (*Annotations, error) {
+	a := NewAnnotations()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ontology: association line %d has %d fields, want 2", lineNo, len(fields))
+		}
+		gene := strings.TrimSpace(fields[0])
+		term := strings.TrimSpace(fields[1])
+		if gene == "" || term == "" {
+			return nil, fmt.Errorf("ontology: association line %d has empty field", lineNo)
+		}
+		a.Add(gene, term)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: reading associations: %w", err)
+	}
+	return a, nil
+}
+
+// WriteAssociations serializes annotations, genes in insertion order, terms
+// sorted per gene.
+func WriteAssociations(w io.Writer, a *Annotations) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "! gene associations")
+	genes := a.Genes()
+	sort.Strings(genes)
+	for _, g := range genes {
+		for _, t := range a.TermsOf(g) {
+			fmt.Fprintf(bw, "%s\t%s\n", g, t)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,119 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadOBO parses the OBO 1.2 flat format the GO Consortium distributes.
+// Only the fields the tool chain uses are retained: id, name, namespace,
+// is_a, relationship: part_of, is_obsolete. Unknown tags are ignored, as
+// OBO consumers are expected to do.
+func ReadOBO(r io.Reader) (*Ontology, error) {
+	o := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var cur *Term
+	inTerm := false
+	flush := func() error {
+		if cur != nil {
+			if err := o.AddTerm(cur); err != nil {
+				return err
+			}
+		}
+		cur = nil
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "[Term]":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &Term{}
+			inTerm = true
+			continue
+		case strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]"):
+			// Other stanza types ([Typedef] etc.) end the current term.
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inTerm = false
+			continue
+		case line == "" || strings.HasPrefix(line, "!"):
+			continue
+		}
+		if !inTerm || cur == nil {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		// Strip trailing OBO comments ("GO:0008150 ! biological_process").
+		if i := strings.Index(val, "!"); i >= 0 {
+			val = strings.TrimSpace(val[:i])
+		}
+		switch strings.TrimSpace(key) {
+		case "id":
+			cur.ID = val
+		case "name":
+			cur.Name = val
+		case "namespace":
+			cur.Namespace = val
+		case "is_a":
+			cur.Parents = append(cur.Parents, val)
+		case "relationship":
+			// "relationship: part_of GO:0044237".
+			parts := strings.Fields(val)
+			if len(parts) == 2 && parts[0] == "part_of" {
+				cur.Parents = append(cur.Parents, parts[1])
+			}
+		case "is_obsolete":
+			cur.Obsolete = strings.EqualFold(val, "true")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: reading OBO: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WriteOBO serializes the ontology in OBO format, terms in insertion order.
+func WriteOBO(w io.Writer, o *Ontology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "format-version: 1.2\n")
+	for _, id := range o.ordered {
+		t := o.terms[id]
+		fmt.Fprintf(bw, "\n[Term]\nid: %s\nname: %s\n", t.ID, t.Name)
+		if t.Namespace != "" {
+			fmt.Fprintf(bw, "namespace: %s\n", t.Namespace)
+		}
+		parents := append([]string(nil), t.Parents...)
+		sort.Strings(parents)
+		for _, p := range parents {
+			pn := ""
+			if pt := o.terms[p]; pt != nil {
+				pn = " ! " + pt.Name
+			}
+			fmt.Fprintf(bw, "is_a: %s%s\n", p, pn)
+		}
+		if t.Obsolete {
+			fmt.Fprintf(bw, "is_obsolete: true\n")
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,361 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// diamond builds the classic DAG:
+//
+//	  root
+//	 /    \
+//	a      b
+//	 \    /
+//	  leaf
+func diamond(t *testing.T) *Ontology {
+	t.Helper()
+	o := New()
+	for _, term := range []*Term{
+		{ID: "GO:1", Name: "root", Namespace: "biological_process"},
+		{ID: "GO:2", Name: "a", Parents: []string{"GO:1"}},
+		{ID: "GO:3", Name: "b", Parents: []string{"GO:1"}},
+		{ID: "GO:4", Name: "leaf", Parents: []string{"GO:2", "GO:3"}},
+	} {
+		if err := o.AddTerm(term); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestAddTermAndLookup(t *testing.T) {
+	o := diamond(t)
+	if o.Len() != 4 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	if o.Term("GO:2").Name != "a" {
+		t.Fatalf("term = %+v", o.Term("GO:2"))
+	}
+	if o.Term("GO:99") != nil {
+		t.Fatal("unknown term should be nil")
+	}
+	if err := o.AddTerm(&Term{}); err == nil {
+		t.Fatal("empty ID should error")
+	}
+}
+
+func TestAddTermReplace(t *testing.T) {
+	o := diamond(t)
+	// Re-add GO:4 with a single parent; the old GO:3 edge must disappear.
+	if err := o.AddTerm(&Term{ID: "GO:4", Name: "leaf2", Parents: []string{"GO:2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 4 {
+		t.Fatalf("replace grew ontology: %d", o.Len())
+	}
+	kids := o.Children("GO:3")
+	if len(kids) != 0 {
+		t.Fatalf("GO:3 children = %v, want none", kids)
+	}
+	anc := o.Ancestors("GO:4")
+	if len(anc) != 2 { // GO:2 and GO:1
+		t.Fatalf("ancestors = %v", anc)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	o := diamond(t)
+	anc := o.Ancestors("GO:4")
+	if len(anc) != 3 {
+		t.Fatalf("leaf ancestors = %v", anc)
+	}
+	if anc[0] != "GO:1" || anc[1] != "GO:2" || anc[2] != "GO:3" {
+		t.Fatalf("leaf ancestors = %v", anc)
+	}
+	desc := o.Descendants("GO:1")
+	if len(desc) != 3 {
+		t.Fatalf("root descendants = %v", desc)
+	}
+	if o.Ancestors("GO:99") != nil || o.Descendants("GO:99") != nil {
+		t.Fatal("unknown IDs should yield nil")
+	}
+	if len(o.Ancestors("GO:1")) != 0 {
+		t.Fatal("root has no ancestors")
+	}
+}
+
+func TestRootsAndDepth(t *testing.T) {
+	o := diamond(t)
+	roots := o.Roots()
+	if len(roots) != 1 || roots[0] != "GO:1" {
+		t.Fatalf("roots = %v", roots)
+	}
+	if d := o.Depth("GO:1"); d != 0 {
+		t.Fatalf("root depth = %d", d)
+	}
+	if d := o.Depth("GO:4"); d != 2 {
+		t.Fatalf("leaf depth = %d", d)
+	}
+	if d := o.Depth("GO:99"); d != -1 {
+		t.Fatalf("unknown depth = %d", d)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	o := diamond(t)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dangling parent.
+	bad := New()
+	_ = bad.AddTerm(&Term{ID: "GO:1", Parents: []string{"GO:404"}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dangling parent should fail")
+	}
+	// Cycle.
+	cyc := New()
+	_ = cyc.AddTerm(&Term{ID: "A", Parents: []string{"B"}})
+	_ = cyc.AddTerm(&Term{ID: "B", Parents: []string{"A"}})
+	if err := cyc.Validate(); err == nil {
+		t.Fatal("cycle should fail")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	o := diamond(t)
+	order, err := o.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range o.TermIDs() {
+		for _, p := range o.Parents(id) {
+			if pos[p] > pos[id] {
+				t.Fatalf("parent %s after child %s in %v", p, id, order)
+			}
+		}
+	}
+	cyc := New()
+	_ = cyc.AddTerm(&Term{ID: "A", Parents: []string{"B"}})
+	_ = cyc.AddTerm(&Term{ID: "B", Parents: []string{"A"}})
+	if _, err := cyc.TopologicalOrder(); err == nil {
+		t.Fatal("cycle should fail topological sort")
+	}
+}
+
+const sampleOBO = `format-version: 1.2
+date: 01:01:2007
+
+[Term]
+id: GO:0008150
+name: biological_process
+namespace: biological_process
+
+[Term]
+id: GO:0006950
+name: response to stress
+namespace: biological_process
+is_a: GO:0008150 ! biological_process
+
+[Term]
+id: GO:0009408
+name: response to heat
+namespace: biological_process
+is_a: GO:0006950 ! response to stress
+relationship: part_of GO:0008150
+
+[Term]
+id: GO:0000001
+name: obsolete thing
+is_obsolete: true
+
+[Typedef]
+id: part_of
+name: part of
+`
+
+func TestReadOBO(t *testing.T) {
+	o, err := ReadOBO(strings.NewReader(sampleOBO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 4 {
+		t.Fatalf("terms = %d", o.Len())
+	}
+	heat := o.Term("GO:0009408")
+	if heat == nil || heat.Name != "response to heat" {
+		t.Fatalf("heat = %+v", heat)
+	}
+	// is_a + part_of both captured as parents.
+	if len(heat.Parents) != 2 {
+		t.Fatalf("heat parents = %v", heat.Parents)
+	}
+	if !o.Term("GO:0000001").Obsolete {
+		t.Fatal("obsolete flag lost")
+	}
+	// Obsolete, parentless terms are not roots.
+	roots := o.Roots()
+	if len(roots) != 1 || roots[0] != "GO:0008150" {
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+func TestOBORoundTrip(t *testing.T) {
+	o, err := ReadOBO(strings.NewReader(sampleOBO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOBO(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOBO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != o.Len() {
+		t.Fatalf("round trip lost terms: %d vs %d", back.Len(), o.Len())
+	}
+	for _, id := range o.TermIDs() {
+		a, b := o.Term(id), back.Term(id)
+		if b == nil {
+			t.Fatalf("term %s lost", id)
+		}
+		if a.Name != b.Name || a.Obsolete != b.Obsolete || len(a.Parents) != len(b.Parents) {
+			t.Fatalf("term %s changed: %+v vs %+v", id, a, b)
+		}
+	}
+}
+
+func TestReadOBOBadParent(t *testing.T) {
+	in := "[Term]\nid: GO:1\nname: x\nis_a: GO:404\n"
+	if _, err := ReadOBO(strings.NewReader(in)); err == nil {
+		t.Fatal("dangling is_a should fail validation")
+	}
+}
+
+func TestAnnotationsBasics(t *testing.T) {
+	a := NewAnnotations()
+	a.Add("g1", "GO:4")
+	a.Add("g1", "GO:4") // duplicate is idempotent
+	a.Add("g2", "GO:2")
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if terms := a.TermsOf("g1"); len(terms) != 1 || terms[0] != "GO:4" {
+		t.Fatalf("TermsOf = %v", terms)
+	}
+	if !a.Has("g1", "GO:4") || a.Has("g1", "GO:2") {
+		t.Fatal("Has misbehaves")
+	}
+	genes := a.Genes()
+	if len(genes) != 2 || genes[0] != "g1" {
+		t.Fatalf("Genes = %v", genes)
+	}
+}
+
+func TestAnnotationsPropagate(t *testing.T) {
+	o := diamond(t)
+	a := NewAnnotations()
+	a.Add("g1", "GO:4")
+	p := a.Propagate(o)
+	// g1 must now carry GO:4 and all ancestors GO:2, GO:3, GO:1.
+	terms := p.TermsOf("g1")
+	if len(terms) != 4 {
+		t.Fatalf("propagated terms = %v", terms)
+	}
+	// The original is untouched.
+	if len(a.TermsOf("g1")) != 1 {
+		t.Fatal("Propagate must not mutate the source")
+	}
+}
+
+func TestGenesPerTerm(t *testing.T) {
+	o := diamond(t)
+	a := NewAnnotations()
+	a.Add("g1", "GO:4")
+	a.Add("g2", "GO:2")
+	inv := a.Propagate(o).GenesPerTerm()
+	if len(inv["GO:1"]) != 2 {
+		t.Fatalf("root genes = %v", inv["GO:1"])
+	}
+	if len(inv["GO:4"]) != 1 || !inv["GO:4"]["g1"] {
+		t.Fatalf("leaf genes = %v", inv["GO:4"])
+	}
+	if len(inv["GO:2"]) != 2 { // g1 via propagation, g2 direct
+		t.Fatalf("GO:2 genes = %v", inv["GO:2"])
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	leaves := []string{"heat shock", "glycolysis", "cell cycle", "DNA repair",
+		"ribosome biogenesis", "autophagy", "mating", "sporulation"}
+	o, leafOf, err := Synthetic(SyntheticSpec{LeafNames: leaves, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(leafOf) != len(leaves) {
+		t.Fatalf("leafOf = %d entries", len(leafOf))
+	}
+	roots := o.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v", roots)
+	}
+	for name, id := range leafOf {
+		term := o.Term(id)
+		if term == nil || term.Name != name {
+			t.Fatalf("leaf %q -> %v", name, term)
+		}
+		// Every leaf reaches the root.
+		anc := o.Ancestors(id)
+		foundRoot := false
+		for _, a := range anc {
+			if a == roots[0] {
+				foundRoot = true
+			}
+		}
+		if !foundRoot {
+			t.Fatalf("leaf %q does not reach the root", name)
+		}
+	}
+	if _, _, err := Synthetic(SyntheticSpec{}); err == nil {
+		t.Fatal("no leaves should error")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	leaves := []string{"a", "b", "c", "d"}
+	o1, l1, _ := Synthetic(SyntheticSpec{LeafNames: leaves, Seed: 5})
+	o2, l2, _ := Synthetic(SyntheticSpec{LeafNames: leaves, Seed: 5})
+	if o1.Len() != o2.Len() {
+		t.Fatal("same seed, different sizes")
+	}
+	for k, v := range l1 {
+		if l2[k] != v {
+			t.Fatal("same seed, different leaf mapping")
+		}
+	}
+}
+
+func TestAnnotateFromModules(t *testing.T) {
+	genes := map[string][]string{
+		"g1": {"heat shock"},
+		"g2": {"glycolysis"},
+		"g3": {"unknown module"},
+	}
+	leafOf := map[string]string{"heat shock": "GO:10", "glycolysis": "GO:11"}
+	a := AnnotateFromModules(genes, leafOf)
+	if !a.Has("g1", "GO:10") || !a.Has("g2", "GO:11") {
+		t.Fatal("annotations missing")
+	}
+	if len(a.TermsOf("g3")) != 0 {
+		t.Fatal("unknown module should not annotate")
+	}
+}

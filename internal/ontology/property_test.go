@@ -1,0 +1,151 @@
+package ontology
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random layered DAG with n terms; parents always have
+// smaller indices so the graph is acyclic by construction.
+func randomDAG(seed int64, n int) *Ontology {
+	r := rand.New(rand.NewSource(seed))
+	o := New()
+	for i := 0; i < n; i++ {
+		t := &Term{ID: fmt.Sprintf("T%03d", i), Name: fmt.Sprintf("term %d", i)}
+		if i > 0 {
+			nParents := 1 + r.Intn(2)
+			seen := map[int]bool{}
+			for p := 0; p < nParents; p++ {
+				pi := r.Intn(i)
+				if !seen[pi] {
+					seen[pi] = true
+					t.Parents = append(t.Parents, fmt.Sprintf("T%03d", pi))
+				}
+			}
+		}
+		if err := o.AddTerm(t); err != nil {
+			panic(err)
+		}
+	}
+	return o
+}
+
+// Property: ancestor/descendant duality — b ∈ Ancestors(a) ⇔ a ∈
+// Descendants(b).
+func TestQuickAncestorDescendantDuality(t *testing.T) {
+	f := func(seed int64, nBits uint8) bool {
+		n := int(nBits%20) + 3
+		o := randomDAG(seed, n)
+		if o.Validate() != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed + 1))
+		for trial := 0; trial < 5; trial++ {
+			a := fmt.Sprintf("T%03d", r.Intn(n))
+			for _, b := range o.Ancestors(a) {
+				found := false
+				for _, d := range o.Descendants(b) {
+					if d == a {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: depth is consistent with the parent relation — every child is
+// strictly deeper than each of its parents.
+func TestQuickDepthMonotone(t *testing.T) {
+	f := func(seed int64, nBits uint8) bool {
+		n := int(nBits%20) + 3
+		o := randomDAG(seed, n)
+		for _, id := range o.TermIDs() {
+			d := o.Depth(id)
+			for _, p := range o.Parents(id) {
+				if o.Depth(p) >= d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: propagation is idempotent — propagating an already-propagated
+// annotation set changes nothing.
+func TestQuickPropagateIdempotent(t *testing.T) {
+	f := func(seed int64, nBits, gBits uint8) bool {
+		n := int(nBits%15) + 3
+		o := randomDAG(seed, n)
+		r := rand.New(rand.NewSource(seed + 2))
+		a := NewAnnotations()
+		nGenes := int(gBits%10) + 1
+		for g := 0; g < nGenes; g++ {
+			a.Add(fmt.Sprintf("g%d", g), fmt.Sprintf("T%03d", r.Intn(n)))
+		}
+		p1 := a.Propagate(o)
+		p2 := p1.Propagate(o)
+		if p1.Len() != p2.Len() {
+			return false
+		}
+		for _, g := range p1.Genes() {
+			t1, t2 := p1.TermsOf(g), p2.TermsOf(g)
+			if len(t1) != len(t2) {
+				return false
+			}
+			for i := range t1 {
+				if t1[i] != t2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OBO round trip preserves the graph for random DAGs.
+func TestQuickOBORoundTrip(t *testing.T) {
+	f := func(seed int64, nBits uint8) bool {
+		n := int(nBits%15) + 2
+		o := randomDAG(seed, n)
+		var buf bytes.Buffer
+		if err := WriteOBO(&buf, o); err != nil {
+			return false
+		}
+		back, err := ReadOBO(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != o.Len() {
+			return false
+		}
+		for _, id := range o.TermIDs() {
+			a, b := o.Term(id), back.Term(id)
+			if b == nil || a.Name != b.Name || len(a.Parents) != len(b.Parents) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package ontology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SyntheticSpec parameterizes the synthetic GO builder.
+type SyntheticSpec struct {
+	// LeafNames become the leaf terms (e.g. the module names of a
+	// synth.Universe, so ground-truth enrichment is known).
+	LeafNames []string
+	// IntermediateLevels inserts this many layers of grouping terms
+	// between the root and the leaves (default 2).
+	IntermediateLevels int
+	// FanOut is the approximate number of children per intermediate term
+	// (default 4).
+	FanOut int
+	// MultiParentFraction is the fraction of terms given a second parent,
+	// making the graph a proper DAG rather than a tree (default 0.2).
+	MultiParentFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Synthetic builds a GO-like DAG: a biological_process root, layered
+// intermediate terms, and one leaf term per LeafName. Term IDs follow the
+// GO accession format. The returned map gives LeafName -> leaf term ID so
+// callers can wire gene annotations to ground truth.
+func Synthetic(spec SyntheticSpec) (*Ontology, map[string]string, error) {
+	if len(spec.LeafNames) == 0 {
+		return nil, nil, fmt.Errorf("ontology: synthetic GO needs at least one leaf name")
+	}
+	if spec.IntermediateLevels <= 0 {
+		spec.IntermediateLevels = 2
+	}
+	if spec.FanOut <= 1 {
+		spec.FanOut = 4
+	}
+	if spec.MultiParentFraction < 0 || spec.MultiParentFraction >= 1 {
+		spec.MultiParentFraction = 0.2
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	o := New()
+	next := 8150 // start near the real biological_process accession
+	newID := func() string {
+		id := fmt.Sprintf("GO:%07d", next)
+		next++
+		return id
+	}
+
+	root := &Term{ID: newID(), Name: "biological_process", Namespace: "biological_process"}
+	if err := o.AddTerm(root); err != nil {
+		return nil, nil, err
+	}
+
+	// Build intermediate layers top-down.
+	prev := []string{root.ID}
+	for lvl := 0; lvl < spec.IntermediateLevels; lvl++ {
+		// Enough nodes that the bottom layer can parent every leaf with
+		// roughly FanOut leaves each.
+		want := len(spec.LeafNames) / pow(spec.FanOut, spec.IntermediateLevels-lvl)
+		if want < len(prev) {
+			want = len(prev)
+		}
+		if want < 2 {
+			want = 2
+		}
+		layer := make([]string, 0, want)
+		for i := 0; i < want; i++ {
+			t := &Term{
+				ID:        newID(),
+				Name:      fmt.Sprintf("process group L%d.%d", lvl+1, i+1),
+				Namespace: "biological_process",
+				Parents:   []string{prev[rng.Intn(len(prev))]},
+			}
+			if rng.Float64() < spec.MultiParentFraction && len(prev) > 1 {
+				p2 := prev[rng.Intn(len(prev))]
+				if p2 != t.Parents[0] {
+					t.Parents = append(t.Parents, p2)
+				}
+			}
+			if err := o.AddTerm(t); err != nil {
+				return nil, nil, err
+			}
+			layer = append(layer, t.ID)
+		}
+		prev = layer
+	}
+
+	leafOf := make(map[string]string, len(spec.LeafNames))
+	for _, name := range spec.LeafNames {
+		t := &Term{
+			ID:        newID(),
+			Name:      name,
+			Namespace: "biological_process",
+			Parents:   []string{prev[rng.Intn(len(prev))]},
+		}
+		if rng.Float64() < spec.MultiParentFraction && len(prev) > 1 {
+			p2 := prev[rng.Intn(len(prev))]
+			if p2 != t.Parents[0] {
+				t.Parents = append(t.Parents, p2)
+			}
+		}
+		if err := o.AddTerm(t); err != nil {
+			return nil, nil, err
+		}
+		leafOf[name] = t.ID
+	}
+	if err := o.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return o, leafOf, nil
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// AnnotateFromModules converts gene->module-name assignments (the output of
+// synth.Universe.Annotations) into direct ontology annotations using the
+// leafOf map returned by Synthetic.
+func AnnotateFromModules(genes map[string][]string, leafOf map[string]string) *Annotations {
+	a := NewAnnotations()
+	// Deterministic iteration: sort gene IDs.
+	ids := make([]string, 0, len(genes))
+	for g := range genes {
+		ids = append(ids, g)
+	}
+	sort.Strings(ids)
+	for _, g := range ids {
+		for _, mod := range genes[g] {
+			if term, ok := leafOf[mod]; ok {
+				a.Add(g, term)
+			}
+		}
+	}
+	return a
+}

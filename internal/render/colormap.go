@@ -1,0 +1,146 @@
+package render
+
+import (
+	"image/color"
+	"math"
+)
+
+// ColorMap converts a log-ratio expression value into a display color. The
+// classic microarray convention is green (repressed) through black
+// (unchanged) to red (induced); TreeView also offered blue-yellow for the
+// red/green color-blind. Missing values render as neutral gray, visually
+// distinct from "measured as zero".
+type ColorMap int
+
+const (
+	// GreenBlackRed is the Eisen heatmap standard.
+	GreenBlackRed ColorMap = iota
+	// BlueYellow maps low to blue, high to yellow through black.
+	BlueYellow
+	// Grayscale maps low to black, high to white (useful for print).
+	Grayscale
+)
+
+// MissingColor is the color of unmeasured cells.
+var MissingColor = color.RGBA{R: 120, G: 120, B: 120, A: 255}
+
+// String names the colormap.
+func (m ColorMap) String() string {
+	switch m {
+	case GreenBlackRed:
+		return "green-black-red"
+	case BlueYellow:
+		return "blue-black-yellow"
+	case Grayscale:
+		return "grayscale"
+	default:
+		return "unknown"
+	}
+}
+
+// Map converts value v to a color, saturating at ±limit. NaN maps to
+// MissingColor. limit must be positive; a non-positive limit defaults to 2
+// (±2 log2 units ≈ 4-fold change, TreeView's default contrast).
+func (m ColorMap) Map(v, limit float64) color.RGBA {
+	if math.IsNaN(v) {
+		return MissingColor
+	}
+	if limit <= 0 {
+		limit = 2
+	}
+	t := v / limit
+	if t > 1 {
+		t = 1
+	}
+	if t < -1 {
+		t = -1
+	}
+	mag := uint8(math.Round(math.Abs(t) * 255))
+	switch m {
+	case BlueYellow:
+		if t >= 0 {
+			return color.RGBA{R: mag, G: mag, B: 0, A: 255}
+		}
+		return color.RGBA{R: 0, G: 0, B: mag, A: 255}
+	case Grayscale:
+		g := uint8(math.Round((t + 1) / 2 * 255))
+		return color.RGBA{R: g, G: g, B: g, A: 255}
+	default: // GreenBlackRed
+		if t >= 0 {
+			return color.RGBA{R: mag, G: 0, B: 0, A: 255}
+		}
+		return color.RGBA{R: 0, G: mag, B: 0, A: 255}
+	}
+}
+
+// Legend renders a horizontal color scale with tick labels into the rect,
+// used by pane footers.
+func (m ColorMap) Legend(c *Canvas, r Rect, limit float64, fg color.Color) {
+	if r.W <= 0 || r.H <= 0 {
+		return
+	}
+	barH := r.H
+	if barH > 10 {
+		barH = r.H - TextHeight(1) - 2
+	}
+	for x := 0; x < r.W; x++ {
+		t := (float64(x)/float64(maxInt(r.W-1, 1)))*2 - 1
+		col := m.Map(t*limit, limit)
+		c.VLine(r.X+x, r.Y, r.Y+barH-1, col)
+	}
+	if r.H > 10 {
+		c.DrawText(r.X, r.Y+barH+2, formatLimit(-limit), 1, fg)
+		mid := "0"
+		c.DrawText(r.X+r.W/2-TextWidth(mid, 1)/2, r.Y+barH+2, mid, 1, fg)
+		right := formatLimit(limit)
+		c.DrawText(r.X+r.W-TextWidth(right, 1), r.Y+barH+2, right, 1, fg)
+	}
+}
+
+func formatLimit(v float64) string {
+	// One decimal is plenty for a legend label.
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	whole := int(v)
+	tenth := int(math.Round((v - float64(whole)) * 10))
+	if tenth == 10 {
+		whole++
+		tenth = 0
+	}
+	s := itoa(whole) + "." + itoa(tenth)
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

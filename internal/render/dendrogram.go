@@ -1,0 +1,90 @@
+package render
+
+import (
+	"image/color"
+	"math"
+
+	"forestview/internal/cluster"
+)
+
+// Orientation places a dendrogram relative to its heatmap.
+type Orientation int
+
+const (
+	// LeftOfRows draws the gene tree to the left, leaves pointing right.
+	LeftOfRows Orientation = iota
+	// AboveColumns draws the array tree on top, leaves pointing down.
+	AboveColumns
+)
+
+// RenderDendrogram draws the tree into rect. Leaves line up with the
+// heatmap rows (or columns) they index: leaf i sits at the center of band i
+// of the rect's leaf axis, in *leaf order* (the caller renders the heatmap
+// in the same order). Merge heights map linearly onto the depth axis, root
+// at the far edge.
+func RenderDendrogram(c *Canvas, r Rect, t *cluster.Tree, o Orientation, fg color.Color) {
+	if t == nil || t.NLeaves == 0 || r.W <= 0 || r.H <= 0 {
+		return
+	}
+	order := t.LeafOrder()
+	leafBand := make(map[int]int, len(order)) // leaf -> band index in display order
+	for band, leaf := range order {
+		leafBand[leaf] = band
+	}
+	n := t.NLeaves
+	// Height scale: root (max height) at depth 0 of the rect, leaves at
+	// the heatmap edge.
+	maxH := 0.0
+	for _, m := range t.Merges {
+		if m.Height > maxH {
+			maxH = m.Height
+		}
+	}
+	if maxH == 0 {
+		maxH = 1
+	}
+
+	// Positions along the leaf axis (pixel centers) and depth axis.
+	leafPos := func(band int) int {
+		if o == LeftOfRows {
+			return r.Y + (2*band+1)*r.H/(2*n)
+		}
+		return r.X + (2*band+1)*r.W/(2*n)
+	}
+	depthPos := func(h float64) int {
+		frac := h / maxH
+		if frac > 1 {
+			frac = 1
+		}
+		if o == LeftOfRows {
+			// Leaves at right edge, root at left edge.
+			return r.X + r.W - 1 - int(math.Round(frac*float64(r.W-1)))
+		}
+		return r.Y + r.H - 1 - int(math.Round(frac*float64(r.H-1)))
+	}
+
+	// Compute each node's position: leaves at depth 0, internal nodes at
+	// their merge height, centered between children along the leaf axis.
+	type pt struct{ leafAxis, depthAxis int }
+	pos := make([]pt, n+len(t.Merges))
+	for leaf := 0; leaf < n; leaf++ {
+		pos[leaf] = pt{leafAxis: leafPos(leafBand[leaf]), depthAxis: depthPos(0)}
+	}
+	for i, m := range t.Merges {
+		a, b := pos[m.A], pos[m.B]
+		d := depthPos(m.Height)
+		node := pt{leafAxis: (a.leafAxis + b.leafAxis) / 2, depthAxis: d}
+		pos[n+i] = node
+		// Draw the bracket: two legs from children up to the merge depth,
+		// one rung connecting them.
+		if o == LeftOfRows {
+			c.HLine(d, a.depthAxis, a.leafAxis, fg)
+			c.HLine(d, b.depthAxis, b.leafAxis, fg)
+			c.VLine(d, a.leafAxis, b.leafAxis, fg)
+		} else {
+			c.VLine(a.leafAxis, d, a.depthAxis, fg)
+			c.VLine(b.leafAxis, d, b.depthAxis, fg)
+			c.HLine(a.leafAxis, b.leafAxis, d, fg)
+		}
+	}
+}

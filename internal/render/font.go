@@ -1,0 +1,160 @@
+package render
+
+import "image/color"
+
+// A fixed 5×7 bitmap font covering ASCII letters, digits and common
+// punctuation — enough for gene IDs, dataset names, axis labels and
+// p-values. Lowercase input renders as uppercase, the convention of early
+// scientific display systems (and perfectly legible on a projector wall).
+
+// GlyphWidth and GlyphHeight are the unscaled glyph cell dimensions; a
+// 1-pixel gap is added between characters.
+const (
+	GlyphWidth  = 5
+	GlyphHeight = 7
+)
+
+// font maps runes to 7 rows of 5-bit pixel patterns; bit 4 is the leftmost
+// pixel.
+var font = map[rune][7]byte{
+	' ':  {0, 0, 0, 0, 0, 0, 0},
+	'A':  {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'B':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110},
+	'C':  {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110},
+	'D':  {0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110},
+	'E':  {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111},
+	'F':  {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000},
+	'G':  {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111},
+	'H':  {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'I':  {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'J':  {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100},
+	'K':  {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001},
+	'L':  {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111},
+	'M':  {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001},
+	'N':  {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001},
+	'O':  {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'P':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000},
+	'Q':  {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101},
+	'R':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001},
+	'S':  {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110},
+	'T':  {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	'U':  {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'V':  {0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b01010, 0b00100},
+	'W':  {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b11011, 0b10001},
+	'X':  {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001},
+	'Y':  {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100},
+	'Z':  {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111},
+	'0':  {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+	'1':  {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'2':  {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+	'3':  {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+	'4':  {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+	'5':  {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+	'6':  {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+	'7':  {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+	'8':  {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+	'9':  {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+	'.':  {0, 0, 0, 0, 0, 0b00100, 0b00100},
+	',':  {0, 0, 0, 0, 0, 0b00100, 0b01000},
+	':':  {0, 0b00100, 0b00100, 0, 0b00100, 0b00100, 0},
+	';':  {0, 0b00100, 0b00100, 0, 0b00100, 0b01000, 0},
+	'-':  {0, 0, 0, 0b01110, 0, 0, 0},
+	'+':  {0, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0},
+	'*':  {0, 0b00100, 0b10101, 0b01110, 0b10101, 0b00100, 0},
+	'/':  {0b00001, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b10000},
+	'\\': {0b10000, 0b10000, 0b01000, 0b00100, 0b00010, 0b00001, 0b00001},
+	'(':  {0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010},
+	')':  {0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000},
+	'[':  {0b01110, 0b01000, 0b01000, 0b01000, 0b01000, 0b01000, 0b01110},
+	']':  {0b01110, 0b00010, 0b00010, 0b00010, 0b00010, 0b00010, 0b01110},
+	'%':  {0b11001, 0b11010, 0b00010, 0b00100, 0b01000, 0b01011, 0b10011},
+	'<':  {0b00010, 0b00100, 0b01000, 0b10000, 0b01000, 0b00100, 0b00010},
+	'>':  {0b01000, 0b00100, 0b00010, 0b00001, 0b00010, 0b00100, 0b01000},
+	'=':  {0, 0, 0b11111, 0, 0b11111, 0, 0},
+	'_':  {0, 0, 0, 0, 0, 0, 0b11111},
+	'\'': {0b00100, 0b00100, 0, 0, 0, 0, 0},
+	'"':  {0b01010, 0b01010, 0, 0, 0, 0, 0},
+	'|':  {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	'!':  {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0, 0b00100},
+	'?':  {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0, 0b00100},
+	'#':  {0b01010, 0b01010, 0b11111, 0b01010, 0b11111, 0b01010, 0b01010},
+}
+
+// glyphFor resolves a rune to its glyph, folding lowercase to uppercase and
+// unknown runes to '?'.
+func glyphFor(r rune) [7]byte {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	if g, ok := font[r]; ok {
+		return g
+	}
+	return font['?']
+}
+
+// TextWidth returns the pixel width of s at the given integer scale.
+func TextWidth(s string, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 0
+	for range s {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return n*(GlyphWidth+1)*scale - scale
+}
+
+// TextHeight returns the pixel height of one text line at the given scale.
+func TextHeight(scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	return GlyphHeight * scale
+}
+
+// DrawText renders s with its top-left corner at (x, y).
+func (c *Canvas) DrawText(x, y int, s string, scale int, col color.Color) {
+	if scale < 1 {
+		scale = 1
+	}
+	cx := x
+	for _, r := range s {
+		g := glyphFor(r)
+		for row := 0; row < GlyphHeight; row++ {
+			bits := g[row]
+			for px := 0; px < GlyphWidth; px++ {
+				if bits&(1<<(GlyphWidth-1-px)) == 0 {
+					continue
+				}
+				c.FillRect(cx+px*scale, y+row*scale, scale, scale, col)
+			}
+		}
+		cx += (GlyphWidth + 1) * scale
+	}
+}
+
+// DrawTextClipped renders s but stops before exceeding maxWidth pixels,
+// appending no ellipsis (labels in dense views just truncate).
+func (c *Canvas) DrawTextClipped(x, y int, s string, scale int, maxWidth int, col color.Color) {
+	if scale < 1 {
+		scale = 1
+	}
+	adv := (GlyphWidth + 1) * scale
+	fit := maxWidth / adv
+	i := 0
+	for range s {
+		i++
+	}
+	if fit >= i {
+		c.DrawText(x, y, s, scale, col)
+		return
+	}
+	if fit <= 0 {
+		return
+	}
+	runes := []rune(s)
+	c.DrawText(x, y, string(runes[:fit]), scale, col)
+}

@@ -1,0 +1,48 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"os"
+)
+
+// EncodePNG writes the canvas as PNG to w.
+func (c *Canvas) EncodePNG(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := png.Encode(bw, c.img); err != nil {
+		return fmt.Errorf("render: encoding PNG: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SavePNG writes the canvas to a file.
+func (c *Canvas) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	defer f.Close()
+	if err := c.EncodePNG(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// DecodePNG reads a PNG back into a canvas (tests use this to round-trip).
+func DecodePNG(r io.Reader) (*Canvas, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("render: decoding PNG: %w", err)
+	}
+	b := img.Bounds()
+	out := image.NewRGBA(image.Rect(0, 0, b.Dx(), b.Dy()))
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			out.Set(x, y, img.At(b.Min.X+x, b.Min.Y+y))
+		}
+	}
+	return FromImage(out), nil
+}

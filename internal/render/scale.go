@@ -1,0 +1,31 @@
+package render
+
+import "image/color"
+
+// Downscale returns a nearest-neighbour reduction of the canvas by an
+// integer factor — used to turn multi-hundred-megapixel wall composites
+// into reviewable thumbnails. A factor <= 1 returns a copy.
+func (c *Canvas) Downscale(factor int) *Canvas {
+	if factor <= 1 {
+		out := NewCanvas(c.Width(), c.Height(), color.RGBA{A: 255})
+		out.Blit(c.img, -c.offX, -c.offY)
+		return out
+	}
+	w := c.Width() / factor
+	h := c.Height() / factor
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewCanvas(w, h, color.RGBA{A: 255})
+	b := c.img.Bounds()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx, sy := b.Min.X+x*factor, b.Min.Y+y*factor
+			out.img.SetRGBA(x, y, c.img.RGBAAt(sx, sy))
+		}
+	}
+	return out
+}

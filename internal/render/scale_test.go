@@ -1,0 +1,72 @@
+package render
+
+import (
+	"image/color"
+	"testing"
+)
+
+func TestDownscale(t *testing.T) {
+	c := NewCanvas(8, 8, black)
+	c.FillRect(0, 0, 4, 4, red) // top-left quadrant red
+	small := c.Downscale(4)
+	if small.Width() != 2 || small.Height() != 2 {
+		t.Fatalf("downscaled dims = %dx%d", small.Width(), small.Height())
+	}
+	if small.At(0, 0) != red {
+		t.Fatalf("TL = %v", small.At(0, 0))
+	}
+	if small.At(1, 1) != black {
+		t.Fatalf("BR = %v", small.At(1, 1))
+	}
+}
+
+func TestDownscaleFactorOne(t *testing.T) {
+	c := NewCanvas(3, 3, red)
+	cp := c.Downscale(1)
+	if cp.Width() != 3 || cp.At(1, 1) != red {
+		t.Fatal("factor 1 should copy")
+	}
+	// Mutating the copy must not touch the original.
+	cp.Set(0, 0, color.RGBA{A: 255})
+	if c.At(0, 0) != red {
+		t.Fatal("Downscale(1) must copy, not alias")
+	}
+}
+
+func TestDownscaleTiny(t *testing.T) {
+	c := NewCanvas(3, 3, red)
+	small := c.Downscale(10)
+	if small.Width() != 1 || small.Height() != 1 {
+		t.Fatalf("tiny downscale dims = %dx%d", small.Width(), small.Height())
+	}
+	if small.At(0, 0) != red {
+		t.Fatal("tiny downscale pixel wrong")
+	}
+}
+
+func TestTranslatedDrawing(t *testing.T) {
+	c := NewCanvas(10, 10, black)
+	tr := c.Translated(3, 2)
+	tr.Set(0, 0, red) // lands at (3,2)
+	if c.At(3, 2) != red {
+		t.Fatal("translated Set missed")
+	}
+	if tr.At(0, 0) != red {
+		t.Fatal("translated At missed")
+	}
+	tr.FillRect(1, 1, 2, 2, white) // lands at (4,3)-(5,4)
+	if c.At(4, 3) != white || c.At(5, 4) != white {
+		t.Fatal("translated FillRect missed")
+	}
+	// Clip bounds reflect the translation.
+	clip := tr.ClipBounds()
+	if clip.X != -3 || clip.Y != -2 || clip.W != 10 || clip.H != 10 {
+		t.Fatalf("clip = %+v", clip)
+	}
+	// Nested translation composes.
+	tr2 := tr.Translated(1, 1)
+	tr2.Set(0, 0, red) // lands at (4,3)
+	if c.At(4, 3) != red {
+		t.Fatal("nested translation broken")
+	}
+}

@@ -1,0 +1,379 @@
+// Package spell reimplements SPELL (Serial Patterns of Expression Levels
+// Locator, Hibbs et al.), the similarity-search engine the paper integrates
+// with ForestView (Section 3, Figure 4).
+//
+// Given a small set of query genes, SPELL (1) weights every dataset in a
+// large compendium by how informative it is about the query — how coherent
+// the query genes' expression is within that dataset — and (2) ranks every
+// other gene by its weighted correlation to the query across the
+// compendium. The output is exactly what ForestView visualizes: an ordered
+// list of datasets and an ordered list of genes.
+package spell
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"forestview/internal/microarray"
+	"forestview/internal/stats"
+)
+
+// Options tune a search.
+type Options struct {
+	// MaxGenes caps the returned gene ranking (0 = all genes).
+	MaxGenes int
+	// IncludeQuery keeps the query genes themselves in the gene ranking
+	// (ForestView highlights them; the web interface omitted them).
+	IncludeQuery bool
+	// Parallelism bounds the worker pool used to score datasets
+	// concurrently (0 = GOMAXPROCS).
+	Parallelism int
+	// UniformWeights disables SPELL's signature dataset weighting and
+	// averages correlations over every dataset measuring the query —
+	// the naive-search baseline the weighting ablation compares against.
+	UniformWeights bool
+}
+
+// DatasetRank is one entry of the ranked dataset list.
+type DatasetRank struct {
+	// Index into the engine's dataset list.
+	Index int
+	// Name of the dataset.
+	Name string
+	// Weight is the normalized informativeness of the dataset for the
+	// query (weights sum to 1 over the compendium).
+	Weight float64
+	// QueryCoherence is the raw mean Fisher-z pairwise correlation of the
+	// query genes within this dataset, before normalization.
+	QueryCoherence float64
+	// QueryPresent counts how many query genes the dataset measures.
+	QueryPresent int
+}
+
+// GeneRank is one entry of the ranked gene list.
+type GeneRank struct {
+	ID    string
+	Name  string
+	Score float64
+	// IsQuery marks genes that were part of the query.
+	IsQuery bool
+}
+
+// Result of a SPELL search.
+type Result struct {
+	Query    []string
+	Datasets []DatasetRank
+	Genes    []GeneRank
+}
+
+// Engine holds a compendium prepared for repeated searches. Construction
+// z-transforms every gene vector once so correlations are comparable across
+// datasets with different dynamic ranges, as SPELL prescribes.
+type Engine struct {
+	datasets []*microarray.Dataset
+	zrows    [][][]float64    // [dataset][gene row][experiment]
+	index    []map[string]int // per dataset: gene ID -> row
+	ids      map[string]geneIdent
+	order    []string // stable universe order of gene IDs
+}
+
+type geneIdent struct {
+	name string
+}
+
+// NewEngine prepares the given datasets for searching. Datasets are not
+// modified; the engine keeps z-scored copies.
+func NewEngine(dss []*microarray.Dataset) (*Engine, error) {
+	if len(dss) == 0 {
+		return nil, errors.New("spell: empty compendium")
+	}
+	e := &Engine{
+		datasets: dss,
+		zrows:    make([][][]float64, len(dss)),
+		index:    make([]map[string]int, len(dss)),
+		ids:      make(map[string]geneIdent),
+	}
+	for di, ds := range dss {
+		idx := make(map[string]int, ds.NumGenes())
+		rows := make([][]float64, ds.NumGenes())
+		for g := 0; g < ds.NumGenes(); g++ {
+			gene := ds.Genes[g]
+			idx[gene.ID] = g
+			rows[g] = stats.ZScores(ds.Row(g))
+			if _, ok := e.ids[gene.ID]; !ok {
+				e.ids[gene.ID] = geneIdent{name: gene.Name}
+				e.order = append(e.order, gene.ID)
+			}
+		}
+		e.index[di] = idx
+		e.zrows[di] = rows
+	}
+	return e, nil
+}
+
+// NumDatasets returns the compendium size.
+func (e *Engine) NumDatasets() int { return len(e.datasets) }
+
+// NumGenes returns the number of distinct gene IDs across the compendium.
+func (e *Engine) NumGenes() int { return len(e.order) }
+
+// Search runs a SPELL query. At least one query gene must be present
+// somewhere in the compendium.
+func (e *Engine) Search(query []string, opt Options) (*Result, error) {
+	if len(query) == 0 {
+		return nil, errors.New("spell: empty query")
+	}
+	qset := make(map[string]bool, len(query))
+	found := false
+	for _, q := range query {
+		qset[q] = true
+		if _, ok := e.ids[q]; ok {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("spell: none of the %d query genes occur in the compendium", len(query))
+	}
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(e.datasets) {
+		par = len(e.datasets)
+	}
+
+	// Stage 1: per-dataset query coherence, computed concurrently — one
+	// result slot per dataset, no shared mutable state.
+	type dsScore struct {
+		coherence float64
+		present   int
+	}
+	scores := make([]dsScore, len(e.datasets))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range work {
+				scores[di] = dsScore{}
+				rows, present := e.queryRows(di, query)
+				scores[di].present = present
+				scores[di].coherence = queryCoherence(rows)
+			}
+		}()
+	}
+	for di := range e.datasets {
+		work <- di
+	}
+	close(work)
+	wg.Wait()
+
+	// Normalize positive coherence into weights. A dataset where the query
+	// genes are uncorrelated (or absent) contributes nothing, exactly the
+	// behaviour that lets SPELL ignore irrelevant studies.
+	weights := make([]float64, len(e.datasets))
+	total := 0.0
+	for di, s := range scores {
+		w := s.coherence
+		if opt.UniformWeights {
+			// Ablation baseline: every dataset measuring the query counts
+			// equally, informative or not.
+			if s.present > 0 {
+				w = 1
+			} else {
+				w = 0
+			}
+		}
+		if math.IsNaN(w) || w < 0 {
+			w = 0
+		}
+		weights[di] = w
+		total += w
+	}
+	if total == 0 {
+		// Degenerate query (single gene or incoherent everywhere): fall
+		// back to uniform weights over datasets measuring the query.
+		n := 0
+		for di, s := range scores {
+			if s.present > 0 {
+				weights[di] = 1
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, errors.New("spell: query genes absent from every dataset")
+		}
+		total = float64(n)
+	}
+	for di := range weights {
+		weights[di] /= total
+	}
+
+	// Stage 2: weighted gene scores, concurrently per dataset, merged
+	// under a mutex at dataset granularity (coarse enough to be cheap).
+	geneScore := make(map[string]float64, len(e.order))
+	geneWeight := make(map[string]float64, len(e.order))
+	var mu sync.Mutex
+	work2 := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range work2 {
+				if weights[di] == 0 {
+					continue
+				}
+				local := e.scoreDataset(di, query)
+				mu.Lock()
+				for id, s := range local {
+					geneScore[id] += weights[di] * s
+					geneWeight[id] += weights[di]
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for di := range e.datasets {
+		work2 <- di
+	}
+	close(work2)
+	wg.Wait()
+
+	res := &Result{Query: append([]string(nil), query...)}
+	for di := range e.datasets {
+		res.Datasets = append(res.Datasets, DatasetRank{
+			Index:          di,
+			Name:           e.datasets[di].Name,
+			Weight:         weights[di],
+			QueryCoherence: scores[di].coherence,
+			QueryPresent:   scores[di].present,
+		})
+	}
+	sort.SliceStable(res.Datasets, func(a, b int) bool {
+		return res.Datasets[a].Weight > res.Datasets[b].Weight
+	})
+
+	for _, id := range e.order {
+		isQ := qset[id]
+		if isQ && !opt.IncludeQuery {
+			continue
+		}
+		w := geneWeight[id]
+		if w == 0 {
+			continue
+		}
+		res.Genes = append(res.Genes, GeneRank{
+			ID:      id,
+			Name:    e.ids[id].name,
+			Score:   geneScore[id] / w,
+			IsQuery: isQ,
+		})
+	}
+	sort.SliceStable(res.Genes, func(a, b int) bool {
+		return res.Genes[a].Score > res.Genes[b].Score
+	})
+	if opt.MaxGenes > 0 && len(res.Genes) > opt.MaxGenes {
+		res.Genes = res.Genes[:opt.MaxGenes]
+	}
+	return res, nil
+}
+
+// queryRows collects the z-scored rows of the query genes present in
+// dataset di.
+func (e *Engine) queryRows(di int, query []string) (rows [][]float64, present int) {
+	for _, q := range query {
+		if g, ok := e.index[di][q]; ok {
+			rows = append(rows, e.zrows[di][g])
+			present++
+		}
+	}
+	return rows, present
+}
+
+// queryCoherence is the mean Fisher-z-transformed pairwise Pearson
+// correlation among the query rows — SPELL's dataset informativeness
+// signal. NaN when fewer than two query genes are present.
+func queryCoherence(rows [][]float64) float64 {
+	if len(rows) < 2 {
+		return math.NaN()
+	}
+	s, n := 0.0, 0
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			r := stats.Pearson(rows[i], rows[j])
+			if math.IsNaN(r) {
+				continue
+			}
+			s += stats.FisherZ(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
+// scoreDataset returns, for every gene in dataset di, its mean correlation
+// to the query genes present there.
+func (e *Engine) scoreDataset(di int, query []string) map[string]float64 {
+	qrows, present := e.queryRows(di, query)
+	if present == 0 {
+		return nil
+	}
+	ds := e.datasets[di]
+	out := make(map[string]float64, ds.NumGenes())
+	for g := 0; g < ds.NumGenes(); g++ {
+		row := e.zrows[di][g]
+		s, n := 0.0, 0
+		for _, qr := range qrows {
+			r := stats.Pearson(row, qr)
+			if math.IsNaN(r) {
+				continue
+			}
+			s += r
+			n++
+		}
+		if n > 0 {
+			out[ds.Genes[g].ID] = s / float64(n)
+		}
+	}
+	return out
+}
+
+// TopGeneIDs returns the IDs of the first n ranked genes (or fewer).
+func (r *Result) TopGeneIDs(n int) []string {
+	if n > len(r.Genes) {
+		n = len(r.Genes)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.Genes[i].ID
+	}
+	return out
+}
+
+// PrecisionAtK returns the fraction of the top-k ranked genes that belong
+// to the relevant set — the planted-module recovery metric used by the
+// Figure-4 reproduction.
+func (r *Result) PrecisionAtK(k int, relevant map[string]bool) float64 {
+	if k <= 0 || len(r.Genes) == 0 {
+		return math.NaN()
+	}
+	if k > len(r.Genes) {
+		k = len(r.Genes)
+	}
+	hits := 0
+	for _, g := range r.Genes[:k] {
+		if relevant[g.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,159 @@
+// Package spellweb provides the web front-end to the SPELL search engine —
+// the reproduction of the Figure-4 artifact ("Currently SPELL runs on a
+// pre-defined collection of microarray data through a web interface"). It
+// exposes an HTML search page over a fixed compendium plus a JSON API, so
+// both humans and ForestView integrations can query it.
+package spellweb
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"forestview/internal/spell"
+)
+
+// Server wraps a SPELL engine as an http.Handler.
+type Server struct {
+	engine *spell.Engine
+	mux    *http.ServeMux
+	// MaxGenes caps result length per query (default 50).
+	MaxGenes int
+}
+
+// NewServer builds the handler over a prepared engine.
+func NewServer(engine *spell.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux(), MaxGenes: 50}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/api/search", s.handleAPISearch)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var pageTmpl = template.Must(template.New("page").Funcs(template.FuncMap{
+	"inc": func(i int) int { return i + 1 },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>SPELL search</title></head>
+<body>
+<h1>SPELL: Serial Patterns of Expression Levels Locator</h1>
+<p>{{.NumDatasets}} datasets, {{.NumGenes}} genes in the compendium.</p>
+<form action="/search" method="get">
+  <input type="text" name="q" size="60" value="{{.Query}}"
+         placeholder="query genes, comma separated (e.g. YAL001C, YBR072W)">
+  <input type="submit" value="Search">
+</form>
+{{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
+{{if .Result}}
+<h2>Datasets by relevance</h2>
+<table border="1" cellpadding="3">
+<tr><th>rank</th><th>weight</th><th>query coherence</th><th>query genes present</th><th>dataset</th></tr>
+{{range $i, $d := .Result.Datasets}}
+<tr><td>{{inc $i}}</td><td>{{printf "%.4f" $d.Weight}}</td><td>{{printf "%.3f" $d.QueryCoherence}}</td><td>{{$d.QueryPresent}}</td><td>{{$d.Name}}</td></tr>
+{{end}}
+</table>
+<h2>Genes by weighted correlation</h2>
+<table border="1" cellpadding="3">
+<tr><th>rank</th><th>score</th><th>gene</th><th>name</th><th>query?</th></tr>
+{{range $i, $g := .Result.Genes}}
+<tr><td>{{inc $i}}</td><td>{{printf "%.4f" $g.Score}}</td><td>{{$g.ID}}</td><td>{{$g.Name}}</td><td>{{if $g.IsQuery}}*{{end}}</td></tr>
+{{end}}
+</table>
+{{end}}
+</body></html>`))
+
+type pageData struct {
+	NumDatasets int
+	NumGenes    int
+	Query       string
+	Error       string
+	Result      *spell.Result
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.renderPage(w, pageData{
+		NumDatasets: s.engine.NumDatasets(),
+		NumGenes:    s.engine.NumGenes(),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	data := pageData{
+		NumDatasets: s.engine.NumDatasets(),
+		NumGenes:    s.engine.NumGenes(),
+		Query:       q,
+	}
+	ids := parseQuery(q)
+	if len(ids) == 0 {
+		data.Error = "enter at least one gene ID"
+		s.renderPage(w, data)
+		return
+	}
+	res, err := s.engine.Search(ids, spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true})
+	if err != nil {
+		data.Error = err.Error()
+		s.renderPage(w, data)
+		return
+	}
+	data.Result = res
+	s.renderPage(w, data)
+}
+
+func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
+	ids := parseQuery(r.URL.Query().Get("q"))
+	if len(ids) == 0 {
+		http.Error(w, `{"error":"missing q parameter"}`, http.StatusBadRequest)
+		return
+	}
+	res, err := s.engine.Search(ids, spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true})
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+func (s *Server) renderPage(w http.ResponseWriter, data pageData) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) maxGenes() int {
+	if s.MaxGenes > 0 {
+		return s.MaxGenes
+	}
+	return 50
+}
+
+// parseQuery splits a comma/whitespace separated gene list.
+func parseQuery(q string) []string {
+	var out []string
+	for _, f := range strings.FieldsFunc(q, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	}) {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package spellweb
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+)
+
+func testServer(t *testing.T) (*Server, *synth.Universe) {
+	t.Helper()
+	u := synth.NewUniverse(200, 8, 111)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 4, MinExperiments: 10, MaxExperiments: 16,
+		ActiveFraction: 0.5, Noise: 0.25, Seed: 113,
+	})
+	engine, err := spell.NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(engine), u
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "SPELL") || !strings.Contains(body, "4 datasets") {
+		t.Fatalf("index body missing content: %s", body[:200])
+	}
+}
+
+func TestIndexNotFoundForOtherPaths(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSearchHTML(t *testing.T) {
+	s, u := testServer(t)
+	ids := u.ModuleGeneIDs(3)
+	q := strings.Join(ids[:3], ",")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q="+q, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Datasets by relevance") {
+		t.Fatal("results table missing")
+	}
+	if !strings.Contains(body, ids[0]) {
+		t.Fatal("query gene missing from results")
+	}
+}
+
+func TestSearchHTMLEmptyQuery(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "at least one gene") {
+		t.Fatalf("empty query handling: %d", rec.Code)
+	}
+}
+
+func TestSearchHTMLUnknownGenes(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=NOPE1,NOPE2", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "none of the") {
+		t.Fatal("error message missing")
+	}
+}
+
+func TestAPISearch(t *testing.T) {
+	s, u := testServer(t)
+	ids := u.ModuleGeneIDs(3)
+	q := strings.Join(ids[:3], ",")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/search?q="+q, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var res spell.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 4 {
+		t.Fatalf("datasets = %d", len(res.Datasets))
+	}
+	if len(res.Genes) == 0 {
+		t.Fatal("no genes in API result")
+	}
+}
+
+func TestAPISearchErrors(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/search", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing q status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/search?q=ZZZ", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown genes status = %d", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e["error"] == "" {
+		t.Fatal("error payload missing")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"A,B,C", 3},
+		{"A B\tC\nD", 4},
+		{"  A ,, B ", 2},
+		{"", 0},
+		{" ,, ", 0},
+	}
+	for _, c := range cases {
+		if got := parseQuery(c.in); len(got) != c.want {
+			t.Errorf("parseQuery(%q) = %v, want %d items", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMaxGenesCap(t *testing.T) {
+	s, u := testServer(t)
+	s.MaxGenes = 5
+	ids := u.ModuleGeneIDs(3)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/search?q="+strings.Join(ids[:3], ","), nil))
+	var res spell.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Genes) != 5 {
+		t.Fatalf("genes = %d, want capped 5", len(res.Genes))
+	}
+}

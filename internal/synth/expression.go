@@ -1,0 +1,257 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"forestview/internal/microarray"
+)
+
+// StudyKind selects the condition design of a generated dataset, mirroring
+// the three study types of the paper's Section-4 case study.
+type StudyKind int
+
+const (
+	// GenericStudy: smooth random module profiles across conditions.
+	GenericStudy StudyKind = iota
+	// StressStudy mimics Gasch-style environmental stress time courses:
+	// conditions come in blocks (heat, oxidative, osmotic, ...) and the ESR
+	// modules respond strongly in every block.
+	StressStudy
+	// NutrientStudy mimics Saldanha-style nutrient limitation chemostats:
+	// gradual profiles per limited nutrient, with a growth-rate-linked ESR
+	// component.
+	NutrientStudy
+	// KnockoutStudy mimics Hughes-style deletion compendia: each
+	// experiment is one knockout; most genes are silent per experiment,
+	// but slow-growing knockouts induce the ESR across many columns.
+	KnockoutStudy
+)
+
+// String names the study kind.
+func (k StudyKind) String() string {
+	switch k {
+	case StressStudy:
+		return "stress"
+	case NutrientStudy:
+		return "nutrient-limitation"
+	case KnockoutStudy:
+		return "knockout-compendium"
+	default:
+		return "generic"
+	}
+}
+
+// DatasetSpec parameterizes one generated dataset.
+type DatasetSpec struct {
+	// Name of the dataset (pane title in ForestView).
+	Name string
+	// Kind selects the condition design.
+	Kind StudyKind
+	// NumExperiments is the number of columns.
+	NumExperiments int
+	// ActiveModules lists modules carrying signal in this dataset; others
+	// are pure noise here. Nil means every module is active.
+	ActiveModules []int
+	// ESRStrength scales the stress-signature amplitude (0 disables; 1 is
+	// a typical stress study).
+	ESRStrength float64
+	// Noise is the standard deviation of measurement noise (log2 units).
+	Noise float64
+	// MissingRate is the probability a cell is missing.
+	MissingRate float64
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// Generate produces a dataset over the universe's genes according to spec.
+// Every gene's expression is loading × moduleProfile + N(0, noise), with
+// the ESR modules driven by the study-specific stress profile.
+func (u *Universe) Generate(spec DatasetSpec) *microarray.Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nE := spec.NumExperiments
+	if nE <= 0 {
+		nE = 10
+	}
+	exps := experimentNames(spec.Kind, nE)
+	ds := microarray.NewDataset(spec.Name, exps)
+
+	active := make(map[int]bool, len(u.Modules))
+	if spec.ActiveModules == nil {
+		for i := range u.Modules {
+			active[i] = true
+		}
+	} else {
+		for _, m := range spec.ActiveModules {
+			active[m] = true
+		}
+	}
+	// ESR activity follows ESRStrength, not the active list, because the
+	// case study's point is precisely that the stress signature shows up
+	// whether or not the study was about stress.
+	esrProfile := stressProfile(spec.Kind, nE, rng)
+
+	// One latent profile per module.
+	profiles := make([][]float64, len(u.Modules))
+	for m := range u.Modules {
+		switch {
+		case m == u.ESRInduced:
+			profiles[m] = scaled(esrProfile, spec.ESRStrength)
+		case m == u.ESRRepressed:
+			profiles[m] = scaled(esrProfile, -spec.ESRStrength)
+		case active[m]:
+			profiles[m] = moduleProfile(spec.Kind, nE, rng)
+		default:
+			profiles[m] = make([]float64, nE) // silent module
+		}
+	}
+
+	noise := spec.Noise
+	if noise <= 0 {
+		noise = 0.25
+	}
+	for _, gi := range u.Genes {
+		prof := profiles[gi.Module]
+		vals := make([]float64, nE)
+		for e := 0; e < nE; e++ {
+			if spec.MissingRate > 0 && rng.Float64() < spec.MissingRate {
+				vals[e] = microarray.Missing
+				continue
+			}
+			vals[e] = gi.Loading*prof[e] + rng.NormFloat64()*noise
+		}
+		gene := microarray.Gene{ID: gi.ID, Name: gi.Name, Annotation: gi.Desc}
+		if err := ds.AddGene(gene, vals); err != nil {
+			// Universe IDs are unique by construction; a failure here is a
+			// programming error worth surfacing loudly.
+			panic(fmt.Sprintf("synth: %v", err))
+		}
+	}
+	return ds
+}
+
+// experimentNames labels columns in the idiom of each study type.
+func experimentNames(kind StudyKind, n int) []string {
+	out := make([]string, n)
+	switch kind {
+	case StressStudy:
+		blocks := []string{"heat 37C", "H2O2", "sorbitol", "diamide", "DTT", "cold 15C"}
+		per := (n + len(blocks) - 1) / len(blocks)
+		for i := 0; i < n; i++ {
+			b := i / per
+			if b >= len(blocks) {
+				b = len(blocks) - 1
+			}
+			out[i] = fmt.Sprintf("%s %dmin", blocks[b], 5*(i%per+1))
+		}
+	case NutrientStudy:
+		nutrients := []string{"glucose", "nitrogen", "phosphate", "sulfate", "leucine", "uracil"}
+		per := (n + len(nutrients) - 1) / len(nutrients)
+		for i := 0; i < n; i++ {
+			b := i / per
+			if b >= len(nutrients) {
+				b = len(nutrients) - 1
+			}
+			out[i] = fmt.Sprintf("%s-limited D=0.%02d", nutrients[b], 5+i%per*5)
+		}
+	case KnockoutStudy:
+		for i := 0; i < n; i++ {
+			out[i] = fmt.Sprintf("deletion-%03d", i+1)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			out[i] = fmt.Sprintf("cond-%03d", i+1)
+		}
+	}
+	return out
+}
+
+// moduleProfile draws a latent expression profile for a non-ESR module.
+func moduleProfile(kind StudyKind, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	switch kind {
+	case KnockoutStudy:
+		// A module responds in a small random subset of knockouts.
+		k := 1 + rng.Intn(3)
+		for i := 0; i < k; i++ {
+			e := rng.Intn(n)
+			out[e] = 1.5 + rng.Float64()*1.5
+			if rng.Float64() < 0.5 {
+				out[e] = -out[e]
+			}
+		}
+	default:
+		// Smooth random walk, mean-centered, typical amplitude ~1-2.
+		v := 0.0
+		for i := 0; i < n; i++ {
+			v = 0.8*v + rng.NormFloat64()*0.8
+			out[i] = v
+		}
+		mean := 0.0
+		for _, x := range out {
+			mean += x
+		}
+		mean /= float64(n)
+		amp := 1 + rng.Float64()
+		// Rescale to the target amplitude.
+		maxAbs := 0.0
+		for i := range out {
+			out[i] -= mean
+			if a := math.Abs(out[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 0 {
+			for i := range out {
+				out[i] *= amp / maxAbs
+			}
+		}
+	}
+	return out
+}
+
+// stressProfile is the latent ESR activity over the dataset's conditions.
+func stressProfile(kind StudyKind, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	switch kind {
+	case StressStudy:
+		// Every stress block shows the classic fast-induction/adaptation
+		// transient: high early, decaying within the block.
+		const blockLen = 5
+		for i := 0; i < n; i++ {
+			phase := i % blockLen
+			out[i] = 2.2*math.Exp(-float64(phase)*0.45) + rng.NormFloat64()*0.1
+		}
+	case NutrientStudy:
+		// ESR tracks inverse growth rate: strongest at the most severe
+		// limitation within each nutrient block.
+		const blockLen = 4
+		for i := 0; i < n; i++ {
+			phase := i % blockLen
+			out[i] = 1.8*(1-float64(phase)/blockLen) + rng.NormFloat64()*0.1
+		}
+	case KnockoutStudy:
+		// Roughly half the knockouts grow slowly and induce the ESR.
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				out[i] = 1.5 + rng.Float64()
+			} else {
+				out[i] = rng.NormFloat64() * 0.1
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			out[i] = rng.NormFloat64() * 0.3
+		}
+	}
+	return out
+}
+
+func scaled(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * f
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package wall
+
+import (
+	"testing"
+	"time"
+)
+
+// Failure injection: a render node vanishing mid-session (projector PC
+// crash) must surface as an error from the next frame, never a hang — the
+// coordinator cannot barrier on a dead node forever.
+func TestNetWallNodeFailure(t *testing.T) {
+	cfg := Config{TilesX: 2, TilesY: 1, TileW: 32, TileH: 32}
+	nw, err := StartNetWall(cfg, gradientScene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if _, err := nw.RenderFrame(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one node behind the coordinator's back.
+	nw.nodes[1].Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := nw.RenderFrame()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("frame against a dead node should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator hung on a dead node")
+	}
+}
+
+// A second Close must be safe (idempotent shutdown).
+func TestNetWallDoubleClose(t *testing.T) {
+	cfg := Config{TilesX: 1, TilesY: 1, TileW: 16, TileH: 16}
+	nw, err := StartNetWall(cfg, gradientScene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	nw.Close()
+}
+
+// Stopping a node before the coordinator ever connects must not deadlock
+// StartNetNode's serve loop.
+func TestNetNodeCloseWithoutConnection(t *testing.T) {
+	nn, _, err := StartNetNode(TileID{}, Config{TilesX: 1, TilesY: 1, TileW: 8, TileH: 8}, gradientScene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		nn.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("node Close hung without a connection")
+	}
+}

@@ -1,0 +1,261 @@
+package wall
+
+import (
+	"encoding/gob"
+	"fmt"
+	"image/color"
+	"net"
+	"sync"
+	"time"
+
+	"forestview/internal/render"
+)
+
+// Net mode runs every render node behind a real TCP connection on the
+// loopback interface, reproducing the control-plane structure of the
+// physical wall: the application is replicated on every node (so pixel
+// data never crosses the network), and the coordinator broadcasts small
+// "render frame N" / "swap" control messages and collects acknowledgements
+// — the synchronization protocol whose overhead the Figure-3 bench
+// measures.
+
+// netRequest is a coordinator -> node control message.
+type netRequest struct {
+	// Op is "render" or "swap" or "stop".
+	Op    string
+	Frame int64
+}
+
+// netReply is a node -> coordinator acknowledgement.
+type netReply struct {
+	Frame    int64
+	RenderNS int64
+	DoneAtNS int64 // UnixNano at completion
+	Checksum uint32
+	TileX    int
+	TileY    int
+}
+
+// NetNode serves one tile over TCP.
+type NetNode struct {
+	node *Node
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	conn net.Conn // accepted coordinator connection, for shutdown
+}
+
+// StartNetNode launches a node server on an ephemeral loopback port and
+// returns it with its address.
+func StartNetNode(id TileID, cfg Config, scene Scene) (*NetNode, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", fmt.Errorf("wall: node listen: %w", err)
+	}
+	nn := &NetNode{node: NewNode(id, cfg, scene), ln: ln}
+	nn.wg.Add(1)
+	go nn.serve()
+	return nn, ln.Addr().String(), nil
+}
+
+func (nn *NetNode) serve() {
+	defer nn.wg.Done()
+	conn, err := nn.ln.Accept()
+	if err != nil {
+		return // listener closed before the coordinator connected
+	}
+	nn.mu.Lock()
+	nn.conn = conn
+	nn.mu.Unlock()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req netRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		switch req.Op {
+		case "render":
+			st := nn.node.RenderFrame()
+			reply := netReply{
+				Frame:    req.Frame,
+				RenderNS: st.RenderNS,
+				DoneAtNS: st.DoneAt.UnixNano(),
+				Checksum: st.Checksum,
+				TileX:    st.ID.X,
+				TileY:    st.ID.Y,
+			}
+			if err := enc.Encode(&reply); err != nil {
+				return
+			}
+		case "swap":
+			nn.node.Swap()
+			if err := enc.Encode(&netReply{Frame: req.Frame}); err != nil {
+				return
+			}
+		case "stop":
+			_ = enc.Encode(&netReply{Frame: req.Frame})
+			return
+		}
+	}
+}
+
+// Close shuts the node down: the listener stops accepting and any live
+// coordinator connection is severed so the serve loop's blocking Decode
+// returns. Idempotent.
+func (nn *NetNode) Close() {
+	nn.ln.Close()
+	nn.mu.Lock()
+	if nn.conn != nil {
+		nn.conn.Close()
+	}
+	nn.mu.Unlock()
+	nn.wg.Wait()
+}
+
+// Node exposes the underlying tile node (the coordinator composites from
+// the nodes directly, as a wall operator would walk over to a projector —
+// pixels never cross the control network).
+func (nn *NetNode) Node() *Node { return nn.node }
+
+// NetWall coordinates TCP-connected nodes.
+type NetWall struct {
+	cfg    Config
+	nodes  []*NetNode
+	conns  []net.Conn
+	encs   []*gob.Encoder
+	decs   []*gob.Decoder
+	frame  int64
+	nbytes int64 // control-plane bytes sent (estimated from message counts)
+}
+
+// StartNetWall spins up one TCP node per tile (all in-process but
+// communicating only through the loopback network) and connects the
+// coordinator to each.
+func StartNetWall(cfg Config, scene Scene) (*NetWall, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &NetWall{cfg: cfg}
+	for y := 0; y < cfg.TilesY; y++ {
+		for x := 0; x < cfg.TilesX; x++ {
+			nn, addr, err := StartNetNode(TileID{X: x, Y: y}, cfg, scene)
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				nn.Close()
+				w.Close()
+				return nil, fmt.Errorf("wall: dial node %d,%d: %w", x, y, err)
+			}
+			w.nodes = append(w.nodes, nn)
+			w.conns = append(w.conns, conn)
+			w.encs = append(w.encs, gob.NewEncoder(conn))
+			w.decs = append(w.decs, gob.NewDecoder(conn))
+		}
+	}
+	return w, nil
+}
+
+// Config returns the wall geometry.
+func (w *NetWall) Config() Config { return w.cfg }
+
+// NumNodes returns the node count.
+func (w *NetWall) NumNodes() int { return len(w.nodes) }
+
+// RenderFrame broadcasts a render command, gathers acknowledgements
+// (the barrier), then broadcasts the swap — the two-phase swaplock protocol
+// of projector clusters.
+func (w *NetWall) RenderFrame() (FrameStats, error) {
+	w.frame++
+	// Broadcast phase 1: render. Requests go out concurrently so slow
+	// encode on one connection does not serialize the cluster.
+	var wg sync.WaitGroup
+	errs := make([]error, len(w.nodes))
+	stats := make([]TileStats, len(w.nodes))
+	for i := range w.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := w.encs[i].Encode(&netRequest{Op: "render", Frame: w.frame}); err != nil {
+				errs[i] = err
+				return
+			}
+			var rep netReply
+			if err := w.decs[i].Decode(&rep); err != nil {
+				errs[i] = err
+				return
+			}
+			stats[i] = TileStats{
+				ID:       TileID{X: rep.TileX, Y: rep.TileY},
+				RenderNS: rep.RenderNS,
+				DoneAt:   time.Unix(0, rep.DoneAtNS),
+				Checksum: rep.Checksum,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return FrameStats{}, fmt.Errorf("wall: render phase: %w", err)
+		}
+	}
+	// Phase 2: swap.
+	for i := range w.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := w.encs[i].Encode(&netRequest{Op: "swap", Frame: w.frame}); err != nil {
+				errs[i] = err
+				return
+			}
+			var rep netReply
+			if err := w.decs[i].Decode(&rep); err != nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return FrameStats{}, fmt.Errorf("wall: swap phase: %w", err)
+		}
+	}
+	return summarize(w.frame, stats, w.cfg), nil
+}
+
+// Composite assembles the current front buffers into one wall image.
+func (w *NetWall) Composite() *render.Canvas {
+	bezel := w.cfg.BezelPx
+	outW := w.cfg.WallWidth() + bezel*(w.cfg.TilesX-1)
+	outH := w.cfg.WallHeight() + bezel*(w.cfg.TilesY-1)
+	out := render.NewCanvas(outW, outH, color.RGBA{A: 255})
+	for _, nn := range w.nodes {
+		n := nn.Node()
+		x := n.ID.X * (w.cfg.TileW + bezel)
+		y := n.ID.Y * (w.cfg.TileH + bezel)
+		out.Blit(n.Front().Image(), x, y)
+	}
+	return out
+}
+
+// Close stops all nodes and closes all connections. A bounded deadline on
+// the farewell round trip keeps shutdown from hanging on a dead node.
+func (w *NetWall) Close() {
+	for i := range w.conns {
+		if w.encs[i] != nil {
+			_ = w.conns[i].SetDeadline(time.Now().Add(2 * time.Second))
+			_ = w.encs[i].Encode(&netRequest{Op: "stop"})
+			var rep netReply
+			_ = w.decs[i].Decode(&rep)
+		}
+		w.conns[i].Close()
+	}
+	for _, nn := range w.nodes {
+		nn.Close()
+	}
+}
