@@ -1,0 +1,235 @@
+// Command forestviewd is the unified ForestView query daemon: it loads a
+// compendium once, prepares every paper subsystem — the SPELL search
+// engine, the GOLEM enrichment context and clustered heatmap panes — and
+// serves them concurrently over HTTP behind a shared cache:
+//
+//	/            SPELL HTML search page (internal/spellweb)
+//	/api/search  SPELL ranked datasets + genes (JSON)
+//	/api/enrich  GOLEM GO-term enrichment of a gene list (JSON)
+//	/api/heatmap clustered expression heatmap tiles (PNG)
+//	/api/stats   per-endpoint latency / cache hit-rate counters (JSON)
+//	/healthz     liveness probe
+//
+// Usage:
+//
+//	forestviewd -demo -addr :8080
+//	forestviewd -files a.pcl,b.pcl,c.pcl -obo go.obo -assoc assoc.tsv
+//	curl 'localhost:8080/api/search?q=YAL001C,YBR072W&top=10'
+//	curl 'localhost:8080/api/enrich?genes=YAL001C,YAL002W&maxp=0.05'
+//	curl 'localhost:8080/api/heatmap?dataset=0&w=512&h=512' -o tile.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/golem"
+	"forestview/internal/microarray"
+	"forestview/internal/ontology"
+	"forestview/internal/server"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		files      = flag.String("files", "", "comma-separated PCL files forming the compendium")
+		oboPath    = flag.String("obo", "", "OBO ontology file enabling /api/enrich on file compendia")
+		assocPath  = flag.String("assoc", "", "gene association file (gene<TAB>term), required with -obo")
+		demo       = flag.Bool("demo", false, "serve a synthetic demo compendium (default when -files is empty)")
+		genes      = flag.Int("genes", 1500, "demo universe size")
+		modules    = flag.Int("modules", 20, "demo co-regulation modules")
+		nDatasets  = flag.Int("datasets", 8, "demo compendium size")
+		seed       = flag.Int64("seed", 1, "demo generator seed")
+		cacheMB    = flag.Int64("cache-mb", 64, "shared LRU cache budget in MiB")
+		workers    = flag.Int("render-workers", runtime.GOMAXPROCS(0), "bounded render pool size")
+		queue      = flag.Int("render-queue", 0, "render queue depth before load shedding (0 = 4x workers)")
+		maxGenes   = flag.Int("max-genes", 200, "cap on requested search result length")
+		maxTileDim = flag.Int("max-tile", 2048, "cap on requested tile width/height")
+	)
+	flag.Parse()
+	srv, err := buildServer(buildConfig{
+		files: *files, obo: *oboPath, assoc: *assocPath,
+		demo: *demo || *files == "", genes: *genes, modules: *modules,
+		datasets: *nDatasets, seed: *seed,
+		cacheMB: *cacheMB, workers: *workers, queue: *queue,
+		maxGenes: *maxGenes, maxTileDim: *maxTileDim,
+		log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forestviewd:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("forestviewd listening on http://%s\n", *addr)
+	// Conservative connection timeouts: a client trickling bytes must not
+	// pin goroutines forever past all the admission control downstream.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "forestviewd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildConfig collects everything buildServer needs, so tests can assemble
+// a daemon without flags or sockets.
+type buildConfig struct {
+	files, obo, assoc        string
+	demo                     bool
+	genes, modules, datasets int
+	seed                     int64
+	cacheMB                  int64
+	workers, queue           int
+	maxGenes, maxTileDim     int
+	log                      func(format string, args ...any)
+}
+
+// buildServer loads the compendium, prepares all three engines and wires
+// the HTTP server. This is the whole startup path of the daemon.
+func buildServer(cfg buildConfig) (*server.Server, error) {
+	if cfg.log == nil {
+		cfg.log = func(string, ...any) {}
+	}
+	t0 := time.Now()
+
+	var (
+		datasets []*microarray.Dataset
+		enricher *golem.Enricher
+	)
+	if cfg.demo {
+		u := synth.NewUniverse(cfg.genes, cfg.modules, cfg.seed)
+		dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+			NumDatasets: cfg.datasets, MinExperiments: 10, MaxExperiments: 30,
+			ActiveFraction: 0.4, Noise: 0.25, MissingRate: 0.02, Seed: cfg.seed + 50,
+		})
+		datasets = dss
+		var names []string
+		for _, m := range u.Modules {
+			names = append(names, m.Name)
+		}
+		onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: names, Seed: cfg.seed + 3})
+		if err != nil {
+			return nil, fmt.Errorf("synthetic ontology: %w", err)
+		}
+		ann := ontology.AnnotateFromModules(u.Annotations(), leafOf)
+		enricher, err = golem.NewEnricher(onto, ann, u.GeneIDs())
+		if err != nil {
+			return nil, fmt.Errorf("enricher: %w", err)
+		}
+		cfg.log("demo compendium: %d datasets over %d genes, %d GO terms",
+			len(datasets), cfg.genes, enricher.NumTerms())
+	} else {
+		for _, path := range strings.Split(cfg.files, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := microarray.ReadPCL(f, trimPCLExt(path))
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			datasets = append(datasets, ds)
+			cfg.log("loaded %q: %d genes x %d experiments", ds.Name, ds.NumGenes(), ds.NumExperiments())
+		}
+		if len(datasets) == 0 {
+			return nil, fmt.Errorf("no datasets given (use -files or -demo)")
+		}
+	}
+
+	engine, err := spell.NewEngine(datasets)
+	if err != nil {
+		return nil, err
+	}
+
+	if enricher == nil && cfg.obo != "" {
+		if cfg.assoc == "" {
+			return nil, fmt.Errorf("-obo requires -assoc")
+		}
+		f, err := os.Open(cfg.obo)
+		if err != nil {
+			return nil, err
+		}
+		onto, err := ontology.ReadOBO(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.obo, err)
+		}
+		af, err := os.Open(cfg.assoc)
+		if err != nil {
+			return nil, err
+		}
+		ann, err := ontology.ReadAssociations(af)
+		af.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.assoc, err)
+		}
+		enricher, err = golem.NewEnricher(onto, ann, engine.GeneIDs())
+		if err != nil {
+			return nil, fmt.Errorf("enricher: %w", err)
+		}
+		cfg.log("ontology: %d testable GO terms over %d background genes",
+			enricher.NumTerms(), enricher.BackgroundSize())
+	}
+
+	// Cluster every dataset up front (concurrently — this dominates
+	// startup) so heatmap tiles serve from dendrogram display order.
+	clustered := make([]*core.ClusteredDataset, len(datasets))
+	errs := make([]error, len(datasets))
+	var wg sync.WaitGroup
+	for i, ds := range datasets {
+		wg.Add(1)
+		go func(i int, ds *microarray.Dataset) {
+			defer wg.Done()
+			clustered[i], errs[i] = core.Cluster(ds, core.ClusterOptions{
+				Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage,
+			})
+		}(i, ds)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("clustering %q: %w", datasets[i].Name, err)
+		}
+	}
+	cfg.log("clustered %d datasets in %v", len(clustered), time.Since(t0).Round(time.Millisecond))
+
+	return server.New(server.Config{
+		Engine:        engine,
+		Enricher:      enricher,
+		Datasets:      clustered,
+		CacheBytes:    cfg.cacheMB << 20,
+		RenderWorkers: cfg.workers,
+		RenderQueue:   cfg.queue,
+		MaxGenes:      cfg.maxGenes,
+		MaxTileDim:    cfg.maxTileDim,
+	})
+}
+
+func trimPCLExt(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		p = p[i+1:]
+	}
+	p = strings.TrimSuffix(p, ".pcl")
+	return strings.TrimSuffix(p, ".PCL")
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"forestview/internal/microarray"
+	"forestview/internal/server"
+	"forestview/internal/synth"
+)
+
+func demoServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := buildServer(buildConfig{
+		demo: true, genes: 200, modules: 8, datasets: 3, seed: 7,
+		cacheMB: 8, workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *server.Server, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+// TestDemoDaemonServesAllSubsystems is the end-to-end smoke test of the
+// acceptance criterion: one daemon, one engine, all three paper subsystems
+// answering on their endpoints.
+func TestDemoDaemonServesAllSubsystems(t *testing.T) {
+	srv := demoServer(t)
+
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+
+	// A module's genes make a meaningful query for both search and
+	// enrichment; regenerate the same universe to learn its gene IDs.
+	u := synth.NewUniverse(200, 8, 7)
+	genes := u.ModuleGeneIDs(3)
+	if len(genes) > 5 {
+		genes = genes[:5]
+	}
+	q := strings.Join(genes, ",")
+
+	rec := get(t, srv, "/api/search?q="+q+"&top=15")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr struct {
+		Datasets []json.RawMessage `json:"Datasets"`
+		Genes    []json.RawMessage `json:"Genes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Datasets) != 3 || len(sr.Genes) == 0 {
+		t.Fatalf("search shape: %d datasets, %d genes", len(sr.Datasets), len(sr.Genes))
+	}
+
+	rec = get(t, srv, "/api/enrich?genes="+q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("enrich = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "results") {
+		t.Fatal("enrich body missing results")
+	}
+
+	rec = get(t, srv, "/api/heatmap?dataset=0&w=64&h=64")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("heatmap = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.HasPrefix(rec.Body.Bytes(), []byte{0x89, 'P', 'N', 'G'}) {
+		t.Fatal("heatmap is not a PNG")
+	}
+
+	rec = get(t, srv, "/api/stats")
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Compendium.Datasets != 3 || snap.Compendium.GOTerms == 0 {
+		t.Fatalf("stats compendium: %+v", snap.Compendium)
+	}
+	if snap.Endpoints["search"].Requests != 1 || snap.Endpoints["heatmap"].Requests != 1 {
+		t.Fatalf("stats endpoints: %+v", snap.Endpoints)
+	}
+
+	// The SPELL HTML page is mounted on the same mux.
+	rec = get(t, srv, "/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "SPELL") {
+		t.Fatalf("HTML index = %d", rec.Code)
+	}
+}
+
+// TestFileCompendium exercises the PCL loading path without an ontology:
+// search and heatmap work, enrichment honestly reports 503.
+func TestFileCompendium(t *testing.T) {
+	dir := t.TempDir()
+	u := synth.NewUniverse(120, 6, 9)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 2, MinExperiments: 8, MaxExperiments: 10, Seed: 11,
+	})
+	var paths []string
+	for i, ds := range dss {
+		p := filepath.Join(dir, "ds"+string(rune('a'+i))+".pcl")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := microarray.WritePCL(f, ds); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, p)
+	}
+
+	srv, err := buildServer(buildConfig{files: strings.Join(paths, ","), cacheMB: 4, workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	genes := u.ModuleGeneIDs(2)[:2]
+	rec := get(t, srv, "/api/search?q="+strings.Join(genes, ","))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, srv, "/api/heatmap?dataset=dsa"); rec.Code != http.StatusOK {
+		t.Fatalf("heatmap by file name = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, srv, "/api/enrich?genes="+genes[0]); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("enrich without ontology = %d", rec.Code)
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	if _, err := buildServer(buildConfig{files: "/nonexistent.pcl"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := buildServer(buildConfig{files: " , "}); err == nil {
+		t.Fatal("empty file list accepted")
+	}
+	// Demo mode ignores -obo (its enricher is synthetic), so this builds.
+	srv, err := buildServer(buildConfig{demo: true, genes: 50, modules: 4, datasets: 1, obo: "x"})
+	if err != nil {
+		t.Fatalf("demo with -obo: %v", err)
+	}
+	srv.Close()
+}
+
+func TestTrimPCLExt(t *testing.T) {
+	cases := map[string]string{
+		"/data/stress.pcl": "stress",
+		"knockouts.PCL":    "knockouts",
+		"plain":            "plain",
+	}
+	for in, want := range cases {
+		if got := trimPCLExt(in); got != want {
+			t.Errorf("trimPCLExt(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

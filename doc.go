@@ -9,5 +9,7 @@
 // paper figure/claim (bench_test.go) and one integration test per
 // experiment (experiments_test.go). The implementation lives under
 // internal/ — see DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// paper-vs-measured results. All three subsystems are served concurrently
+// by cmd/forestviewd, the unified query daemon (internal/server); README.md
+// has the quickstart.
 package forestview

@@ -1,0 +1,3 @@
+module forestview
+
+go 1.24

@@ -129,9 +129,26 @@ func (cd *ClusteredDataset) DisplayPos(row int) int {
 // RowsInDisplayOrder returns the expression rows arranged for display.
 // The returned slices alias the dataset.
 func (cd *ClusteredDataset) RowsInDisplayOrder() [][]float64 {
-	out := make([][]float64, len(cd.DisplayOrder))
-	for pos, row := range cd.DisplayOrder {
-		out[pos] = cd.Data.Row(row)
+	return cd.RowsInDisplayRange(0, len(cd.DisplayOrder))
+}
+
+// RowsInDisplayRange returns the expression rows for display positions
+// [from, to), clipped to the dataset. The returned slices alias the
+// dataset. Heatmap tile handlers use it to materialize only the viewport's
+// rows instead of the whole matrix.
+func (cd *ClusteredDataset) RowsInDisplayRange(from, to int) [][]float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(cd.DisplayOrder) {
+		to = len(cd.DisplayOrder)
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([][]float64, 0, to-from)
+	for _, row := range cd.DisplayOrder[from:to] {
+		out = append(out, cd.Data.Row(row))
 	}
 	return out
 }

@@ -66,6 +66,11 @@ func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background 
 		e.background[g] = true
 	}
 	for term, genes := range e.ann.GenesPerTerm() {
+		// Obsolete terms are untestable (Analyze skips them); keeping them
+		// out here keeps NumTerms honest.
+		if t := o.Term(term); t != nil && t.Obsolete {
+			continue
+		}
 		set := make(map[string]bool)
 		for g := range genes {
 			if e.background[g] {
@@ -81,6 +86,16 @@ func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background 
 
 // BackgroundSize returns N, the size of the gene universe.
 func (e *Enricher) BackgroundSize() int { return len(e.background) }
+
+// NumTerms returns the number of testable terms — terms annotating at
+// least one background gene after propagation. The query daemon reports it
+// in /api/stats.
+func (e *Enricher) NumTerms() int { return len(e.termGenes) }
+
+// InBackground reports whether a gene is part of the universe. Analyze
+// silently drops selection genes outside it, so callers reporting what was
+// actually tested filter with this first.
+func (e *Enricher) InBackground(id string) bool { return e.background[id] }
 
 // Options tune an analysis.
 type Options struct {

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// numShards splits the cache's key space so concurrent requests for
+// different queries never contend on one lock. 16 is plenty: with the
+// worker-pool and handler concurrency this daemon sustains, per-shard
+// contention is unmeasurable beyond that.
+const numShards = 16
+
+// Cache is a sharded, byte-budgeted LRU cache shared by every endpoint of
+// the daemon: SPELL results, enrichment tables and rendered PNG tiles all
+// live here, each under a canonicalized query key. Eviction is
+// least-recently-used per shard, driven by an approximate byte cost the
+// caller supplies with each value.
+type Cache struct {
+	shards [numShards]cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+// NewCache builds a cache with a total byte budget split evenly across the
+// shards. A non-positive budget defaults to 64 MiB.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].maxBytes = maxBytes / numShards
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum32()%numShards]
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or replaces) key with the given value and approximate byte
+// cost, evicting least-recently-used entries until the shard fits its
+// budget. Values larger than a whole shard are not cached at all.
+func (c *Cache) Put(key string, val any, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cost > s.maxBytes {
+		return
+	}
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		s.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val, cost: cost})
+		s.bytes += cost
+	}
+	for s.bytes > s.maxBytes {
+		el := s.ll.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		s.ll.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= e.cost
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the total approximate cost of all cached entries.
+func (c *Cache) Bytes() int64 {
+	var b int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		b += s.bytes
+		s.mu.Unlock()
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(1 << 20)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("a", 1, 100)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 2, 120)
+	v, _ = c.Get("a")
+	if v.(int) != 2 {
+		t.Fatalf("replacement not visible: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replace", c.Len())
+	}
+	if c.Bytes() != 120 {
+		t.Fatalf("Bytes = %d, want 120", c.Bytes())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// One shard's budget is maxBytes/numShards; craft keys that land in
+	// the same shard by brute force.
+	c := NewCache(numShards * 300) // 300 bytes per shard
+	shard0 := c.shard("anchor")
+	keys := []string{"anchor"}
+	for i := 0; len(keys) < 4; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == shard0 {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys[:3] {
+		c.Put(k, k, 100) // fills the shard exactly
+	}
+	// Touch the oldest so the middle key becomes LRU.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("anchor missing before eviction")
+	}
+	c.Put(keys[3], "new", 100)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(keys[3]); !ok {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestCacheRejectsOversized(t *testing.T) {
+	c := NewCache(numShards * 100)
+	c.Put("huge", "x", 101) // bigger than one shard
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("Bytes = %d after rejected insert", c.Bytes())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%37)
+				c.Put(k, g, 50)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 37 {
+		t.Fatalf("Len = %d, want 37", c.Len())
+	}
+}

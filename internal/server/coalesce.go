@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup implements request coalescing (the singleflight pattern):
+// when many goroutines ask for the same key at once, exactly one executes
+// the computation and the rest block until it finishes and share its
+// result. Together with the cache this gives the daemon its concurrency
+// discipline — a burst of identical queries costs one SPELL search, one
+// enrichment pass or one tile render, never N.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do executes fn under key, coalescing concurrent duplicate calls. joined
+// reports whether this caller piggybacked on another goroutine's in-flight
+// computation instead of running fn itself.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, joined bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	func() {
+		// Cleanup is deferred so a panicking fn cannot wedge the key and
+		// leak every future caller onto a flight that never completes. The
+		// panic itself becomes an error shared by leader and joiners alike.
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("server: query computation panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			c.wg.Done()
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, c.err, false
+}

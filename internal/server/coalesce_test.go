@@ -1,0 +1,142 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	var computes atomic.Int64
+	var joins atomic.Int64
+	release := make(chan struct{})
+	ready := make(chan struct{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i > 0 {
+				<-ready // the first goroutine is mid-compute before others join
+			}
+			v, err, joined := g.Do("k", func() (any, error) {
+				computes.Add(1)
+				close(ready)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+			if joined {
+				joins.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let joiners pile onto the flight
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want exactly 1", got)
+	}
+	if got := joins.Load(); got != n-1 {
+		t.Fatalf("joined = %d, want %d", got, n-1)
+	}
+}
+
+func TestFlightGroupSequentialCallsRecompute(t *testing.T) {
+	var g flightGroup
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, err, joined := g.Do("k", func() (any, error) { n++; return n, nil })
+		if err != nil || joined {
+			t.Fatalf("call %d: err=%v joined=%v", i, err, joined)
+		}
+		if v.(int) != i+1 {
+			t.Fatalf("call %d returned %v", i, v)
+		}
+	}
+}
+
+func TestFlightGroupPropagatesErrors(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFlightGroupSurvivesPanic: a panicking computation must not wedge the
+// key — later callers get a fresh flight, concurrent joiners get the error.
+func TestFlightGroupSurvivesPanic(t *testing.T) {
+	var g flightGroup
+	_, err, _ := g.Do("k", func() (any, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	v, err, joined := g.Do("k", func() (any, error) { return "recovered", nil })
+	if err != nil || joined || v.(string) != "recovered" {
+		t.Fatalf("key wedged after panic: %v, %v, %v", v, err, joined)
+	}
+}
+
+func TestPoolSurvivesPanickingJob(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	if _, err := p.Run(func() (any, error) { panic("tile bug") }); err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	// The worker must still be alive for the next job.
+	v, err := p.Run(func() (any, error) { return "alive", nil })
+	if err != nil || v.(string) != "alive" {
+		t.Fatalf("worker died after panic: %v, %v", v, err)
+	}
+}
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+	v, err := p.Run(func() (any, error) { return "done", nil })
+	if err != nil || v.(string) != "done" {
+		t.Fatalf("Run = %v, %v", v, err)
+	}
+}
+
+func TestPoolShedsWhenSaturated(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _ = p.Run(func() (any, error) { close(started); <-block; return nil, nil })
+	}()
+	<-started // the single worker is now parked on block
+	go func() {
+		defer wg.Done()
+		_, _ = p.Run(func() (any, error) { return nil, nil })
+	}()
+	// Wait for the filler job to occupy the one queue slot.
+	for i := 0; len(p.jobs) == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(p.jobs) == 0 {
+		t.Fatal("queue slot never filled")
+	}
+	// Worker busy + queue full: the next submission must shed, not block.
+	if _, err := p.Run(func() (any, error) { return nil, nil }); err != ErrSaturated {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	close(block)
+	wg.Wait()
+	p.Close()
+}

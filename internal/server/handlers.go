@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image/color"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"forestview/internal/core"
+	"forestview/internal/golem"
+	"forestview/internal/render"
+	"forestview/internal/spell"
+	"forestview/internal/spellweb"
+)
+
+var errNoEnricher = errors.New("server: no ontology loaded; /api/enrich is unavailable")
+
+// writeJSON encodes v with the right Content-Type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// handleSearch serves /api/search?q=GENE1,GENE2[&top=N]: the SPELL ranked
+// dataset and gene lists as JSON.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	ids := spellweb.ParseQuery(r.URL.Query().Get("q"))
+	if len(ids) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "missing q parameter (comma separated gene IDs)")
+		return
+	}
+	top := 0
+	if t := r.URL.Query().Get("top"); t != "" {
+		v, err := strconv.Atoi(t)
+		if err != nil || v < 1 {
+			writeJSONError(w, http.StatusBadRequest, "top must be a positive integer")
+			return
+		}
+		top = v
+	}
+	res, err := s.Search(ids, spell.Options{MaxGenes: top, IncludeQuery: true})
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// enrichResponse is the /api/enrich body.
+type enrichResponse struct {
+	// Selection is the canonicalized gene list actually tested — requested
+	// genes outside the background are dropped, mirroring what Analyze
+	// tests, and reported in Ignored.
+	Selection []string `json:"selection"`
+	// Ignored lists requested genes absent from the background.
+	Ignored []string `json:"ignored,omitempty"`
+	// Background is N, the universe size.
+	Background int `json:"background"`
+	// Results are ordered by ascending p-value.
+	Results []golem.Enrichment `json:"results"`
+}
+
+// handleEnrich serves /api/enrich?genes=G1,G2[&maxp=0.05][&min=2]: the
+// GOLEM enrichment table for a gene list as JSON.
+func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Enricher == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, errNoEnricher.Error())
+		return
+	}
+	genes := spellweb.ParseQuery(r.URL.Query().Get("genes"))
+	if len(genes) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "missing genes parameter (comma separated gene IDs)")
+		return
+	}
+	opt := golem.Options{MinSelected: 1}
+	if v := r.URL.Query().Get("maxp"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			writeJSONError(w, http.StatusBadRequest, "maxp must be in [0, 1]")
+			return
+		}
+		opt.MaxPValue = p
+	}
+	if v := r.URL.Query().Get("min"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m < 1 {
+			writeJSONError(w, http.StatusBadRequest, "min must be a positive integer")
+			return
+		}
+		opt.MinSelected = m
+	}
+	results, err := s.Enrich(genes, opt)
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	var tested, ignored []string
+	for _, g := range spell.CanonicalQuery(genes) {
+		if s.cfg.Enricher.InBackground(g) {
+			tested = append(tested, g)
+		} else {
+			ignored = append(ignored, g)
+		}
+	}
+	writeJSON(w, http.StatusOK, enrichResponse{
+		Selection:  tested,
+		Ignored:    ignored,
+		Background: s.cfg.Enricher.BackgroundSize(),
+		Results:    results,
+	})
+}
+
+// tileParams are the canonicalized /api/heatmap parameters; their string
+// form is the cache key.
+type tileParams struct {
+	dsIndex  int
+	from, to int // display-order row range [from, to)
+	w, h     int
+	cmap     render.ColorMap
+	limit    float64
+}
+
+func (p tileParams) key() string {
+	return fmt.Sprintf("tile\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%g",
+		p.dsIndex, p.from, p.to, p.w, p.h, p.cmap, p.limit)
+}
+
+// handleHeatmap serves /api/heatmap?dataset=REF[&rows=FROM:TO][&w=][&h=]
+// [&cmap=][&limit=]: a PNG heatmap tile of the clustered dataset, rows in
+// dendrogram display order. Tiles render on the bounded worker pool; a
+// saturated pool sheds the request with 503.
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ref := q.Get("dataset")
+	if ref == "" {
+		writeJSONError(w, http.StatusBadRequest, "missing dataset parameter (index or name); see /api/stats for the loaded compendium")
+		return
+	}
+	cd, dsIndex, ok := s.lookupDataset(ref)
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, len(s.cfg.Datasets)))
+		return
+	}
+	nRows := len(cd.DisplayOrder)
+	p := tileParams{dsIndex: dsIndex, from: 0, to: nRows, w: 512, h: 512, cmap: render.GreenBlackRed, limit: 2}
+
+	if v := q.Get("rows"); v != "" {
+		from, to, ok := parseRowRange(v)
+		if !ok {
+			writeJSONError(w, http.StatusBadRequest, "rows must be FROM:TO with 0 <= FROM < TO")
+			return
+		}
+		if to > nRows {
+			to = nRows
+		}
+		if from >= nRows {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", nRows))
+			return
+		}
+		p.from, p.to = from, to
+	}
+	for _, dim := range []struct {
+		name string
+		dst  *int
+	}{{"w", &p.w}, {"h", &p.h}} {
+		if v := q.Get(dim.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > s.cfg.MaxTileDim {
+				writeJSONError(w, http.StatusBadRequest,
+					fmt.Sprintf("%s must be in [1, %d]", dim.name, s.cfg.MaxTileDim))
+				return
+			}
+			*dim.dst = n
+		}
+	}
+	if v := q.Get("cmap"); v != "" {
+		cm, ok := parseColorMap(v)
+		if !ok {
+			writeJSONError(w, http.StatusBadRequest, "cmap must be one of green-black-red, blue-black-yellow, grayscale")
+			return
+		}
+		p.cmap = cm
+	}
+	if v := q.Get("limit"); v != "" {
+		lim, err := strconv.ParseFloat(v, 64)
+		if err != nil || lim <= 0 {
+			writeJSONError(w, http.StatusBadRequest, "limit must be a positive number")
+			return
+		}
+		p.limit = lim
+	}
+
+	png, err := s.renderTile(cd, p)
+	if errors.Is(err, ErrSaturated) {
+		s.statHeatmap.rejected.Add(1)
+		writeJSONError(w, http.StatusServiceUnavailable, "render pool saturated, retry later")
+		return
+	}
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("Content-Length", strconv.Itoa(len(png)))
+	_, _ = w.Write(png)
+}
+
+// renderTile produces the PNG bytes for p, cached and coalesced like every
+// other result; only the actual rasterization runs on the worker pool, so
+// cache hits bypass the pool entirely.
+func (s *Server) renderTile(cd *core.ClusteredDataset, p tileParams) ([]byte, error) {
+	v, err := s.cachedDo(&s.statHeatmap, p.key(), func(v any) int64 {
+		return int64(len(v.([]byte))) + 64
+	}, func() (any, error) {
+		return s.pool.Run(func() (any, error) {
+			rows := cd.RowsInDisplayRange(p.from, p.to)
+			c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
+			render.RenderHeatmap(c, render.Rect{X: 0, Y: 0, W: p.w, H: p.h}, rows, render.HeatmapOptions{
+				ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
+			})
+			var buf bytes.Buffer
+			if err := c.EncodePNG(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// parseRowRange parses a strict "FROM:TO" display-row range; unlike
+// Sscanf it rejects trailing garbage.
+func parseRowRange(v string) (from, to int, ok bool) {
+	lo, hi, found := strings.Cut(v, ":")
+	if !found {
+		return 0, 0, false
+	}
+	from, err1 := strconv.Atoi(lo)
+	to, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || from < 0 || to <= from {
+		return 0, 0, false
+	}
+	return from, to, true
+}
+
+// parseColorMap accepts the canonical names plus short aliases.
+func parseColorMap(v string) (render.ColorMap, bool) {
+	switch v {
+	case "green-black-red", "green", "rg":
+		return render.GreenBlackRed, true
+	case "blue-black-yellow", "blue-yellow", "blue":
+		return render.BlueYellow, true
+	case "grayscale", "gray", "grey":
+		return render.Grayscale, true
+	}
+	return 0, false
+}
+
+// handleStats serves /api/stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

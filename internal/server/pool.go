@@ -1,0 +1,104 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSaturated is returned by Pool.Run when the job queue is full. The
+// heatmap handler maps it to 503 so an overloaded daemon sheds render load
+// instead of accumulating unbounded goroutines — search and enrichment are
+// cheap relative to rasterizing tiles, so only renders go through the pool.
+var ErrSaturated = errors.New("server: render pool saturated")
+
+// Pool is a bounded worker pool: a fixed set of workers drains a bounded
+// job queue. Submissions beyond queue capacity fail fast with ErrSaturated
+// rather than queueing unboundedly (the admission-control half of keeping
+// tail latency sane under heavy traffic).
+type Pool struct {
+	jobs    chan poolJob
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+}
+
+type poolJob struct {
+	fn   func() (any, error)
+	done chan poolResult
+}
+
+type poolResult struct {
+	val any
+	err error
+}
+
+// NewPool starts workers goroutines over a queue of depth queueDepth.
+// Non-positive arguments default to 1 worker and 2×workers queue slots.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 2 * workers
+	}
+	p := &Pool{jobs: make(chan poolJob, queueDepth)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j.done <- runJob(j.fn)
+			}
+		}()
+	}
+	return p
+}
+
+// runJob executes one job, converting a panic into an error: a bad render
+// must fail that one request, not take the whole daemon down with it.
+func runJob(fn func() (any, error)) (res poolResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = poolResult{err: fmt.Errorf("server: render job panicked: %v", r)}
+		}
+	}()
+	v, err := fn()
+	return poolResult{val: v, err: err}
+}
+
+// ErrClosed is returned by Run after Close.
+var ErrClosed = errors.New("server: render pool closed")
+
+// Run submits fn and waits for its result. It returns ErrSaturated
+// immediately when the queue is full and ErrClosed after Close.
+func (p *Pool) Run(fn func() (any, error)) (any, error) {
+	j := poolJob{fn: fn, done: make(chan poolResult, 1)}
+	// The enqueue is non-blocking, so holding closeMu across it is cheap;
+	// it serializes against Close so we never send on a closed channel.
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.closeMu.Unlock()
+	default:
+		p.closeMu.Unlock()
+		return nil, ErrSaturated
+	}
+	r := <-j.done
+	return r.val, r.err
+}
+
+// Close stops accepting work and waits for in-flight jobs to finish.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,345 @@
+// Package server implements forestviewd's HTTP engine: one daemon that
+// loads a compendium once and serves all three paper subsystems
+// concurrently — SPELL ranked search (/api/search), GOLEM GO-term
+// enrichment (/api/enrich) and ForestView heatmap tiles (/api/heatmap) —
+// plus /healthz and /api/stats. It is the paper's integration claim
+// ("these analyses become useful when combined behind one dynamically
+// queryable front-end") rebuilt as a traffic-ready service:
+//
+//   - a sharded in-memory LRU cache holds search results, enrichment
+//     tables and rendered PNG tiles under canonicalized query keys;
+//   - request coalescing (singleflight) ensures a burst of identical
+//     concurrent queries computes the underlying result exactly once;
+//   - a bounded worker pool with fail-fast admission control keeps tile
+//     rasterization from monopolizing the process under load;
+//   - per-endpoint counters (requests, errors, hit rate, coalesced joins,
+//     computations, latency) are exposed at /api/stats.
+//
+// The SPELL HTML page (internal/spellweb) mounts onto this server's mux
+// and searches through the same cached path, so humans and API clients
+// share one engine instance and one cache.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"forestview/internal/core"
+	"forestview/internal/golem"
+	"forestview/internal/spell"
+	"forestview/internal/spellweb"
+)
+
+// Config assembles a Server. Engine is required; Enricher and Datasets
+// gate their endpoints (a daemon without an ontology serves 503 on
+// /api/enrich rather than failing to start).
+type Config struct {
+	// Engine is the prepared SPELL compendium (required).
+	Engine *spell.Engine
+	// Enricher is the prepared GOLEM context behind /api/enrich.
+	Enricher *golem.Enricher
+	// Datasets are the clustered panes behind /api/heatmap, indexable by
+	// position or dataset name.
+	Datasets []*core.ClusteredDataset
+
+	// CacheBytes budgets the shared LRU cache (default 64 MiB).
+	CacheBytes int64
+	// RenderWorkers bounds concurrent tile rasterizations (default 4).
+	RenderWorkers int
+	// RenderQueue bounds waiting render jobs before the daemon sheds load
+	// with 503 (default 4×RenderWorkers).
+	RenderQueue int
+	// MaxGenes caps the gene ranking length a search request may ask for
+	// (default 200); requests above it are clamped, keeping any single
+	// query's response — and cache entry — bounded.
+	MaxGenes int
+	// MaxTileDim caps requested tile width and height in pixels
+	// (default 2048).
+	MaxTileDim int
+}
+
+// Server is the forestviewd HTTP engine. It implements http.Handler and
+// spellweb.Searcher.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *Cache
+	flights flightGroup
+	pool    *Pool
+	start   time.Time
+
+	dsIndex map[string]int // dataset name -> Datasets position
+
+	statSearch  endpointStats
+	statEnrich  endpointStats
+	statHeatmap endpointStats
+	statHTML    endpointStats
+	statStats   endpointStats
+}
+
+// New wires a Server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: nil SPELL engine")
+	}
+	if cfg.RenderWorkers <= 0 {
+		cfg.RenderWorkers = 4
+	}
+	if cfg.RenderQueue <= 0 {
+		cfg.RenderQueue = 4 * cfg.RenderWorkers
+	}
+	if cfg.MaxGenes <= 0 {
+		cfg.MaxGenes = 200
+	}
+	if cfg.MaxTileDim <= 0 {
+		cfg.MaxTileDim = 2048
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   NewCache(cfg.CacheBytes),
+		pool:    NewPool(cfg.RenderWorkers, cfg.RenderQueue),
+		start:   time.Now(),
+		dsIndex: make(map[string]int, len(cfg.Datasets)),
+	}
+	for i, cd := range cfg.Datasets {
+		if cd != nil && cd.Data != nil {
+			s.dsIndex[cd.Data.Name] = i
+		}
+	}
+
+	s.mux.HandleFunc("/api/search", s.instrument(&s.statSearch, s.handleSearch))
+	s.mux.HandleFunc("/api/enrich", s.instrument(&s.statEnrich, s.handleEnrich))
+	s.mux.HandleFunc("/api/heatmap", s.instrument(&s.statHeatmap, s.handleHeatmap))
+	s.mux.HandleFunc("/api/stats", s.instrument(&s.statStats, s.handleStats))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	// The SPELL HTML page shares this server's engine and cache: its
+	// Searcher runs through the same cachedDo keys as /api/search, with
+	// its cache/compute activity accounted to the html endpoint.
+	web := spellweb.NewServerFor(&cachedSearcher{s: s, ep: &s.statHTML})
+	web.MaxGenes = 50
+	html := http.NewServeMux()
+	web.RegisterHTML(html)
+	s.mux.HandleFunc("/", s.instrument(&s.statHTML, html.ServeHTTP))
+	s.mux.HandleFunc("/search", s.instrument(&s.statHTML, html.ServeHTTP))
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases the render pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// NumDatasets implements spellweb.Searcher.
+func (s *Server) NumDatasets() int { return s.cfg.Engine.NumDatasets() }
+
+// NumGenes implements spellweb.Searcher.
+func (s *Server) NumGenes() int { return s.cfg.Engine.NumGenes() }
+
+// Search implements spellweb.Searcher for the JSON API through the shared
+// cache and the coalescing layer.
+func (s *Server) Search(ids []string, opt spell.Options) (*spell.Result, error) {
+	return s.searchWith(&s.statSearch, ids, opt)
+}
+
+// searchWith is the single search path; ep receives the cache/compute
+// accounting, so HTML-page and API traffic stay separable in /api/stats
+// while sharing one set of cache keys.
+func (s *Server) searchWith(ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, error) {
+	ids = spell.CanonicalQuery(ids)
+	if opt.MaxGenes <= 0 || opt.MaxGenes > s.cfg.MaxGenes {
+		opt.MaxGenes = s.cfg.MaxGenes
+	}
+	// Parallelism doesn't affect results so it stays out of the key; every
+	// result-shaping option must be in it.
+	key := fmt.Sprintf("search\x1f%d\x1f%t\x1f%t\x1f%s",
+		opt.MaxGenes, opt.IncludeQuery, opt.UniformWeights, joinIDs(ids))
+	v, err := s.cachedDo(ep, key, searchCost, func() (any, error) {
+		return s.cfg.Engine.Search(ids, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*spell.Result), nil
+}
+
+// cachedSearcher adapts the shared search path for the HTML page: same
+// cache keys, html-endpoint accounting.
+type cachedSearcher struct {
+	s  *Server
+	ep *endpointStats
+}
+
+func (c *cachedSearcher) Search(ids []string, opt spell.Options) (*spell.Result, error) {
+	return c.s.searchWith(c.ep, ids, opt)
+}
+
+func (c *cachedSearcher) NumDatasets() int { return c.s.NumDatasets() }
+func (c *cachedSearcher) NumGenes() int    { return c.s.NumGenes() }
+
+// Enrich runs a GOLEM analysis through the shared cache and coalescing
+// layer.
+func (s *Server) Enrich(genes []string, opt golem.Options) ([]golem.Enrichment, error) {
+	if s.cfg.Enricher == nil {
+		return nil, errNoEnricher
+	}
+	genes = spell.CanonicalQuery(genes)
+	key := fmt.Sprintf("enrich\x1f%d\x1f%g\x1f%s", opt.MinSelected, opt.MaxPValue, joinIDs(genes))
+	v, err := s.cachedDo(&s.statEnrich, key, enrichCost, func() (any, error) {
+		return s.cfg.Enricher.Analyze(genes, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]golem.Enrichment), nil
+}
+
+// joinIDs joins gene IDs for a cache key with each ID quoted, so an ID
+// containing the field separator cannot collide with a multi-gene list.
+func joinIDs(ids []string) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(strconv.Quote(id))
+	}
+	return b.String()
+}
+
+// cachedDo is the daemon's concurrency discipline in one place: cache
+// lookup, then coalesced computation, then cache fill. Errors are never
+// cached (a transiently bad query must not poison the cache), but
+// concurrent identical failures still compute only once.
+func (s *Server) cachedDo(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error)) (any, error) {
+	if v, ok := s.cache.Get(key); ok {
+		ep.cacheHits.Add(1)
+		return v, nil
+	}
+	ep.cacheMisses.Add(1)
+	v, err, joined := s.flights.Do(key, func() (any, error) {
+		// Re-check under the flight: a caller that missed the cache just as
+		// the previous flight completed must find that flight's result here
+		// rather than compute again.
+		if v, ok := s.cache.Get(key); ok {
+			return v, nil
+		}
+		ep.computed.Add(1)
+		v, err := compute()
+		if err == nil {
+			s.cache.Put(key, v, cost(v))
+		}
+		return v, err
+	})
+	if joined {
+		ep.coalesced.Add(1)
+	}
+	return v, err
+}
+
+// searchCost approximates the resident size of a cached *spell.Result.
+func searchCost(v any) int64 {
+	r := v.(*spell.Result)
+	n := int64(256)
+	for _, q := range r.Query {
+		n += int64(len(q)) + 16
+	}
+	for _, d := range r.Datasets {
+		n += int64(len(d.Name)) + 48
+	}
+	for _, g := range r.Genes {
+		n += int64(len(g.ID)+len(g.Name)) + 40
+	}
+	return n
+}
+
+// enrichCost approximates the resident size of a cached enrichment table.
+func enrichCost(v any) int64 {
+	rs := v.([]golem.Enrichment)
+	n := int64(128)
+	for _, r := range rs {
+		n += int64(len(r.TermID)+len(r.TermName)) + 96
+	}
+	return n
+}
+
+// instrument wraps a handler with the per-endpoint latency and error
+// accounting behind /api/stats.
+func (s *Server) instrument(ep *endpointStats, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		ep.observe(time.Since(t0), sw.status >= 400)
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Stats assembles the /api/stats snapshot.
+func (s *Server) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Compendium: CompendiumInfo{
+			Datasets:  s.cfg.Engine.NumDatasets(),
+			Genes:     s.cfg.Engine.NumGenes(),
+			Clustered: len(s.cfg.Datasets),
+		},
+		Cache: CacheInfo{
+			Entries:  s.cache.Len(),
+			Bytes:    s.cache.Bytes(),
+			MaxBytes: s.cacheMaxBytes(),
+		},
+		Endpoints: map[string]EndpointSnapshot{
+			"search":  s.statSearch.snapshot(),
+			"enrich":  s.statEnrich.snapshot(),
+			"heatmap": s.statHeatmap.snapshot(),
+			"html":    s.statHTML.snapshot(),
+			"stats":   s.statStats.snapshot(),
+		},
+	}
+	if s.cfg.Enricher != nil {
+		snap.Compendium.GOTerms = s.cfg.Enricher.NumTerms()
+	}
+	return snap
+}
+
+func (s *Server) cacheMaxBytes() int64 {
+	var b int64
+	for i := range s.cache.shards {
+		b += s.cache.shards[i].maxBytes
+	}
+	return b
+}
+
+// lookupDataset resolves a `dataset` query parameter: a position index,
+// or an exact dataset name when the reference does not parse as an index.
+// Index takes precedence so every dataset stays addressable even when one
+// is named like a number. Nil entries (tolerated in Config.Datasets) are
+// unresolvable.
+func (s *Server) lookupDataset(ref string) (*core.ClusteredDataset, int, bool) {
+	if i, err := strconv.Atoi(ref); err == nil && i >= 0 && i < len(s.cfg.Datasets) && s.cfg.Datasets[i] != nil {
+		return s.cfg.Datasets[i], i, true
+	}
+	if i, ok := s.dsIndex[ref]; ok {
+		return s.cfg.Datasets[i], i, true
+	}
+	return nil, 0, false
+}

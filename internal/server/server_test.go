@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/golem"
+	"forestview/internal/ontology"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+)
+
+// pngMagic is the 8-byte PNG file signature.
+var pngMagic = []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+
+var (
+	fixOnce     sync.Once
+	fixUniverse *synth.Universe
+	fixEngine   *spell.Engine
+	fixEnricher *golem.Enricher
+	fixPanes    []*core.ClusteredDataset
+)
+
+// fixture builds one small demo compendium shared by every test; each test
+// still gets its own Server (and therefore its own cache and counters).
+func fixture(t *testing.T) (*Server, *synth.Universe) {
+	t.Helper()
+	fixOnce.Do(func() {
+		u := synth.NewUniverse(250, 8, 42)
+		dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+			NumDatasets: 4, MinExperiments: 10, MaxExperiments: 14,
+			ActiveFraction: 0.5, Noise: 0.25, MissingRate: 0.02, Seed: 43,
+		})
+		engine, err := spell.NewEngine(dss)
+		if err != nil {
+			panic(err)
+		}
+		var names []string
+		for _, m := range u.Modules {
+			names = append(names, m.Name)
+		}
+		onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: names, Seed: 44})
+		if err != nil {
+			panic(err)
+		}
+		enr, err := golem.NewEnricher(onto, ontology.AnnotateFromModules(u.Annotations(), leafOf), u.GeneIDs())
+		if err != nil {
+			panic(err)
+		}
+		var panes []*core.ClusteredDataset
+		for _, ds := range dss {
+			cd, err := core.Cluster(ds, core.ClusterOptions{
+				Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage,
+			})
+			if err != nil {
+				panic(err)
+			}
+			panes = append(panes, cd)
+		}
+		fixUniverse, fixEngine, fixEnricher, fixPanes = u, engine, enr, panes
+	})
+	srv, err := New(Config{
+		Engine: fixEngine, Enricher: fixEnricher, Datasets: fixPanes,
+		CacheBytes: 8 << 20, RenderWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, fixUniverse
+}
+
+func get(t *testing.T, s *Server, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+func statsOf(t *testing.T, s *Server, endpoint string) EndpointSnapshot {
+	t.Helper()
+	rec := get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/stats = %d", rec.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := snap.Endpoints[endpoint]
+	if !ok {
+		t.Fatalf("endpoint %q missing from stats", endpoint)
+	}
+	return ep
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := fixture(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSearchJSON(t *testing.T) {
+	s, u := fixture(t)
+	ids := u.ModuleGeneIDs(3)
+	rec := get(t, s, "/api/search?q="+strings.Join(ids[:3], ",")+"&top=10")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var res spell.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 4 {
+		t.Fatalf("datasets = %d, want 4", len(res.Datasets))
+	}
+	if len(res.Genes) == 0 || len(res.Genes) > 10 {
+		t.Fatalf("genes = %d, want 1..10", len(res.Genes))
+	}
+	for i := 1; i < len(res.Datasets); i++ {
+		if res.Datasets[i].Weight > res.Datasets[i-1].Weight {
+			t.Fatal("dataset ranking not sorted by weight")
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	s, _ := fixture(t)
+	if rec := get(t, s, "/api/search"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing q = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/search?q=NOPE999"); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown gene = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/search?q=A&top=zero"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad top = %d", rec.Code)
+	}
+}
+
+func TestEnrichJSON(t *testing.T) {
+	s, u := fixture(t)
+	genes := u.ModuleGeneIDs(u.ESRInduced)
+	rec := get(t, s, "/api/enrich?genes="+strings.Join(genes, ","))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res enrichResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Background != fixEnricher.BackgroundSize() {
+		t.Fatalf("background = %d", res.Background)
+	}
+	if len(res.Results) == 0 {
+		t.Fatal("no enrichment results for a planted module")
+	}
+	for i := 1; i < len(res.Results); i++ {
+		if res.Results[i].PValue < res.Results[i-1].PValue {
+			t.Fatal("results not sorted by p-value")
+		}
+	}
+	// The planted module's own term must be the top hit.
+	if res.Results[0].Selected < 2 {
+		t.Fatalf("top term selects %d genes", res.Results[0].Selected)
+	}
+}
+
+func TestEnrichErrors(t *testing.T) {
+	s, _ := fixture(t)
+	if rec := get(t, s, "/api/enrich"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing genes = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/enrich?genes=A&maxp=7"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad maxp = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/enrich?genes=NOPE999"); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown genes = %d", rec.Code)
+	}
+
+	bare, err := New(Config{Engine: fixEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bare.Close)
+	if rec := get(t, bare, "/api/enrich?genes=A"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no enricher = %d", rec.Code)
+	}
+}
+
+func TestHeatmapPNG(t *testing.T) {
+	s, _ := fixture(t)
+	rec := get(t, s, "/api/heatmap?dataset=0&w=128&h=96")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !bytes.HasPrefix(rec.Body.Bytes(), pngMagic) {
+		t.Fatalf("body does not start with PNG magic: % x", rec.Body.Bytes()[:8])
+	}
+
+	// Address the same dataset by name, with a row range and colormap.
+	name := fixPanes[1].Data.Name
+	rec = get(t, s, "/api/heatmap?dataset="+strings.ReplaceAll(name, " ", "%20")+"&rows=0:50&cmap=grayscale&limit=1.5")
+	if rec.Code != http.StatusOK || !bytes.HasPrefix(rec.Body.Bytes(), pngMagic) {
+		t.Fatalf("by-name tile: %d", rec.Code)
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	s, _ := fixture(t)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/api/heatmap", http.StatusBadRequest},
+		{"/api/heatmap?dataset=99", http.StatusNotFound},
+		{"/api/heatmap?dataset=nope", http.StatusNotFound},
+		{"/api/heatmap?dataset=0&w=0", http.StatusBadRequest},
+		{"/api/heatmap?dataset=0&w=99999", http.StatusBadRequest},
+		{"/api/heatmap?dataset=0xyz", http.StatusNotFound},
+		{"/api/heatmap?dataset=0&rows=5:2", http.StatusBadRequest},
+		{"/api/heatmap?dataset=0&rows=0:5junk", http.StatusBadRequest},
+		{"/api/heatmap?dataset=0&rows=100000:100002", http.StatusBadRequest},
+		{"/api/heatmap?dataset=0&cmap=sepia", http.StatusBadRequest},
+		{"/api/heatmap?dataset=0&limit=-1", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if rec := get(t, s, c.url); rec.Code != c.want {
+			t.Errorf("%s = %d, want %d", c.url, rec.Code, c.want)
+		}
+	}
+}
+
+func TestCacheHitVsMiss(t *testing.T) {
+	s, u := fixture(t)
+	ids := u.ModuleGeneIDs(2)[:3]
+	q := strings.Join(ids, ",")
+
+	if rec := get(t, s, "/api/search?q="+q); rec.Code != http.StatusOK {
+		t.Fatalf("first search = %d", rec.Code)
+	}
+	ep := statsOf(t, s, "search")
+	if ep.CacheMisses != 1 || ep.CacheHits != 0 || ep.Computed != 1 {
+		t.Fatalf("after miss: %+v", ep)
+	}
+
+	// Same gene set, different order and a duplicate: canonicalization
+	// must make it the same cache key.
+	shuffled := strings.Join([]string{ids[2], ids[0], ids[1], ids[0]}, ",")
+	if rec := get(t, s, "/api/search?q="+shuffled); rec.Code != http.StatusOK {
+		t.Fatalf("second search = %d", rec.Code)
+	}
+	ep = statsOf(t, s, "search")
+	if ep.CacheHits != 1 || ep.Computed != 1 {
+		t.Fatalf("after hit: %+v", ep)
+	}
+
+	// Tiles cache too.
+	for i := 0; i < 2; i++ {
+		if rec := get(t, s, "/api/heatmap?dataset=0&w=64&h=64"); rec.Code != http.StatusOK {
+			t.Fatalf("tile %d = %d", i, rec.Code)
+		}
+	}
+	hep := statsOf(t, s, "heatmap")
+	if hep.CacheHits != 1 || hep.CacheMisses != 1 || hep.Computed != 1 {
+		t.Fatalf("tile cache: %+v", hep)
+	}
+}
+
+// TestHTMLSharesSearchCache proves the spellweb HTML page and the JSON API
+// run through one cache: an HTML search warms the entry the API then hits.
+func TestHTMLSharesSearchCache(t *testing.T) {
+	s, u := fixture(t)
+	ids := u.ModuleGeneIDs(4)[:3]
+	q := strings.Join(ids, ",")
+
+	rec := get(t, s, "/search?q="+q)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Datasets by relevance") {
+		t.Fatalf("HTML search = %d", rec.Code)
+	}
+	html := statsOf(t, s, "html")
+	if html.Requests != 1 || html.Computed != 1 {
+		t.Fatalf("HTML search accounting: %+v", html)
+	}
+
+	// The HTML page searches with MaxGenes=50; the API asking for the same
+	// must hit the HTML-warmed entry without computing anything.
+	if rec := get(t, s, "/api/search?q="+q+"&top=50"); rec.Code != http.StatusOK {
+		t.Fatalf("API search = %d", rec.Code)
+	}
+	ep := statsOf(t, s, "search")
+	if ep.CacheHits != 1 || ep.Computed != 0 {
+		t.Fatalf("API did not hit the HTML-warmed cache: %+v", ep)
+	}
+}
+
+// TestConcurrentIdenticalQueriesComputeOnce is the coalescing proof: many
+// goroutines hammer one query on a cold cache; the underlying SPELL search
+// must execute exactly once. Run with -race.
+func TestConcurrentIdenticalQueriesComputeOnce(t *testing.T) {
+	s, u := fixture(t)
+	ids := u.ModuleGeneIDs(5)
+	if len(ids) > 4 {
+		ids = ids[:4]
+	}
+	q := strings.Join(ids, ",")
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rec := get(t, s, "/api/search?q="+q); rec.Code != http.StatusOK {
+				t.Errorf("status = %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	ep := statsOf(t, s, "search")
+	if ep.Computed != 1 {
+		t.Fatalf("computed = %d, want exactly 1 (coalescing failed)", ep.Computed)
+	}
+	if ep.Requests != n {
+		t.Fatalf("requests = %d, want %d", ep.Requests, n)
+	}
+	if ep.CacheHits+ep.CacheMisses != n {
+		t.Fatalf("hits(%d)+misses(%d) != %d", ep.CacheHits, ep.CacheMisses, n)
+	}
+	// Every miss either computed, joined a flight, or found the result on
+	// the in-flight re-check; the accounting must close.
+	if ep.Coalesced+ep.Computed > ep.CacheMisses {
+		t.Fatalf("accounting: coalesced=%d computed=%d misses=%d", ep.Coalesced, ep.Computed, ep.CacheMisses)
+	}
+
+	// Concurrent identical tiles coalesce the render too.
+	var wg2 sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if rec := get(t, s, "/api/heatmap?dataset=1&w=80&h=60"); rec.Code != http.StatusOK {
+				t.Errorf("tile status = %d", rec.Code)
+			}
+		}()
+	}
+	wg2.Wait()
+	if hep := statsOf(t, s, "heatmap"); hep.Computed != 1 {
+		t.Fatalf("tile computed = %d, want 1", hep.Computed)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s, _ := fixture(t)
+	rec := get(t, s, "/api/stats")
+	var snap StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Compendium.Datasets != 4 || snap.Compendium.Genes == 0 {
+		t.Fatalf("compendium info: %+v", snap.Compendium)
+	}
+	if snap.Compendium.GOTerms == 0 {
+		t.Fatal("GO term count missing")
+	}
+	if snap.Cache.MaxBytes != 8<<20 {
+		t.Fatalf("cache max bytes = %d", snap.Cache.MaxBytes)
+	}
+	for _, ep := range []string{"search", "enrich", "heatmap", "html", "stats"} {
+		if _, ok := snap.Endpoints[ep]; !ok {
+			t.Fatalf("endpoint %q missing", ep)
+		}
+	}
+}
+
+func TestServerRequiresEngine(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil engine")
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats holds the per-endpoint counters behind /api/stats. All
+// fields are atomics so the hot path never takes a lock to record a
+// request.
+type endpointStats struct {
+	requests    atomic.Int64
+	errors      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64 // requests that joined another's in-flight compute
+	computed    atomic.Int64 // underlying computations actually executed
+	rejected    atomic.Int64 // shed by the render pool (503)
+	latencyUS   atomic.Int64 // summed request latency, microseconds
+	maxUS       atomic.Int64 // worst observed request latency, microseconds
+}
+
+// observe records one finished request.
+func (e *endpointStats) observe(d time.Duration, failed bool) {
+	e.requests.Add(1)
+	if failed {
+		e.errors.Add(1)
+	}
+	us := d.Microseconds()
+	e.latencyUS.Add(us)
+	for {
+		cur := e.maxUS.Load()
+		if us <= cur || e.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's counters.
+type EndpointSnapshot struct {
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Coalesced     int64   `json:"coalesced"`
+	Computed      int64   `json:"computed"`
+	Rejected      int64   `json:"rejected"`
+	MeanLatencyUS int64   `json:"mean_latency_us"`
+	MaxLatencyUS  int64   `json:"max_latency_us"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests:     e.requests.Load(),
+		Errors:       e.errors.Load(),
+		CacheHits:    e.cacheHits.Load(),
+		CacheMisses:  e.cacheMisses.Load(),
+		Coalesced:    e.coalesced.Load(),
+		Computed:     e.computed.Load(),
+		Rejected:     e.rejected.Load(),
+		MaxLatencyUS: e.maxUS.Load(),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	if s.Requests > 0 {
+		s.MeanLatencyUS = e.latencyUS.Load() / s.Requests
+	}
+	return s
+}
+
+// StatsSnapshot is the /api/stats response body.
+type StatsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Compendium    CompendiumInfo              `json:"compendium"`
+	Cache         CacheInfo                   `json:"cache"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// CompendiumInfo summarizes what the daemon loaded at startup.
+type CompendiumInfo struct {
+	Datasets  int `json:"datasets"`
+	Genes     int `json:"genes"`
+	GOTerms   int `json:"go_terms"`
+	Clustered int `json:"clustered_datasets"`
+}
+
+// CacheInfo summarizes shared-cache occupancy.
+type CacheInfo struct {
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}

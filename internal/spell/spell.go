@@ -16,6 +16,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"forestview/internal/microarray"
@@ -120,6 +121,33 @@ func (e *Engine) NumDatasets() int { return len(e.datasets) }
 
 // NumGenes returns the number of distinct gene IDs across the compendium.
 func (e *Engine) NumGenes() int { return len(e.order) }
+
+// GeneIDs returns every distinct gene ID in stable compendium order. The
+// query daemon uses it as the enrichment background when no explicit
+// universe is supplied.
+func (e *Engine) GeneIDs() []string {
+	return append([]string(nil), e.order...)
+}
+
+// CanonicalQuery normalizes a query gene list: IDs are trimmed, empties and
+// duplicates dropped, and the remainder sorted. Search results are
+// insensitive to query order and multiplicity, so the canonical form is a
+// correct cache key for a search — two requests with the same gene set in
+// any order canonicalize identically.
+func CanonicalQuery(ids []string) []string {
+	seen := make(map[string]bool, len(ids))
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Search runs a SPELL query. At least one query gene must be present
 // somewhere in the compendium.

@@ -15,24 +15,47 @@ import (
 	"forestview/internal/spell"
 )
 
-// Server wraps a SPELL engine as an http.Handler.
+// Searcher is the engine-shaped dependency of the web front-end. The plain
+// *spell.Engine satisfies it; so does the query daemon's cached, coalesced
+// search path (internal/server), which is how the HTML page and the JSON
+// API come to share one engine instance and one result cache.
+type Searcher interface {
+	Search(ids []string, opt spell.Options) (*spell.Result, error)
+	NumDatasets() int
+	NumGenes() int
+}
+
+// Server wraps a Searcher as an http.Handler.
 type Server struct {
-	engine *spell.Engine
+	engine Searcher
 	mux    *http.ServeMux
 	// MaxGenes caps result length per query (default 50).
 	MaxGenes int
 }
 
-// NewServer builds the handler over a prepared engine.
+// NewServer builds the standalone handler over a prepared engine, with its
+// own mux serving the HTML page, the JSON API and a health check.
 func NewServer(engine *spell.Engine) *Server {
+	return NewServerFor(engine)
+}
+
+// NewServerFor is NewServer for any Searcher implementation.
+func NewServerFor(engine Searcher) *Server {
 	s := &Server{engine: engine, mux: http.NewServeMux(), MaxGenes: 50}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/search", s.handleSearch)
+	s.RegisterHTML(s.mux)
 	s.mux.HandleFunc("/api/search", s.handleAPISearch)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// RegisterHTML mounts only the human-facing routes ("/" and "/search") on
+// an external mux. The query daemon uses this to serve the SPELL page from
+// its own mux while keeping ownership of the JSON API and health routes.
+func (s *Server) RegisterHTML(mux *http.ServeMux) {
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/search", s.handleSearch)
 }
 
 // ServeHTTP implements http.Handler.
@@ -97,7 +120,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		NumGenes:    s.engine.NumGenes(),
 		Query:       q,
 	}
-	ids := parseQuery(q)
+	ids := ParseQuery(q)
 	if len(ids) == 0 {
 		data.Error = "enter at least one gene ID"
 		s.renderPage(w, data)
@@ -114,7 +137,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
-	ids := parseQuery(r.URL.Query().Get("q"))
+	ids := ParseQuery(r.URL.Query().Get("q"))
 	if len(ids) == 0 {
 		http.Error(w, `{"error":"missing q parameter"}`, http.StatusBadRequest)
 		return
@@ -144,8 +167,10 @@ func (s *Server) maxGenes() int {
 	return 50
 }
 
-// parseQuery splits a comma/whitespace separated gene list.
-func parseQuery(q string) []string {
+// ParseQuery splits a comma/whitespace separated gene list. It is the one
+// query-string grammar shared by the HTML form, the JSON API and the query
+// daemon's endpoints.
+func ParseQuery(q string) []string {
 	var out []string
 	for _, f := range strings.FieldsFunc(q, func(r rune) bool {
 		return r == ',' || r == ' ' || r == '\t' || r == '\n'

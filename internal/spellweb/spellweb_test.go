@@ -152,8 +152,8 @@ func TestParseQuery(t *testing.T) {
 		{" ,, ", 0},
 	}
 	for _, c := range cases {
-		if got := parseQuery(c.in); len(got) != c.want {
-			t.Errorf("parseQuery(%q) = %v, want %d items", c.in, got, c.want)
+		if got := ParseQuery(c.in); len(got) != c.want {
+			t.Errorf("ParseQuery(%q) = %v, want %d items", c.in, got, c.want)
 		}
 	}
 }
