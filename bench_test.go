@@ -241,6 +241,33 @@ func BenchmarkF4_SPELL(b *testing.B) {
 	}
 }
 
+// BenchmarkF4_SPELLReference runs the identical workload through the
+// retained naive scorer (map-merged, per-pair Pearson from scratch) so the
+// dense kernel's speedup is measurable within one binary: compare against
+// BenchmarkF4_SPELL at the same dataset counts.
+func BenchmarkF4_SPELLReference(b *testing.B) {
+	u := synth.NewUniverse(1000, 20, 13)
+	query := u.ModuleGeneIDs(4)[:4]
+	for _, nDS := range []int{5, 10, 20} {
+		b.Run(fmt.Sprintf("datasets-%d", nDS), func(b *testing.B) {
+			dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+				NumDatasets: nDS, MinExperiments: 12, MaxExperiments: 24,
+				ActiveFraction: 0.4, Noise: 0.25, Seed: 17,
+			})
+			engine, err := spell.NewEngine(dss)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.ReferenceSearch(query, spell.Options{MaxGenes: 50}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkF4_SPELLEngineBuild(b *testing.B) {
 	u := synth.NewUniverse(1000, 20, 13)
 	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{

@@ -80,6 +80,15 @@ func (c *Cache) Put(key string, val any, cost int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cost > s.maxBytes {
+		// The value can never fit, but merely skipping the insert would
+		// leave any previous value cached under the key — stale from the
+		// caller's point of view, since Put is a replacement. Drop it.
+		if el, ok := s.items[key]; ok {
+			e := el.Value.(*cacheEntry)
+			s.ll.Remove(el)
+			delete(s.items, key)
+			s.bytes -= e.cost
+		}
 		return
 	}
 	if el, ok := s.items[key]; ok {

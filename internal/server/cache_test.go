@@ -71,6 +71,24 @@ func TestCacheRejectsOversized(t *testing.T) {
 	}
 }
 
+// TestCacheOversizedReplacementDropsOldValue: replacing a cached value
+// with one too large to cache must not leave the old value behind — Put is
+// a replacement, so a reader finding the old entry would see stale data.
+func TestCacheOversizedReplacementDropsOldValue(t *testing.T) {
+	c := NewCache(numShards * 100)
+	c.Put("k", "old", 40)
+	if v, ok := c.Get("k"); !ok || v.(string) != "old" {
+		t.Fatalf("seed entry missing: %v, %v", v, ok)
+	}
+	c.Put("k", "new-but-huge", 101) // exceeds the 100-byte shard budget
+	if v, ok := c.Get("k"); ok {
+		t.Fatalf("stale value %v survived an oversized replacement", v)
+	}
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatalf("cache not empty after drop: %d entries, %d bytes", c.Len(), c.Bytes())
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache(1 << 20)
 	var wg sync.WaitGroup

@@ -91,11 +91,11 @@ func TestFlightGroupSurvivesPanic(t *testing.T) {
 func TestPoolSurvivesPanickingJob(t *testing.T) {
 	p := NewPool(1, 2)
 	defer p.Close()
-	if _, err := p.Run(func() (any, error) { panic("tile bug") }); err == nil {
+	if _, err := p.Run(nil, func() (any, error) { panic("tile bug") }); err == nil {
 		t.Fatal("panic not converted to error")
 	}
 	// The worker must still be alive for the next job.
-	v, err := p.Run(func() (any, error) { return "alive", nil })
+	v, err := p.Run(nil, func() (any, error) { return "alive", nil })
 	if err != nil || v.(string) != "alive" {
 		t.Fatalf("worker died after panic: %v, %v", v, err)
 	}
@@ -104,7 +104,7 @@ func TestPoolSurvivesPanickingJob(t *testing.T) {
 func TestPoolRunsJobs(t *testing.T) {
 	p := NewPool(2, 8)
 	defer p.Close()
-	v, err := p.Run(func() (any, error) { return "done", nil })
+	v, err := p.Run(nil, func() (any, error) { return "done", nil })
 	if err != nil || v.(string) != "done" {
 		t.Fatalf("Run = %v, %v", v, err)
 	}
@@ -118,12 +118,12 @@ func TestPoolShedsWhenSaturated(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, _ = p.Run(func() (any, error) { close(started); <-block; return nil, nil })
+		_, _ = p.Run(nil, func() (any, error) { close(started); <-block; return nil, nil })
 	}()
 	<-started // the single worker is now parked on block
 	go func() {
 		defer wg.Done()
-		_, _ = p.Run(func() (any, error) { return nil, nil })
+		_, _ = p.Run(nil, func() (any, error) { return nil, nil })
 	}()
 	// Wait for the filler job to occupy the one queue slot.
 	for i := 0; len(p.jobs) == 0 && i < 2000; i++ {
@@ -133,7 +133,7 @@ func TestPoolShedsWhenSaturated(t *testing.T) {
 		t.Fatal("queue slot never filled")
 	}
 	// Worker busy + queue full: the next submission must shed, not block.
-	if _, err := p.Run(func() (any, error) { return nil, nil }); err != ErrSaturated {
+	if _, err := p.Run(nil, func() (any, error) { return nil, nil }); err != ErrSaturated {
 		t.Fatalf("err = %v, want ErrSaturated", err)
 	}
 	close(block)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -199,10 +200,27 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		p.limit = lim
 	}
 
-	png, err := s.renderTile(cd, p)
+	png, err := s.renderTile(r.Context(), cd, p)
 	if errors.Is(err, ErrSaturated) {
 		s.statHeatmap.rejected.Add(1)
 		writeJSONError(w, http.StatusServiceUnavailable, "render pool saturated, retry later")
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if r.Context().Err() != nil {
+			// Our client hung up (or timed out) before the tile rendered;
+			// nobody is listening for a body. 499 is the de-facto status
+			// for "client closed request", and it keeps the abort visible
+			// as an error in /api/stats.
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		// Our client is still live: the context error leaked from other
+		// requests' flights (renderTile exhausted its retries against
+		// flights whose leaders kept disconnecting). Shed like saturation
+		// so the client retries, rather than misreporting a hangup.
+		s.statHeatmap.rejected.Add(1)
+		writeJSONError(w, http.StatusServiceUnavailable, "render repeatedly interrupted, retry later")
 		return
 	}
 	if err != nil {
@@ -214,26 +232,61 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(png)
 }
 
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request"; net/http never sends it to anyone (the client is gone) but the
+// per-endpoint error accounting sees it.
+const statusClientClosedRequest = 499
+
 // renderTile produces the PNG bytes for p, cached and coalesced like every
 // other result; only the actual rasterization runs on the worker pool, so
-// cache hits bypass the pool entirely.
-func (s *Server) renderTile(cd *core.ClusteredDataset, p tileParams) ([]byte, error) {
-	v, err := s.cachedDo(&s.statHeatmap, p.key(), func(v any) int64 {
-		return int64(len(v.([]byte))) + 64
-	}, func() (any, error) {
-		return s.pool.Run(func() (any, error) {
-			rows := cd.RowsInDisplayRange(p.from, p.to)
-			c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
-			render.RenderHeatmap(c, render.Rect{X: 0, Y: 0, W: p.w, H: p.h}, rows, render.HeatmapOptions{
-				ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
+// cache hits bypass the pool entirely. The request context rides through
+// the coalescing layer into Pool.Run, so a tile whose client has hung up
+// stops waiting immediately and is skipped if still queued. Because
+// coalesced followers share the leader's flight — and therefore the
+// leader's context — a follower whose own context is still live retries
+// when a flight dies of someone else's cancellation, becoming the new
+// leader instead of failing an innocent request.
+func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p tileParams) ([]byte, error) {
+	const maxAttempts = 3
+	var (
+		v   any
+		err error
+	)
+	key := p.key()
+	tileCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		v, err = s.cachedDo(&s.statHeatmap, key, tileCost, func() (any, error) {
+			return s.pool.Run(ctx, func() (any, error) {
+				rows := cd.RowsInDisplayRange(p.from, p.to)
+				c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
+				render.RenderHeatmap(c, render.Rect{X: 0, Y: 0, W: p.w, H: p.h}, rows, render.HeatmapOptions{
+					ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
+				})
+				var buf bytes.Buffer
+				if err := c.EncodePNG(&buf); err != nil {
+					return nil, err
+				}
+				png := buf.Bytes()
+				// Fill the cache from inside the job too: a worker only
+				// learns its submitter hung up when the job is already
+				// running, so a render abandoned mid-rasterization still
+				// completes — this keeps the finished tile for the
+				// retrying follower (or the next request) instead of
+				// discarding it with the canceled wait. cachedDo's own
+				// Put after a live wait is an idempotent overwrite.
+				s.cache.Put(key, png, tileCost(png))
+				return png, nil
 			})
-			var buf bytes.Buffer
-			if err := c.EncodePNG(&buf); err != nil {
-				return nil, err
-			}
-			return buf.Bytes(), nil
 		})
-	})
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		// A joined flight failed with a context error that is not ours:
+		// the leader's client disconnected. Retry for our still-live client.
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,7 +16,10 @@ var ErrSaturated = errors.New("server: render pool saturated")
 // Pool is a bounded worker pool: a fixed set of workers drains a bounded
 // job queue. Submissions beyond queue capacity fail fast with ErrSaturated
 // rather than queueing unboundedly (the admission-control half of keeping
-// tail latency sane under heavy traffic).
+// tail latency sane under heavy traffic). Jobs carry the submitter's
+// context: a job whose context is already canceled when a worker picks it
+// up is skipped without running — work queued for a client that has hung
+// up must not steal a worker from clients still waiting.
 type Pool struct {
 	jobs    chan poolJob
 	wg      sync.WaitGroup
@@ -24,6 +28,7 @@ type Pool struct {
 }
 
 type poolJob struct {
+	ctx  context.Context
 	fn   func() (any, error)
 	done chan poolResult
 }
@@ -48,6 +53,13 @@ func NewPool(workers, queueDepth int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.jobs {
+				if err := j.ctx.Err(); err != nil {
+					// Abandoned while queued: skip the work entirely. The
+					// done channel is buffered, so this never blocks even
+					// when the submitter has already stopped listening.
+					j.done <- poolResult{err: err}
+					continue
+				}
 				j.done <- runJob(j.fn)
 			}
 		}()
@@ -70,10 +82,19 @@ func runJob(fn func() (any, error)) (res poolResult) {
 // ErrClosed is returned by Run after Close.
 var ErrClosed = errors.New("server: render pool closed")
 
-// Run submits fn and waits for its result. It returns ErrSaturated
-// immediately when the queue is full and ErrClosed after Close.
-func (p *Pool) Run(fn func() (any, error)) (any, error) {
-	j := poolJob{fn: fn, done: make(chan poolResult, 1)}
+// Run submits fn and waits for its result or for ctx to end, whichever
+// comes first. It returns ErrSaturated immediately when the queue is full,
+// ErrClosed after Close, and ctx.Err() when the context ends before the
+// job completes — in which case a still-queued job will be skipped by the
+// worker that dequeues it. A nil ctx means context.Background().
+func (p *Pool) Run(ctx context.Context, fn func() (any, error)) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
 	// The enqueue is non-blocking, so holding closeMu across it is cheap;
 	// it serializes against Close so we never send on a closed channel.
 	p.closeMu.Lock()
@@ -88,8 +109,21 @@ func (p *Pool) Run(fn func() (any, error)) (any, error) {
 		p.closeMu.Unlock()
 		return nil, ErrSaturated
 	}
-	r := <-j.done
-	return r.val, r.err
+	select {
+	case r := <-j.done:
+		return r.val, r.err
+	case <-ctx.Done():
+		// The job may still run to completion; its buffered done channel
+		// lets the worker move on without a receiver. If it finished in
+		// the same instant we were leaving, prefer the result over the
+		// cancellation — completed work must not be thrown away.
+		select {
+		case r := <-j.done:
+			return r.val, r.err
+		default:
+		}
+		return nil, ctx.Err()
+	}
 }
 
 // Close stops accepting work and waits for in-flight jobs to finish.

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunUnblocksOnContextCancel: a submitter whose client disconnects
+// must stop waiting as soon as its context ends, even while its job is
+// stuck behind a busy worker.
+func TestPoolRunUnblocksOnContextCancel(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = p.Run(nil, func() (any, error) { close(started); <-block; return nil, nil })
+	}()
+	<-started // the single worker is parked
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx, func() (any, error) { return "never", nil })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the job reach the queue
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not unblock on ctx.Done()")
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestPoolSkipsAbandonedQueuedJobs: a job whose context is canceled while
+// it waits in the queue must never execute — its work would be thrown away.
+func TestPoolSkipsAbandonedQueuedJobs(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = p.Run(nil, func() (any, error) { close(started); <-block; return nil, nil })
+	}()
+	<-started
+
+	var ran atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	var abandoned sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		abandoned.Add(1)
+		go func() {
+			defer abandoned.Done()
+			_, _ = p.Run(ctx, func() (any, error) { ran.Add(1); return nil, nil })
+		}()
+	}
+	// Wait for the abandoned jobs to be queued, then hang up before the
+	// worker can reach them.
+	for i := 0; len(p.jobs) < 3 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(p.jobs) < 3 {
+		t.Fatal("jobs never queued")
+	}
+	cancel()
+	abandoned.Wait()
+	close(block)
+
+	// A live job after the abandoned ones proves the worker drained them.
+	if v, err := p.Run(nil, func() (any, error) { return "live", nil }); err != nil || v.(string) != "live" {
+		t.Fatalf("live job after abandoned ones: %v, %v", v, err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d abandoned jobs executed, want 0", n)
+	}
+}
+
+// TestHeatmapAbandonedRequest drives the full handler path with an
+// already-canceled request context: the daemon must not render the tile
+// and must account the abort as a client-closed-request error.
+func TestHeatmapAbandonedRequest(t *testing.T) {
+	s, _ := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/heatmap?dataset=0&w=64&h=64", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	// The render never happened, so a later identical request computes it
+	// fresh (miss), proving no broken entry was cached either.
+	rec2 := get(t, s, "/api/heatmap?dataset=0&w=64&h=64")
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("follow-up tile = %d", rec2.Code)
+	}
+}

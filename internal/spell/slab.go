@@ -1,0 +1,83 @@
+package spell
+
+import (
+	"forestview/internal/microarray"
+	"forestview/internal/stats"
+)
+
+// slab is one dataset of the compendium in scoring-ready form. Instead of a
+// [][]float64 of z-rows plus a map from gene ID to row, a slab keeps:
+//
+//   - z: every z-scored row back to back in one contiguous []float64
+//     (row r occupies z[r*nExp : (r+1)*nExp]), so a search streams through
+//     the dataset with no pointer chasing;
+//   - unit: the centered, unit-Euclidean-norm form of each complete row in
+//     a parallel slab. For two rows with unit forms, Pearson correlation is
+//     exactly a dot product — the kernel's fast path;
+//   - fast: the per-row mask saying whether the unit form exists (the row
+//     is complete, non-constant, and has ≥2 experiments). Rows that fail
+//     the mask fall back to the NaN-pairwise stats.Pearson on z;
+//   - gids/rowOf: both directions of the global integer gene index, so the
+//     scoring loops never touch a string or a map.
+type slab struct {
+	nExp  int
+	gids  []int32 // row -> global gene index
+	rowOf []int32 // global gene index -> row in this dataset, -1 if absent
+	z     []float64
+	unit  []float64
+	fast  []bool
+}
+
+// buildSlab prepares ds against the engine's global gene index. numGenes is
+// the size of the global index (len of the engine's order slice).
+func buildSlab(ds *microarray.Dataset, gid map[string]int, numGenes int) *slab {
+	nG, nE := ds.NumGenes(), ds.NumExperiments()
+	s := &slab{
+		nExp:  nE,
+		gids:  make([]int32, nG),
+		rowOf: make([]int32, numGenes),
+		z:     make([]float64, nG*nE),
+		unit:  make([]float64, nG*nE),
+		fast:  make([]bool, nG),
+	}
+	for i := range s.rowOf {
+		s.rowOf[i] = -1
+	}
+	for g := 0; g < nG; g++ {
+		gi := gid[ds.Genes[g].ID]
+		s.gids[g] = int32(gi)
+		s.rowOf[gi] = int32(g)
+		zr := s.z[g*nE : (g+1)*nE]
+		stats.ZScoresInto(zr, ds.Row(g))
+		s.fast[g] = stats.CenterUnitNormInto(s.unit[g*nE:(g+1)*nE], zr)
+	}
+	return s
+}
+
+// zrow returns the z-scored row r (may contain NaN for missing values).
+func (s *slab) zrow(r int32) []float64 {
+	return s.z[int(r)*s.nExp : (int(r)+1)*s.nExp]
+}
+
+// unitRow returns the centered unit-norm row r; only valid when fast[r].
+func (s *slab) unitRow(r int32) []float64 {
+	return s.unit[int(r)*s.nExp : (int(r)+1)*s.nExp]
+}
+
+// queryRows returns the rows of this dataset measuring the given global
+// gene indices, and whether every one of them has a unit form (which
+// unlocks the pre-summed fast path in the scoring stage).
+func (s *slab) queryRows(qgids []int) (rows []int32, allFast bool) {
+	allFast = true
+	for _, gi := range qgids {
+		r := s.rowOf[gi]
+		if r < 0 {
+			continue
+		}
+		rows = append(rows, r)
+		if !s.fast[r] {
+			allFast = false
+		}
+	}
+	return rows, allFast
+}

@@ -8,6 +8,16 @@
 // other gene by its weighted correlation to the query across the
 // compendium. The output is exactly what ForestView visualizes: an ordered
 // list of datasets and an ordered list of genes.
+//
+// The scoring core is a dense, integer-indexed kernel: the engine assigns
+// every distinct gene ID a global integer once, stores each dataset's
+// z-scored rows in one contiguous slab with precomputed centered unit-norm
+// forms (see slab.go), and accumulates gene scores into per-worker dense
+// vectors merged lock-free after the workers drain (see accum.go). For
+// complete rows, Pearson correlation collapses to a single dot product;
+// rows with missing values fall back to the NaN-pairwise statistic. The
+// retained naive scorer in reference.go is the golden standard the kernel
+// is tested against.
 package spell
 
 import (
@@ -66,24 +76,25 @@ type GeneRank struct {
 
 // Result of a SPELL search.
 type Result struct {
+	// Query is the canonicalized query the engine actually ran: trimmed,
+	// deduplicated, sorted (see CanonicalQuery).
 	Query    []string
 	Datasets []DatasetRank
 	Genes    []GeneRank
 }
 
 // Engine holds a compendium prepared for repeated searches. Construction
-// z-transforms every gene vector once so correlations are comparable across
-// datasets with different dynamic ranges, as SPELL prescribes.
+// assigns every distinct gene ID a global integer index and z-transforms
+// every gene vector once — so correlations are comparable across datasets
+// with different dynamic ranges, as SPELL prescribes — storing each dataset
+// as a contiguous slab ready for the dense kernel. An Engine is immutable
+// after NewEngine and safe for concurrent Search calls.
 type Engine struct {
 	datasets []*microarray.Dataset
-	zrows    [][][]float64    // [dataset][gene row][experiment]
-	index    []map[string]int // per dataset: gene ID -> row
-	ids      map[string]geneIdent
-	order    []string // stable universe order of gene IDs
-}
-
-type geneIdent struct {
-	name string
+	order    []string       // global gene index -> gene ID, stable compendium order
+	names    []string       // global gene index -> display name
+	gid      map[string]int // gene ID -> global index
+	slabs    []*slab
 }
 
 // NewEngine prepares the given datasets for searching. Datasets are not
@@ -94,25 +105,42 @@ func NewEngine(dss []*microarray.Dataset) (*Engine, error) {
 	}
 	e := &Engine{
 		datasets: dss,
-		zrows:    make([][][]float64, len(dss)),
-		index:    make([]map[string]int, len(dss)),
-		ids:      make(map[string]geneIdent),
+		gid:      make(map[string]int),
+		slabs:    make([]*slab, len(dss)),
 	}
-	for di, ds := range dss {
-		idx := make(map[string]int, ds.NumGenes())
-		rows := make([][]float64, ds.NumGenes())
+	// Pass 1: the global gene index, in stable first-seen order.
+	for _, ds := range dss {
 		for g := 0; g < ds.NumGenes(); g++ {
 			gene := ds.Genes[g]
-			idx[gene.ID] = g
-			rows[g] = stats.ZScores(ds.Row(g))
-			if _, ok := e.ids[gene.ID]; !ok {
-				e.ids[gene.ID] = geneIdent{name: gene.Name}
+			if _, ok := e.gid[gene.ID]; !ok {
+				e.gid[gene.ID] = len(e.order)
 				e.order = append(e.order, gene.ID)
+				e.names = append(e.names, gene.Name)
 			}
 		}
-		e.index[di] = idx
-		e.zrows[di] = rows
 	}
+	// Pass 2: per-dataset slabs, built concurrently — each slot is written
+	// by exactly one worker.
+	par := runtime.GOMAXPROCS(0)
+	if par > len(dss) {
+		par = len(dss)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range work {
+				e.slabs[di] = buildSlab(dss[di], e.gid, len(e.order))
+			}
+		}()
+	}
+	for di := range dss {
+		work <- di
+	}
+	close(work)
+	wg.Wait()
 	return e, nil
 }
 
@@ -149,21 +177,35 @@ func CanonicalQuery(ids []string) []string {
 	return out
 }
 
+// dsInfo is the stage-1 result for one dataset.
+type dsInfo struct {
+	rows      []int32 // dataset rows measuring query genes
+	allFast   bool    // every query row has a unit form
+	coherence float64
+}
+
 // Search runs a SPELL query. At least one query gene must be present
 // somewhere in the compendium.
+//
+// The query is canonicalized internally (trimmed, deduplicated): a
+// duplicated query gene must not add Pearson(row, row) = 1 pairs to a
+// dataset's coherence — that would inflate its weight by FisherZ(1-ε) per
+// duplicate pair and distort every rank — so no entry point can be exposed
+// to the duplicate-query bug regardless of whether it canonicalizes.
 func (e *Engine) Search(query []string, opt Options) (*Result, error) {
+	query = CanonicalQuery(query)
 	if len(query) == 0 {
 		return nil, errors.New("spell: empty query")
 	}
-	qset := make(map[string]bool, len(query))
-	found := false
+	qgids := make([]int, 0, len(query))
+	qmask := make([]bool, len(e.order))
 	for _, q := range query {
-		qset[q] = true
-		if _, ok := e.ids[q]; ok {
-			found = true
+		if gi, ok := e.gid[q]; ok {
+			qgids = append(qgids, gi)
+			qmask[gi] = true
 		}
 	}
-	if !found {
+	if len(qgids) == 0 {
 		return nil, fmt.Errorf("spell: none of the %d query genes occur in the compendium", len(query))
 	}
 
@@ -171,17 +213,13 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(e.datasets) {
-		par = len(e.datasets)
+	if par > len(e.slabs) {
+		par = len(e.slabs)
 	}
 
-	// Stage 1: per-dataset query coherence, computed concurrently — one
-	// result slot per dataset, no shared mutable state.
-	type dsScore struct {
-		coherence float64
-		present   int
-	}
-	scores := make([]dsScore, len(e.datasets))
+	// Stage 1: per-dataset query rows and coherence, computed concurrently
+	// — one result slot per dataset, no shared mutable state.
+	infos := make([]dsInfo, len(e.slabs))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < par; w++ {
@@ -189,14 +227,13 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for di := range work {
-				scores[di] = dsScore{}
-				rows, present := e.queryRows(di, query)
-				scores[di].present = present
-				scores[di].coherence = queryCoherence(rows)
+				sl := e.slabs[di]
+				rows, allFast := sl.queryRows(qgids)
+				infos[di] = dsInfo{rows: rows, allFast: allFast, coherence: coherence(sl, rows)}
 			}
 		}()
 	}
-	for di := range e.datasets {
+	for di := range e.slabs {
 		work <- di
 	}
 	close(work)
@@ -205,14 +242,14 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 	// Normalize positive coherence into weights. A dataset where the query
 	// genes are uncorrelated (or absent) contributes nothing, exactly the
 	// behaviour that lets SPELL ignore irrelevant studies.
-	weights := make([]float64, len(e.datasets))
+	weights := make([]float64, len(e.slabs))
 	total := 0.0
-	for di, s := range scores {
-		w := s.coherence
+	for di := range infos {
+		w := infos[di].coherence
 		if opt.UniformWeights {
 			// Ablation baseline: every dataset measuring the query counts
 			// equally, informative or not.
-			if s.present > 0 {
+			if len(infos[di].rows) > 0 {
 				w = 1
 			} else {
 				w = 0
@@ -228,8 +265,8 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 		// Degenerate query (single gene or incoherent everywhere): fall
 		// back to uniform weights over datasets measuring the query.
 		n := 0
-		for di, s := range scores {
-			if s.present > 0 {
+		for di := range infos {
+			if len(infos[di].rows) > 0 {
 				weights[di] = 1
 				n++
 			}
@@ -243,98 +280,96 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 		weights[di] /= total
 	}
 
-	// Stage 2: weighted gene scores, concurrently per dataset, merged
-	// under a mutex at dataset granularity (coarse enough to be cheap).
-	geneScore := make(map[string]float64, len(e.order))
-	geneWeight := make(map[string]float64, len(e.order))
-	var mu sync.Mutex
+	// Stage 2: weighted gene scores, concurrently per dataset. Every worker
+	// accumulates into its own dense vector pair indexed by global gene id;
+	// the vectors merge by plain addition once the workers drain — no lock,
+	// no map, no string hashing on the hot path.
+	accs := make([]*accum, par)
 	work2 := make(chan int)
 	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var acc *accum
 			for di := range work2 {
-				if weights[di] == 0 {
+				if weights[di] == 0 || len(infos[di].rows) == 0 {
 					continue
 				}
-				local := e.scoreDataset(di, query)
-				mu.Lock()
-				for id, s := range local {
-					geneScore[id] += weights[di] * s
-					geneWeight[id] += weights[di]
+				if acc == nil {
+					acc = newAccum(len(e.order))
 				}
-				mu.Unlock()
+				scoreInto(e.slabs[di], infos[di].rows, infos[di].allFast, weights[di], acc)
 			}
-		}()
+			accs[w] = acc
+		}(w)
 	}
-	for di := range e.datasets {
+	for di := range e.slabs {
 		work2 <- di
 	}
 	close(work2)
 	wg.Wait()
+	merged := mergeAccums(accs)
 
-	res := &Result{Query: append([]string(nil), query...)}
-	for di := range e.datasets {
+	res := &Result{Query: query}
+	for di := range e.slabs {
 		res.Datasets = append(res.Datasets, DatasetRank{
 			Index:          di,
 			Name:           e.datasets[di].Name,
 			Weight:         weights[di],
-			QueryCoherence: scores[di].coherence,
-			QueryPresent:   scores[di].present,
+			QueryCoherence: infos[di].coherence,
+			QueryPresent:   len(infos[di].rows),
 		})
 	}
 	sort.SliceStable(res.Datasets, func(a, b int) bool {
 		return res.Datasets[a].Weight > res.Datasets[b].Weight
 	})
 
-	for _, id := range e.order {
-		isQ := qset[id]
-		if isQ && !opt.IncludeQuery {
-			continue
+	// Rank by sorting compact gene indices rather than GeneRank structs:
+	// stably swapping 4-byte ids costs a fraction of shuffling 40-byte
+	// structs full of string pointers (which dominated the profile), and
+	// only the entries that survive the MaxGenes cut are materialized.
+	var order []int32
+	if merged != nil {
+		order = make([]int32, 0, len(e.order))
+		for gi := range e.order {
+			if qmask[gi] && !opt.IncludeQuery {
+				continue
+			}
+			if w := merged.weight[gi]; w != 0 {
+				merged.score[gi] /= w // final score, reused in place
+				order = append(order, int32(gi))
+			}
 		}
-		w := geneWeight[id]
-		if w == 0 {
-			continue
-		}
-		res.Genes = append(res.Genes, GeneRank{
-			ID:      id,
-			Name:    e.ids[id].name,
-			Score:   geneScore[id] / w,
-			IsQuery: isQ,
+		sort.SliceStable(order, func(a, b int) bool {
+			return merged.score[order[a]] > merged.score[order[b]]
 		})
 	}
-	sort.SliceStable(res.Genes, func(a, b int) bool {
-		return res.Genes[a].Score > res.Genes[b].Score
-	})
-	if opt.MaxGenes > 0 && len(res.Genes) > opt.MaxGenes {
-		res.Genes = res.Genes[:opt.MaxGenes]
+	if opt.MaxGenes > 0 && len(order) > opt.MaxGenes {
+		order = order[:opt.MaxGenes]
+	}
+	res.Genes = make([]GeneRank, len(order))
+	for i, gi := range order {
+		res.Genes[i] = GeneRank{
+			ID:      e.order[gi],
+			Name:    e.names[gi],
+			Score:   merged.score[gi],
+			IsQuery: qmask[gi],
+		}
 	}
 	return res, nil
 }
 
-// queryRows collects the z-scored rows of the query genes present in
-// dataset di.
-func (e *Engine) queryRows(di int, query []string) (rows [][]float64, present int) {
-	for _, q := range query {
-		if g, ok := e.index[di][q]; ok {
-			rows = append(rows, e.zrows[di][g])
-			present++
-		}
-	}
-	return rows, present
-}
-
-// queryCoherence is the mean Fisher-z-transformed pairwise Pearson
-// correlation among the query rows — SPELL's dataset informativeness
-// signal. NaN when fewer than two query genes are present.
-func queryCoherence(rows [][]float64) float64 {
-	if len(rows) < 2 {
+// coherence is the mean Fisher-z-transformed pairwise Pearson correlation
+// among the query rows — SPELL's dataset informativeness signal. NaN when
+// fewer than two query genes are present.
+func coherence(sl *slab, qrows []int32) float64 {
+	if len(qrows) < 2 {
 		return math.NaN()
 	}
 	s, n := 0.0, 0
-	for i := 0; i < len(rows); i++ {
-		for j := i + 1; j < len(rows); j++ {
-			r := stats.Pearson(rows[i], rows[j])
+	for i := 0; i < len(qrows); i++ {
+		for j := i + 1; j < len(qrows); j++ {
+			r := rowCorr(sl, qrows[i], qrows[j])
 			if math.IsNaN(r) {
 				continue
 			}
@@ -348,31 +383,79 @@ func queryCoherence(rows [][]float64) float64 {
 	return s / float64(n)
 }
 
-// scoreDataset returns, for every gene in dataset di, its mean correlation
-// to the query genes present there.
-func (e *Engine) scoreDataset(di int, query []string) map[string]float64 {
-	qrows, present := e.queryRows(di, query)
-	if present == 0 {
-		return nil
+// rowCorr is the Pearson correlation of two slab rows: a single dot product
+// when both rows have unit forms, the NaN-pairwise statistic otherwise.
+func rowCorr(sl *slab, a, b int32) float64 {
+	if sl.fast[a] && sl.fast[b] {
+		return stats.Clamp(stats.Dot(sl.unitRow(a), sl.unitRow(b)), -1, 1)
 	}
-	ds := e.datasets[di]
-	out := make(map[string]float64, ds.NumGenes())
-	for g := 0; g < ds.NumGenes(); g++ {
-		row := e.zrows[di][g]
-		s, n := 0.0, 0
-		for _, qr := range qrows {
-			r := stats.Pearson(row, qr)
-			if math.IsNaN(r) {
+	return stats.Pearson(sl.zrow(a), sl.zrow(b))
+}
+
+// scoreInto accumulates dataset sl's contribution (at weight w) to every
+// gene's score: each gene row's mean correlation to the query rows.
+//
+// When every query row has a unit form, the query rows are pre-summed once:
+// for a gene row g with a unit form, mean_q Pearson(g, q) =
+// Dot(unit_g, Σ_q unit_q) / nq — one dot product per gene instead of one
+// per (gene, query) pair. Rows without unit forms take the per-pair path.
+func scoreInto(sl *slab, qrows []int32, allFast bool, w float64, acc *accum) {
+	nq := len(qrows)
+	if nq == 0 {
+		return
+	}
+	nE := sl.nExp
+	if allFast && nE > 0 {
+		qsum := make([]float64, nE)
+		for _, r := range qrows {
+			for i, v := range sl.unitRow(r) {
+				qsum[i] += v
+			}
+		}
+		inv := 1 / float64(nq)
+		for g := range sl.fast {
+			gi := sl.gids[g]
+			if sl.rowOf[gi] != int32(g) {
+				// Duplicate gene ID within the dataset: only the row the
+				// index points at (the last) scores, matching the map
+				// overwrite in the reference scorer. Supported readers
+				// reject duplicates, but a hand-built Dataset can carry
+				// them, and accumulating both rows would double-count.
 				continue
 			}
-			s += r
-			n++
+			if sl.fast[g] {
+				s := stats.Dot(sl.unit[g*nE:(g+1)*nE], qsum)
+				acc.add(gi, w, s*inv)
+			} else {
+				scoreRowSlow(sl, int32(g), qrows, w, acc)
+			}
 		}
-		if n > 0 {
-			out[ds.Genes[g].ID] = s / float64(n)
-		}
+		return
 	}
-	return out
+	for g := range sl.fast {
+		if sl.rowOf[sl.gids[g]] != int32(g) {
+			continue // duplicate gene ID: last row wins, as above
+		}
+		scoreRowSlow(sl, int32(g), qrows, w, acc)
+	}
+}
+
+// scoreRowSlow scores one gene row against the query rows pair by pair,
+// skipping undefined correlations; the row scores only when at least one
+// pair is defined.
+func scoreRowSlow(sl *slab, g int32, qrows []int32, w float64, acc *accum) {
+	s, n := 0.0, 0
+	for _, qr := range qrows {
+		r := rowCorr(sl, g, qr)
+		if math.IsNaN(r) {
+			continue
+		}
+		s += r
+		n++
+	}
+	if n > 0 {
+		acc.add(sl.gids[g], w, s/float64(n))
+	}
 }
 
 // TopGeneIDs returns the IDs of the first n ranked genes (or fewer).

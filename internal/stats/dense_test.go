@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	if d := Dot(nil, nil); d != 0 {
+		t.Fatalf("Dot(nil, nil) = %v", d)
+	}
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %v, want 32", d)
+	}
+	// Length mismatch uses the common prefix.
+	if d := Dot([]float64{1, 2, 3, 10}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot with mismatched lengths = %v, want 32", d)
+	}
+	// Lengths around the unroll boundary agree with the naive loop.
+	rng := rand.New(rand.NewSource(5))
+	for n := 1; n <= 9; n++ {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		naive := 0.0
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+			naive += xs[i] * ys[i]
+		}
+		if d := Dot(xs, ys); math.Abs(d-naive) > 1e-12 {
+			t.Fatalf("n=%d: Dot = %v, naive = %v", n, d, naive)
+		}
+	}
+}
+
+func TestCenterUnitNorm(t *testing.T) {
+	if _, ok := CenterUnitNorm([]float64{1}); ok {
+		t.Fatal("single-entry vector should have no unit form")
+	}
+	if _, ok := CenterUnitNorm([]float64{2, 2, 2}); ok {
+		t.Fatal("constant vector should have no unit form")
+	}
+	if _, ok := CenterUnitNorm([]float64{1, math.NaN(), 3}); ok {
+		t.Fatal("vector with a missing value should have no unit form")
+	}
+	u, ok := CenterUnitNorm([]float64{1, 2, 3, 4})
+	if !ok {
+		t.Fatal("well-formed vector rejected")
+	}
+	sum, ss := 0.0, 0.0
+	for _, v := range u {
+		sum += v
+		ss += v * v
+	}
+	if math.Abs(sum) > 1e-12 || math.Abs(ss-1) > 1e-12 {
+		t.Fatalf("unit form not centered/normalized: sum=%v ss=%v", sum, ss)
+	}
+}
+
+// TestDotEqualsPearsonOnUnitRows is the identity the SPELL dense kernel
+// rests on: for complete rows, Pearson == Dot of the centered unit forms.
+func TestDotEqualsPearsonOnUnitRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		ux, okx := CenterUnitNorm(xs)
+		uy, oky := CenterUnitNorm(ys)
+		if !okx || !oky {
+			continue
+		}
+		want := Pearson(xs, ys)
+		got := Clamp(Dot(ux, uy), -1, 1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d (n=%d): Dot=%v Pearson=%v", trial, n, got, want)
+		}
+	}
+}
+
+func TestZScoresInto(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3, 5}
+	dst := make([]float64, len(xs))
+	ZScoresInto(dst, xs)
+	want := ZScores(xs)
+	for i := range want {
+		if math.IsNaN(want[i]) != math.IsNaN(dst[i]) {
+			t.Fatalf("missing mismatch at %d", i)
+		}
+		if !math.IsNaN(want[i]) && dst[i] != want[i] {
+			t.Fatalf("ZScoresInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}

@@ -182,18 +182,7 @@ func insertionSort(xs []float64) {
 // than infinite signal.
 func ZScores(xs []float64) []float64 {
 	out := make([]float64, len(xs))
-	m := Mean(xs)
-	sd := StdDev(xs)
-	for i, v := range xs {
-		switch {
-		case math.IsNaN(v):
-			out[i] = math.NaN()
-		case math.IsNaN(sd) || sd == 0:
-			out[i] = 0
-		default:
-			out[i] = (v - m) / sd
-		}
-	}
+	ZScoresInto(out, xs)
 	return out
 }
 
