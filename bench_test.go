@@ -6,9 +6,12 @@ package forestview
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"image/color"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -19,6 +22,7 @@ import (
 	"forestview/internal/microarray"
 	"forestview/internal/ontology"
 	"forestview/internal/render"
+	"forestview/internal/server"
 	"forestview/internal/spell"
 	"forestview/internal/synth"
 	"forestview/internal/wall"
@@ -279,6 +283,85 @@ func BenchmarkF4_SPELLEngineBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := spell.NewEngine(dss); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F4b — the clustering half of the interactive-heatmap path: the
+// nearest-neighbor-chain kernel vs the retained reference agglomerator,
+// at the paper's dataset scale. Run with GOMAXPROCS=4 for the README
+// before/after table; the acceptance bar is >= 4x at 2000 rows.
+
+func clusterBenchRows(nGenes int) [][]float64 {
+	u := synth.NewUniverse(nGenes, 20, 29)
+	ds := u.Generate(synth.DatasetSpec{Name: "cl", NumExperiments: 50, Seed: 31})
+	return ds.Data
+}
+
+func BenchmarkF4_Cluster(b *testing.B) {
+	for _, nGenes := range []int{500, 1000, 2000} {
+		rows := clusterBenchRows(nGenes)
+		b.Run(fmt.Sprintf("genes-%d", nGenes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Hierarchical(rows, cluster.PearsonDist, cluster.AverageLinkage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF4_ClusterReference runs the identical workload through the
+// retained pre-kernel path (serial distance build, greedy nearest-cache
+// agglomeration) so the NN-chain speedup is measurable within one binary.
+func BenchmarkF4_ClusterReference(b *testing.B) {
+	for _, nGenes := range []int{500, 1000, 2000} {
+		rows := clusterBenchRows(nGenes)
+		b.Run(fmt.Sprintf("genes-%d", nGenes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.ReferenceHierarchical(rows, cluster.PearsonDist, cluster.AverageLinkage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF4_HeatmapTile measures the daemon's full tile pipeline against
+// a warmed tree cache: each iteration requests a distinct row window, so
+// the clustered tree is reused (one build total, amortized away before the
+// timer) while the render + PNG-encode + cache path runs end to end.
+func BenchmarkF4_HeatmapTile(b *testing.B) {
+	u := synth.NewUniverse(2000, 20, 29)
+	ds := u.Generate(synth.DatasetSpec{Name: "tilebench", NumExperiments: 50, Seed: 31})
+	engine, err := spell.NewEngine([]*microarray.Dataset{ds})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine, RawDatasets: []*microarray.Dataset{ds},
+		CacheBytes: 32 << 20, RenderWorkers: 4, RenderQueue: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.WarmTrees(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	nRows := ds.NumGenes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := (i * 7) % (nRows - 256)
+		url := fmt.Sprintf("/api/heatmap?dataset=0&w=256&h=256&rows=%d:%d", from, from+256)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("tile = %d: %s", rec.Code, rec.Body.String())
 		}
 	}
 }

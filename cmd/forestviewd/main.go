@@ -20,17 +20,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"forestview/internal/cluster"
-	"forestview/internal/core"
 	"forestview/internal/golem"
 	"forestview/internal/microarray"
 	"forestview/internal/ontology"
@@ -46,6 +45,7 @@ func main() {
 		oboPath    = flag.String("obo", "", "OBO ontology file enabling /api/enrich on file compendia")
 		assocPath  = flag.String("assoc", "", "gene association file (gene<TAB>term), required with -obo")
 		demo       = flag.Bool("demo", false, "serve a synthetic demo compendium (default when -files is empty)")
+		precluster = flag.Bool("precluster", false, "cluster every dataset at startup instead of lazily on first heatmap request")
 		genes      = flag.Int("genes", 1500, "demo universe size")
 		modules    = flag.Int("modules", 20, "demo co-regulation modules")
 		nDatasets  = flag.Int("datasets", 8, "demo compendium size")
@@ -59,7 +59,8 @@ func main() {
 	flag.Parse()
 	srv, err := buildServer(buildConfig{
 		files: *files, obo: *oboPath, assoc: *assocPath,
-		demo: *demo || *files == "", genes: *genes, modules: *modules,
+		demo: *demo || *files == "", precluster: *precluster,
+		genes: *genes, modules: *modules,
 		datasets: *nDatasets, seed: *seed,
 		cacheMB: *cacheMB, workers: *workers, queue: *queue,
 		maxGenes: *maxGenes, maxTileDim: *maxTileDim,
@@ -92,6 +93,7 @@ func main() {
 type buildConfig struct {
 	files, obo, assoc        string
 	demo                     bool
+	precluster               bool
 	genes, modules, datasets int
 	seed                     int64
 	cacheMB                  int64
@@ -192,38 +194,35 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 			enricher.NumTerms(), enricher.BackgroundSize())
 	}
 
-	// Cluster every dataset up front (concurrently — this dominates
-	// startup) so heatmap tiles serve from dendrogram display order.
-	clustered := make([]*core.ClusteredDataset, len(datasets))
-	errs := make([]error, len(datasets))
-	var wg sync.WaitGroup
-	for i, ds := range datasets {
-		wg.Add(1)
-		go func(i int, ds *microarray.Dataset) {
-			defer wg.Done()
-			clustered[i], errs[i] = core.Cluster(ds, core.ClusterOptions{
-				Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage,
-			})
-		}(i, ds)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("clustering %q: %w", datasets[i].Name, err)
-		}
-	}
-	cfg.log("clustered %d datasets in %v", len(clustered), time.Since(t0).Round(time.Millisecond))
-
-	return server.New(server.Config{
+	// Datasets go in raw: the server's tree cache clusters each one exactly
+	// once on its first /api/heatmap touch (concurrent tiles coalesce onto
+	// one build), keeping startup off the clustering critical path. The
+	// -precluster flag restores pay-at-boot warming.
+	srv, err := server.New(server.Config{
 		Engine:        engine,
 		Enricher:      enricher,
-		Datasets:      clustered,
+		RawDatasets:   datasets,
+		TreeMetric:    cluster.PearsonDist,
+		TreeLinkage:   cluster.AverageLinkage,
 		CacheBytes:    cfg.cacheMB << 20,
 		RenderWorkers: cfg.workers,
 		RenderQueue:   cfg.queue,
 		MaxGenes:      cfg.maxGenes,
 		MaxTileDim:    cfg.maxTileDim,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.precluster {
+		if err := srv.WarmTrees(context.Background()); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("preclustering: %w", err)
+		}
+		cfg.log("preclustered %d datasets in %v", len(datasets), time.Since(t0).Round(time.Millisecond))
+	} else {
+		cfg.log("%d datasets registered for lazy clustering (use -precluster to warm at boot)", len(datasets))
+	}
+	return srv, nil
 }
 
 func trimPCLExt(p string) string {

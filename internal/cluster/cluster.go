@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -305,11 +306,14 @@ func (t *Tree) Cut(k int) ([]int, error) {
 	return out, nil
 }
 
-// Hierarchical builds a dendrogram over the rows using the given metric and
-// linkage. It computes the full pairwise distance matrix (O(n²) space), the
-// regime Cluster 3.0 operates in for genome-scale inputs, then performs
-// Lance-Williams agglomeration.
-func Hierarchical(rows [][]float64, metric Metric, linkage Linkage) (*Tree, error) {
+// ReferenceHierarchical is the pre-kernel clustering path, retained
+// verbatim as the golden standard the nearest-neighbor-chain kernel
+// (Hierarchical, nnchain.go) must match: it computes the full pairwise
+// distance matrix serially, then performs greedy globally-closest-pair
+// Lance-Williams agglomeration with a nearest-neighbour cache. The parity
+// tests in nnchain_test.go hold the kernel to this tree (heights within
+// 1e-12, identical Cut partitions) on random, tied and NaN-bearing inputs.
+func ReferenceHierarchical(rows [][]float64, metric Metric, linkage Linkage) (*Tree, error) {
 	n := len(rows)
 	if n == 0 {
 		return nil, errors.New("cluster: no rows")
@@ -331,6 +335,8 @@ func Hierarchical(rows [][]float64, metric Metric, linkage Linkage) (*Tree, erro
 
 // HierarchicalFromDistance builds a dendrogram from a precomputed symmetric
 // distance matrix, for callers that already paid the O(n²) metric cost.
+// NaN entries (undefined dissimilarities) are treated as the maximum
+// distance rather than poisoning the agglomeration's comparisons.
 func HierarchicalFromDistance(d [][]float64, linkage Linkage) (*Tree, error) {
 	n := len(d)
 	if n == 0 {
@@ -348,10 +354,14 @@ func HierarchicalFromDistance(d [][]float64, linkage Linkage) (*Tree, error) {
 	dist := newTriMatrix(n)
 	for i := 1; i < n; i++ {
 		for j := 0; j < i; j++ {
-			dist.set(i, j, d[i][j])
+			v := d[i][j]
+			if math.IsNaN(v) {
+				v = math.MaxFloat64
+			}
+			dist.set(i, j, v)
 		}
 	}
-	return agglomerate(n, dist, linkage), nil
+	return nnChain(context.Background(), n, dist, linkage)
 }
 
 // triMatrix is a flat lower-triangular matrix (i>j).

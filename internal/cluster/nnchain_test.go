@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// allMetrics and allLinkages enumerate every supported combination for the
+// parity sweeps.
+var allMetrics = []Metric{
+	PearsonDist, PearsonAbsDist, UncenteredDist, SpearmanDist, EuclideanDist, ManhattanDist,
+}
+var allLinkages = []Linkage{AverageLinkage, CompleteLinkage, SingleLinkage}
+
+// randomRows generates n x dim data; nanRate injects missing values.
+func noisyRows(seed int64, n, dim int, nanRate float64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+		for j := range rows[i] {
+			if r.Float64() < nanRate {
+				rows[i][j] = math.NaN()
+			} else {
+				rows[i][j] = r.NormFloat64()
+			}
+		}
+	}
+	return rows
+}
+
+// requireTreeParity asserts the kernel tree matches the reference tree:
+// merge heights equal within tol position by position, and identical Cut(k)
+// partitions (modulo cluster label order) for every k whose cut boundary
+// does not fall inside a block of tied heights — inside a tie, which of the
+// equal-height merges Cut suppresses is tie-break order, and both answers
+// are correct partitions of the same dendrogram. When every height is
+// pairwise distinct the merge structure and leaf order must match exactly
+// as well.
+func requireTreeParity(t *testing.T, ref, got *Tree, tol float64, tiesBenign bool) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("kernel tree invalid: %v", err)
+	}
+	if got.NLeaves != ref.NLeaves || len(got.Merges) != len(ref.Merges) {
+		t.Fatalf("shape: kernel %d/%d vs reference %d/%d leaves/merges",
+			got.NLeaves, len(got.Merges), ref.NLeaves, len(ref.Merges))
+	}
+	for i := range ref.Merges {
+		dh := math.Abs(ref.Merges[i].Height - got.Merges[i].Height)
+		if !(dh <= tol) {
+			t.Fatalf("merge %d height: reference %v vs kernel %v (|Δ|=%v > %v)",
+				i, ref.Merges[i].Height, got.Merges[i].Height, dh, tol)
+		}
+	}
+	n := ref.NLeaves
+	strict := true
+	for i := 1; i < len(ref.Merges); i++ {
+		if ref.Merges[i].Height-ref.Merges[i-1].Height <= 2*tol {
+			strict = false
+			break
+		}
+	}
+	if strict {
+		for i := range ref.Merges {
+			if ref.Merges[i].A != got.Merges[i].A || ref.Merges[i].B != got.Merges[i].B {
+				t.Fatalf("merge %d children: reference %+v vs kernel %+v",
+					i, ref.Merges[i], got.Merges[i])
+			}
+		}
+		if !reflect.DeepEqual(ref.LeafOrder(), got.LeafOrder()) {
+			t.Fatalf("leaf order differs:\nreference %v\nkernel    %v", ref.LeafOrder(), got.LeafOrder())
+		}
+	}
+	if !strict && !tiesBenign {
+		// Heights tied on input the caller has not vouched for: which of
+		// the equal-height merges happens first is tie-break order, and
+		// different orders yield different (equally correct) partitions.
+		// Height parity above is the whole contract here.
+		return
+	}
+	for k := 1; k <= n; k++ {
+		if !strict && k > 1 && k < n {
+			// Cut(k) suppresses the k-1 highest merges: sorted indices
+			// n-k..n-2. Skip k when the kept/suppressed boundary is a tie.
+			if ref.Merges[n-k].Height-ref.Merges[n-k-1].Height <= 2*tol {
+				continue
+			}
+		}
+		ra, err1 := ref.Cut(k)
+		ga, err2 := got.Cut(k)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Cut(%d): reference err=%v, kernel err=%v", k, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !partitionsEqual(ra, ga) {
+			t.Fatalf("Cut(%d) partitions differ:\nreference %v\nkernel    %v", k, ra, ga)
+		}
+	}
+}
+
+// distinctPairDistances reports whether every pairwise distance under the
+// metric is separated from every other by more than 2*tol — the regime in
+// which the agglomeration order is uniquely determined and exact structural
+// parity is well-defined. Discrete metrics (Spearman over short rows)
+// routinely fail this on random data.
+func distinctPairDistances(rows [][]float64, metric Metric, tol float64) bool {
+	var ds []float64
+	for i := 1; i < len(rows); i++ {
+		for j := 0; j < i; j++ {
+			ds = append(ds, metric.Distance(rows[i], rows[j]))
+		}
+	}
+	sort.Float64s(ds)
+	for i := 1; i < len(ds); i++ {
+		if ds[i]-ds[i-1] <= 2*tol {
+			return false
+		}
+	}
+	return true
+}
+
+// partitionsEqual reports whether two flat clusterings induce the same
+// partition of the leaves regardless of cluster numbering.
+func partitionsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ab := make(map[int]int)
+	ba := make(map[int]int)
+	for i := range a {
+		if m, ok := ab[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := ba[b[i]]; ok && m != a[i] {
+			return false
+		}
+		ab[a[i]] = b[i]
+		ba[b[i]] = a[i]
+	}
+	return true
+}
+
+// TestNNChainGoldenParityRandom holds the kernel to the reference tree on
+// generic (distance-distinct) random data, across every metric and linkage,
+// with exact structural equality.
+func TestNNChainGoldenParityRandom(t *testing.T) {
+	for _, metric := range allMetrics {
+		for _, linkage := range allLinkages {
+			for seed := int64(1); seed <= 3; seed++ {
+				rows := noisyRows(seed*100+int64(metric)*10+int64(linkage), 48, 12, 0)
+				if !distinctPairDistances(rows, metric, 1e-12) {
+					continue // tied input; covered by the dedicated ties test
+				}
+				ref, err := ReferenceHierarchical(rows, metric, linkage)
+				if err != nil {
+					t.Fatalf("%v/%v: reference: %v", metric, linkage, err)
+				}
+				got, err := Hierarchical(rows, metric, linkage)
+				if err != nil {
+					t.Fatalf("%v/%v: kernel: %v", metric, linkage, err)
+				}
+				requireTreeParity(t, ref, got, 1e-12, false)
+			}
+		}
+	}
+}
+
+// TestNNChainGoldenParityNaN is the missing-value regression: NaN-bearing
+// rows must take the pairwise-complete fallback in the kernel and yield the
+// reference tree exactly — no NaN may reach the distance matrix, the merge
+// heights, or the comparisons between them.
+func TestNNChainGoldenParityNaN(t *testing.T) {
+	for _, metric := range allMetrics {
+		for _, linkage := range allLinkages {
+			rows := noisyRows(7+int64(metric)+int64(linkage), 40, 10, 0.15)
+			// An all-missing row and a constant row: the classic degenerate
+			// microarray rows that must cluster last, not poison the tree.
+			for j := range rows[3] {
+				rows[3][j] = math.NaN()
+			}
+			for j := range rows[5] {
+				rows[5][j] = 1.5
+			}
+			// The degenerate rows tie at the metric's max distance, but the
+			// tied merges form one transitively-connected block at the top
+			// of the tree, so cuts at unambiguous boundaries stay
+			// well-defined: the benign-ties mode below.
+			ref, err := ReferenceHierarchical(rows, metric, linkage)
+			if err != nil {
+				t.Fatalf("%v/%v: reference: %v", metric, linkage, err)
+			}
+			got, err := Hierarchical(rows, metric, linkage)
+			if err != nil {
+				t.Fatalf("%v/%v: kernel: %v", metric, linkage, err)
+			}
+			for i, m := range got.Merges {
+				if math.IsNaN(m.Height) {
+					t.Fatalf("%v/%v: NaN height at merge %d", metric, linkage, i)
+				}
+			}
+			requireTreeParity(t, ref, got, 1e-12, true)
+		}
+	}
+}
+
+// TestNNChainGoldenParityTies exercises tied distances (duplicate rows,
+// zero distances): heights and Cut partitions must still agree even though
+// tie-break order inside a block of equal-height merges is unspecified.
+func TestNNChainGoldenParityTies(t *testing.T) {
+	base := [][]float64{
+		{1, 2, 3, 4, 5, 6},
+		{6, 4, 2, 0, -2, -4},
+		{0, 3, 1, 4, 2, 5},
+	}
+	var rows [][]float64
+	for _, b := range base {
+		for c := 0; c < 3; c++ { // three exact copies of each profile
+			rows = append(rows, append([]float64(nil), b...))
+		}
+	}
+	for _, metric := range []Metric{EuclideanDist, PearsonDist, ManhattanDist} {
+		for _, linkage := range allLinkages {
+			ref, err := ReferenceHierarchical(rows, metric, linkage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Hierarchical(rows, metric, linkage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireTreeParity(t, ref, got, 1e-12, true)
+			// The three-copy blocks must be recovered exactly at k=3.
+			assign, err := got.Cut(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(rows); i += 3 {
+				if assign[i] != assign[i+1] || assign[i] != assign[i+2] {
+					t.Fatalf("%v/%v: duplicate block %d split: %v", metric, linkage, i/3, assign)
+				}
+			}
+		}
+	}
+}
+
+// TestNNChainFromDistanceParity proves the precomputed-matrix entry point
+// runs the same kernel: feeding Metric.Distance values through
+// HierarchicalFromDistance must reproduce ReferenceHierarchical, and NaN
+// entries map to the maximum distance instead of corrupting comparisons.
+func TestNNChainFromDistanceParity(t *testing.T) {
+	rows := noisyRows(99, 30, 8, 0)
+	d := make([][]float64, len(rows))
+	for i := range d {
+		d[i] = make([]float64, len(rows))
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = EuclideanDist.Distance(rows[i], rows[j])
+			}
+		}
+	}
+	for _, linkage := range allLinkages {
+		ref, err := ReferenceHierarchical(rows, EuclideanDist, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HierarchicalFromDistance(d, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireTreeParity(t, ref, got, 1e-12, false)
+	}
+
+	nan := [][]float64{
+		{0, 1, math.NaN()},
+		{1, 0, 2},
+		{math.NaN(), 2, 0},
+	}
+	tree, err := HierarchicalFromDistance(nan, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := tree.Merges[0]; m.A != 0 || m.B != 1 || m.Height != 1 {
+		t.Fatalf("first merge = %+v, want 0+1 at height 1", m)
+	}
+	if math.IsNaN(tree.Merges[1].Height) {
+		t.Fatal("NaN distance leaked into a merge height")
+	}
+}
+
+// TestPairKernelFallbackMatchesMetric pins the kernel's two tiers together:
+// for masked (NaN-bearing) rows the kernel must evaluate exactly
+// Metric.Distance, and for fast rows it must agree within float tolerance.
+func TestPairKernelFallbackMatchesMetric(t *testing.T) {
+	rows := noisyRows(5, 20, 9, 0.2)
+	for _, metric := range allMetrics {
+		k := newPairKernel(rows, metric)
+		for i := 1; i < len(rows); i++ {
+			for j := 0; j < i; j++ {
+				want := metric.Distance(rows[i], rows[j])
+				got := k.dist(i, j)
+				fast := k.fast != nil && k.fast[i] && k.fast[j] ||
+					k.whole != nil && k.whole[i] && k.whole[j]
+				if !fast && got != want {
+					t.Fatalf("%v: fallback pair (%d,%d) = %v, want Metric.Distance %v",
+						metric, i, j, got, want)
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("%v: pair (%d,%d) = %v, want %v", metric, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHierarchicalCtxCancel: a canceled context aborts the build with the
+// context's error instead of returning a partial tree.
+func TestHierarchicalCtxCancel(t *testing.T) {
+	rows := noisyRows(11, 64, 8, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := HierarchicalCtx(ctx, rows, PearsonDist, AverageLinkage); err != context.Canceled {
+		t.Fatalf("pre-canceled build: err = %v, want context.Canceled", err)
+	}
+	// A live context still produces the tree.
+	tree, err := HierarchicalCtx(context.Background(), rows, PearsonDist, AverageLinkage)
+	if err != nil || tree.NLeaves != 64 {
+		t.Fatalf("live build: %v, %+v", err, tree)
+	}
+}
+
+// TestHierarchicalRaceHammer runs concurrent kernel builds over shared rows
+// (read-only input) and checks determinism; meaningful under -race.
+func TestHierarchicalRaceHammer(t *testing.T) {
+	rows := noisyRows(21, 80, 10, 0.05)
+	want, err := Hierarchical(rows, PearsonDist, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				tree, err := Hierarchical(rows, PearsonDist, AverageLinkage)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(tree, want) {
+					errs <- errNondeterministic
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errNondeterministic = errorString("cluster: concurrent kernel builds diverged")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"forestview/internal/cluster"
@@ -47,11 +48,21 @@ type ClusterOptions struct {
 // wrapped as a pane-ready ClusteredDataset. The dataset itself is not
 // reordered; display order lives alongside.
 func Cluster(ds *microarray.Dataset, opt ClusterOptions) (*ClusteredDataset, error) {
+	return ClusterCtx(context.Background(), ds, opt)
+}
+
+// ClusterCtx is Cluster honoring cancellation: the clustering kernel polls
+// ctx, so a server building a tree for a request whose client has hung up
+// stops paying for it. It returns ctx's error on abandonment.
+func ClusterCtx(ctx context.Context, ds *microarray.Dataset, opt ClusterOptions) (*ClusteredDataset, error) {
 	if ds == nil || ds.NumGenes() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
-	gt, err := cluster.Hierarchical(ds.Data, opt.Metric, opt.Linkage)
+	gt, err := cluster.HierarchicalCtx(ctx, ds.Data, opt.Metric, opt.Linkage)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: clustering genes of %q: %w", ds.Name, err)
 	}
 	cd := &ClusteredDataset{Data: ds, GeneTree: gt}
@@ -60,8 +71,11 @@ func Cluster(ds *microarray.Dataset, opt ClusterOptions) (*ClusteredDataset, err
 		for e := range cols {
 			cols[e] = ds.Column(e)
 		}
-		at, err := cluster.Hierarchical(cols, opt.Metric, opt.Linkage)
+		at, err := cluster.HierarchicalCtx(ctx, cols, opt.Metric, opt.Linkage)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("core: clustering arrays of %q: %w", ds.Name, err)
 		}
 		cd.ArrayTree = at

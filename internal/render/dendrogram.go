@@ -23,10 +23,24 @@ const (
 // in the same order). Merge heights map linearly onto the depth axis, root
 // at the far edge.
 func RenderDendrogram(c *Canvas, r Rect, t *cluster.Tree, o Orientation, fg color.Color) {
-	if t == nil || t.NLeaves == 0 || r.W <= 0 || r.H <= 0 {
+	if t == nil || t.NLeaves == 0 {
 		return
 	}
-	order := t.LeafOrder()
+	RenderDendrogramOrdered(c, r, t, t.LeafOrder(), o, fg)
+}
+
+// RenderDendrogramOrdered is RenderDendrogram for a precomputed display
+// order: band i of the leaf axis holds leaf order[i]. Servers that cache
+// clustered trees pass the pane's DisplayOrder here, so the brackets line
+// up with the heatmap rows even when an optimized (Gruvaeus-Wainer
+// reoriented) order is installed — any orientation of the tree's merges is
+// drawable without crossings, and recomputing LeafOrder per tile is
+// avoided. order must be a permutation of the leaves; mismatched lengths
+// draw nothing.
+func RenderDendrogramOrdered(c *Canvas, r Rect, t *cluster.Tree, order []int, o Orientation, fg color.Color) {
+	if t == nil || t.NLeaves == 0 || len(order) != t.NLeaves || r.W <= 0 || r.H <= 0 {
+		return
+	}
 	leafBand := make(map[int]int, len(order)) // leaf -> band index in display order
 	for band, leaf := range order {
 		leafBand[leaf] = band

@@ -121,23 +121,30 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 }
 
 // tileParams are the canonicalized /api/heatmap parameters; their string
-// form is the cache key.
+// form is the cache key. gen is the pane's tree-cache generation: replacing
+// a dataset bumps it, so every cached tile of the old data becomes
+// unreachable without a cache sweep.
 type tileParams struct {
 	dsIndex  int
+	gen      uint64
 	from, to int // display-order row range [from, to)
 	w, h     int
+	treeW    int // dendrogram strip width, 0 = no tree
 	cmap     render.ColorMap
 	limit    float64
 }
 
 func (p tileParams) key() string {
-	return fmt.Sprintf("tile\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%g",
-		p.dsIndex, p.from, p.to, p.w, p.h, p.cmap, p.limit)
+	return fmt.Sprintf("tile\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%g",
+		p.dsIndex, p.gen, p.from, p.to, p.w, p.h, p.treeW, p.cmap, p.limit)
 }
 
 // handleHeatmap serves /api/heatmap?dataset=REF[&rows=FROM:TO][&w=][&h=]
-// [&cmap=][&limit=]: a PNG heatmap tile of the clustered dataset, rows in
-// dendrogram display order. Tiles render on the bounded worker pool; a
+// [&cmap=][&limit=][&tree=W]: a PNG heatmap tile of the clustered dataset,
+// rows in dendrogram display order, optionally with a W-pixel dendrogram
+// strip on the left. The clustered tree comes from the per-dataset tree
+// cache — a cold dataset is clustered exactly once no matter how many tiles
+// ask for it concurrently. Tiles render on the bounded worker pool; a
 // saturated pool sheds the request with 503.
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
@@ -146,12 +153,14 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "missing dataset parameter (index or name); see /api/stats for the loaded compendium")
 		return
 	}
-	cd, dsIndex, ok := s.lookupDataset(ref)
+	dsIndex, ok := s.lookupDataset(ref)
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, len(s.cfg.Datasets)))
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, s.NumPanes()))
 		return
 	}
-	nRows := len(cd.DisplayOrder)
+	// Parameter validation runs before the (possibly expensive) tree
+	// lookup, off the pane's row count alone.
+	nRows, _ := s.trees.rows(dsIndex)
 	p := tileParams{dsIndex: dsIndex, from: 0, to: nRows, w: 512, h: 512, cmap: render.GreenBlackRed, limit: 2}
 
 	if v := q.Get("rows"); v != "" {
@@ -198,6 +207,52 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		p.limit = lim
+	}
+	if v := q.Get("tree"); v != "" {
+		tw, err := strconv.Atoi(v)
+		if err != nil || tw < 0 || tw >= p.w {
+			writeJSONError(w, http.StatusBadRequest, "tree must be a dendrogram width in [0, w)")
+			return
+		}
+		if tw > 0 && (p.from != 0 || p.to != nRows) {
+			writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
+			return
+		}
+		p.treeW = tw
+	}
+
+	cd, gen, err := s.trees.get(r.Context(), dsIndex)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Only our own hangup surfaces here (a dead leader's flight is
+			// retried while our context lives).
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	p.gen = gen
+	if got := len(cd.DisplayOrder); got != nRows {
+		// ReplaceDataset swapped the pane between validation and the tree
+		// fetch; re-validate the row range against the tree we actually
+		// got, so a stale-validated tile can't render (and be cached under
+		// the new generation) with the wrong row space.
+		if p.to == nRows || p.to > got {
+			p.to = got
+		}
+		if p.from >= p.to {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", got))
+			return
+		}
+		if p.treeW > 0 && (p.from != 0 || p.to != got) {
+			writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
+			return
+		}
+	}
+	if p.treeW > 0 && cd.GeneTree == nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, "dataset has no gene tree to draw")
+		return
 	}
 
 	png, err := s.renderTile(r.Context(), cd, p)
@@ -259,7 +314,18 @@ func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p ti
 			return s.pool.Run(ctx, func() (any, error) {
 				rows := cd.RowsInDisplayRange(p.from, p.to)
 				c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
-				render.RenderHeatmap(c, render.Rect{X: 0, Y: 0, W: p.w, H: p.h}, rows, render.HeatmapOptions{
+				hx := 0
+				if p.treeW > 0 {
+					// The cached tree drawn against the pane's display
+					// order, so brackets line up with the heatmap rows even
+					// under an optimized leaf orientation.
+					render.RenderDendrogramOrdered(c,
+						render.Rect{X: 0, Y: 0, W: p.treeW, H: p.h},
+						cd.GeneTree, cd.DisplayOrder, render.LeftOfRows,
+						color.RGBA{R: 180, G: 180, B: 180, A: 255})
+					hx = p.treeW
+				}
+				render.RenderHeatmap(c, render.Rect{X: hx, Y: 0, W: p.w - hx, H: p.h}, rows, render.HeatmapOptions{
 					ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
 				})
 				var buf bytes.Buffer

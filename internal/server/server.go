@@ -21,29 +21,47 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"forestview/internal/cluster"
 	"forestview/internal/core"
 	"forestview/internal/golem"
+	"forestview/internal/microarray"
 	"forestview/internal/spell"
 	"forestview/internal/spellweb"
 )
 
-// Config assembles a Server. Engine is required; Enricher and Datasets
-// gate their endpoints (a daemon without an ontology serves 503 on
+// Config assembles a Server. Engine is required; Enricher and the dataset
+// lists gate their endpoints (a daemon without an ontology serves 503 on
 // /api/enrich rather than failing to start).
 type Config struct {
 	// Engine is the prepared SPELL compendium (required).
 	Engine *spell.Engine
 	// Enricher is the prepared GOLEM context behind /api/enrich.
 	Enricher *golem.Enricher
-	// Datasets are the clustered panes behind /api/heatmap, indexable by
+	// Datasets are pre-clustered panes behind /api/heatmap, indexable by
 	// position or dataset name.
 	Datasets []*core.ClusteredDataset
+	// RawDatasets are unclustered panes, indexed after Datasets: the first
+	// /api/heatmap touch clusters each one exactly once through the
+	// server's tree cache (concurrent requests coalesce onto one build),
+	// which keeps daemon startup off the clustering critical path.
+	RawDatasets []*microarray.Dataset
+	// TreeMetric and TreeLinkage configure the lazy clustering of
+	// RawDatasets (defaults: Pearson distance, average linkage — the
+	// Cluster 3.0 defaults).
+	TreeMetric cluster.Metric
+	// TreeLinkage — see TreeMetric.
+	TreeLinkage cluster.Linkage
+	// TreeOptimizeOrder additionally runs the Gruvaeus-Wainer leaf
+	// orientation pass on lazily built trees.
+	TreeOptimizeOrder bool
 
 	// CacheBytes budgets the shared LRU cache (default 64 MiB).
 	CacheBytes int64
@@ -69,9 +87,11 @@ type Server struct {
 	cache   *Cache
 	flights flightGroup
 	pool    *Pool
+	trees   *treeCache
 	start   time.Time
 
-	dsIndex map[string]int // dataset name -> Datasets position
+	nameMu  sync.RWMutex
+	dsIndex map[string]int // dataset name -> pane index
 
 	statSearch  endpointStats
 	statEnrich  endpointStats
@@ -102,12 +122,33 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		cache:   NewCache(cfg.CacheBytes),
 		pool:    NewPool(cfg.RenderWorkers, cfg.RenderQueue),
+		trees:   newTreeCache(treeClusterOptions(cfg.TreeMetric, cfg.TreeLinkage, cfg.TreeOptimizeOrder)),
 		start:   time.Now(),
-		dsIndex: make(map[string]int, len(cfg.Datasets)),
+		dsIndex: make(map[string]int, len(cfg.Datasets)+len(cfg.RawDatasets)),
 	}
-	for i, cd := range cfg.Datasets {
-		if cd != nil && cd.Data != nil {
-			s.dsIndex[cd.Data.Name] = i
+	for _, cd := range cfg.Datasets {
+		// Nil entries stay addressable by index position (and resolve to
+		// nothing), preserving the historical index space.
+		if cd == nil || cd.Data == nil {
+			s.trees.addEmpty()
+			continue
+		}
+		i := s.trees.addPre(cd)
+		s.dsIndex[cd.Data.Name] = i
+	}
+	for ri, ds := range cfg.RawDatasets {
+		if ds == nil {
+			s.trees.addEmpty()
+			continue
+		}
+		if ds.NumGenes() == 0 {
+			// Fail at boot like the pre-tree-cache eager clustering did,
+			// not with a fresh 500 on every tile of the pane.
+			return nil, fmt.Errorf("server: raw dataset %d (%q) has no genes", ri, ds.Name)
+		}
+		i := s.trees.addRaw(ds)
+		if _, taken := s.dsIndex[ds.Name]; !taken {
+			s.dsIndex[ds.Name] = i
 		}
 	}
 
@@ -300,8 +341,9 @@ func (s *Server) Stats() StatsSnapshot {
 		Compendium: CompendiumInfo{
 			Datasets:  s.cfg.Engine.NumDatasets(),
 			Genes:     s.cfg.Engine.NumGenes(),
-			Clustered: len(s.cfg.Datasets),
+			Clustered: s.NumPanes(),
 		},
+		TreeCache: s.trees.snapshot(),
 		Cache: CacheInfo{
 			Entries:  s.cache.Len(),
 			Bytes:    s.cache.Bytes(),
@@ -329,17 +371,62 @@ func (s *Server) cacheMaxBytes() int64 {
 	return b
 }
 
-// lookupDataset resolves a `dataset` query parameter: a position index,
-// or an exact dataset name when the reference does not parse as an index.
-// Index takes precedence so every dataset stays addressable even when one
-// is named like a number. Nil entries (tolerated in Config.Datasets) are
-// unresolvable.
-func (s *Server) lookupDataset(ref string) (*core.ClusteredDataset, int, bool) {
-	if i, err := strconv.Atoi(ref); err == nil && i >= 0 && i < len(s.cfg.Datasets) && s.cfg.Datasets[i] != nil {
-		return s.cfg.Datasets[i], i, true
+// lookupDataset resolves a `dataset` query parameter to a pane index: a
+// position index, or an exact dataset name when the reference does not
+// parse as an index. Index takes precedence so every dataset stays
+// addressable even when one is named like a number. Nil entries (tolerated
+// in the config lists) are unresolvable.
+func (s *Server) lookupDataset(ref string) (int, bool) {
+	if i, err := strconv.Atoi(ref); err == nil && s.trees.resolvable(i) {
+		return i, true
 	}
-	if i, ok := s.dsIndex[ref]; ok {
-		return s.cfg.Datasets[i], i, true
+	s.nameMu.RLock()
+	i, ok := s.dsIndex[ref]
+	s.nameMu.RUnlock()
+	if ok && s.trees.resolvable(i) {
+		return i, true
 	}
-	return nil, 0, false
+	return 0, false
+}
+
+// NumPanes returns the number of heatmap panes (pre-clustered plus raw).
+func (s *Server) NumPanes() int {
+	s.trees.mu.Lock()
+	defer s.trees.mu.Unlock()
+	return len(s.trees.entries)
+}
+
+// WarmTrees clusters every pane up front (the pre-PR-3 startup behavior,
+// now opt-in): daemons that would rather pay at boot than on the first
+// tile call this after New.
+func (s *Server) WarmTrees(ctx context.Context) error {
+	return s.trees.warm(ctx)
+}
+
+// ReplaceDataset hot-swaps the dataset behind a pane, keyed by the same
+// reference /api/heatmap accepts. The pane's tree-cache generation bumps —
+// invalidating the cached tree and, because the generation is part of every
+// tile cache key, all of the pane's cached PNG tiles — and the name index
+// follows the new dataset. In-flight builds against the old data finish
+// for their waiters but are never installed.
+func (s *Server) ReplaceDataset(ref string, ds *microarray.Dataset) error {
+	if ds == nil || ds.NumGenes() == 0 {
+		return fmt.Errorf("server: replacement dataset is empty")
+	}
+	idx, ok := s.lookupDataset(ref)
+	if !ok {
+		return fmt.Errorf("server: unknown dataset %q", ref)
+	}
+	s.nameMu.Lock()
+	for name, i := range s.dsIndex {
+		if i == idx {
+			delete(s.dsIndex, name)
+		}
+	}
+	if _, taken := s.dsIndex[ds.Name]; !taken {
+		s.dsIndex[ds.Name] = idx
+	}
+	s.nameMu.Unlock()
+	s.trees.replace(idx, ds)
+	return nil
 }

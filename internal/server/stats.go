@@ -75,7 +75,23 @@ type StatsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Compendium    CompendiumInfo              `json:"compendium"`
 	Cache         CacheInfo                   `json:"cache"`
+	TreeCache     TreeCacheInfo               `json:"tree_cache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// TreeCacheInfo summarizes the per-dataset clustered-tree cache: how many
+// panes exist, how many hold a built tree, and how the builds went. Builds
+// vs Hits+Coalesced is the "recluster once per dataset, not per request"
+// acceptance criterion made observable.
+type TreeCacheInfo struct {
+	Panes         int     `json:"panes"`
+	Built         int     `json:"built"`
+	Builds        int64   `json:"builds"`
+	Hits          int64   `json:"hits"`
+	Coalesced     int64   `json:"coalesced"`
+	Invalidations int64   `json:"invalidations"`
+	Failures      int64   `json:"failures"`
+	MeanBuildMS   float64 `json:"mean_build_ms"`
 }
 
 // CompendiumInfo summarizes what the daemon loaded at startup.

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"forestview/internal/cluster"
+	"forestview/internal/core"
+	"forestview/internal/microarray"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+)
+
+// rawFixture builds a daemon whose heatmap panes are raw datasets — the
+// lazy tree-cache path — sharing the SPELL engine across tests.
+func rawFixture(t *testing.T, nDatasets int) (*Server, []*microarray.Dataset) {
+	t.Helper()
+	u := synth.NewUniverse(220, 8, 77)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: nDatasets, MinExperiments: 10, MaxExperiments: 12,
+		ActiveFraction: 0.5, Noise: 0.25, MissingRate: 0.02, Seed: 78,
+	})
+	engine, err := spell.NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queue is sized for the coalescing test's burst: every waiter of a
+	// cold tree unblocks at once and submits its render together.
+	srv, err := New(Config{
+		Engine: engine, RawDatasets: dss,
+		CacheBytes: 8 << 20, RenderWorkers: 2, RenderQueue: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, dss
+}
+
+func treeStats(t *testing.T, s *Server) TreeCacheInfo {
+	t.Helper()
+	rec := get(t, s, "/api/stats")
+	var snap StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.TreeCache
+}
+
+// TestHeatmapParamValidation is the table-driven validation sweep over
+// /api/heatmap on a lazily-clustered daemon: every rejection must happen
+// before a tree is built (cheap validation first), and by-name addressing
+// must resolve raw panes.
+func TestHeatmapParamValidation(t *testing.T) {
+	s, dss := rawFixture(t, 2)
+	name := dss[1].Name
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"missing dataset", "/api/heatmap", http.StatusBadRequest},
+		{"index out of range", "/api/heatmap?dataset=99", http.StatusNotFound},
+		{"unknown name", "/api/heatmap?dataset=nope", http.StatusNotFound},
+		{"zero width", "/api/heatmap?dataset=0&w=0", http.StatusBadRequest},
+		{"oversized width", "/api/heatmap?dataset=0&w=99999", http.StatusBadRequest},
+		{"oversized height", "/api/heatmap?dataset=0&h=99999", http.StatusBadRequest},
+		{"reversed rows", "/api/heatmap?dataset=0&rows=5:2", http.StatusBadRequest},
+		{"garbage rows", "/api/heatmap?dataset=0&rows=0:5junk", http.StatusBadRequest},
+		{"negative rows", "/api/heatmap?dataset=0&rows=-3:5", http.StatusBadRequest},
+		{"rows past end", "/api/heatmap?dataset=0&rows=100000:100002", http.StatusBadRequest},
+		{"bad cmap", "/api/heatmap?dataset=0&cmap=sepia", http.StatusBadRequest},
+		{"bad limit", "/api/heatmap?dataset=0&limit=-1", http.StatusBadRequest},
+		{"tree not a number", "/api/heatmap?dataset=0&tree=wide", http.StatusBadRequest},
+		{"tree swallows tile", "/api/heatmap?dataset=0&w=128&tree=128", http.StatusBadRequest},
+		{"tree with row subrange", "/api/heatmap?dataset=0&tree=32&rows=0:10", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if rec := get(t, s, c.url); rec.Code != c.want {
+				t.Errorf("%s = %d, want %d", c.url, rec.Code, c.want)
+			}
+		})
+	}
+	// Every rejection above must have been answered from the row count
+	// alone: no pane may have clustered.
+	if ts := treeStats(t, s); ts.Builds != 0 || ts.Built != 0 {
+		t.Fatalf("validation built trees: %+v", ts)
+	}
+
+	// By-name lookup of a raw pane triggers exactly one build.
+	if rec := get(t, s, "/api/heatmap?dataset="+url.QueryEscape(name)+"&w=64&h=48"); rec.Code != http.StatusOK {
+		t.Fatalf("by-name tile = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ts := treeStats(t, s); ts.Builds != 1 || ts.Built != 1 || ts.Panes != 2 {
+		t.Fatalf("after by-name tile: %+v", ts)
+	}
+}
+
+// TestTreeCacheConcurrentSingleBuild is the coalescing proof for the tree
+// cache: N concurrent requests for N *distinct* tiles of one cold dataset
+// (distinct row windows, so the PNG-level cache and singleflight cannot
+// dedupe them) must cluster the dataset exactly once. Run with -race.
+func TestTreeCacheConcurrentSingleBuild(t *testing.T) {
+	s, _ := rawFixture(t, 1)
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("/api/heatmap?dataset=0&w=32&h=24&rows=%d:%d", i, i+20)
+			if rec := get(t, s, url); rec.Code != http.StatusOK {
+				t.Errorf("tile %d = %d: %s", i, rec.Code, rec.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	ts := treeStats(t, s)
+	if ts.Builds != 1 {
+		t.Fatalf("builds = %d, want exactly 1 (tree coalescing failed): %+v", ts.Builds, ts)
+	}
+	if ts.Hits+ts.Coalesced != n-1 {
+		t.Fatalf("hits(%d)+coalesced(%d) != %d: %+v", ts.Hits, ts.Coalesced, n-1, ts)
+	}
+	// The heatmap endpoint really rendered n distinct tiles.
+	if ep := statsOf(t, s, "heatmap"); ep.Computed != n {
+		t.Fatalf("tiles computed = %d, want %d", ep.Computed, n)
+	}
+}
+
+// TestReplaceDatasetInvalidates: swapping the dataset behind a pane bumps
+// the generation, forces a recluster, reindexes the name, and keeps stale
+// PNG tiles unreachable even for identical tile parameters.
+func TestReplaceDatasetInvalidates(t *testing.T) {
+	s, dss := rawFixture(t, 1)
+	oldName := dss[0].Name
+
+	first := get(t, s, "/api/heatmap?dataset=0&w=64&h=64")
+	if first.Code != http.StatusOK {
+		t.Fatalf("first tile = %d", first.Code)
+	}
+	if ts := treeStats(t, s); ts.Builds != 1 || ts.Invalidations != 0 {
+		t.Fatalf("after first tile: %+v", ts)
+	}
+
+	// Replace with a differently-shaped dataset under a new name.
+	u2 := synth.NewUniverse(150, 6, 99)
+	repl := u2.Generate(synth.DatasetSpec{Name: "swapped", NumExperiments: 9, Seed: 100})
+	if err := s.ReplaceDataset(oldName, repl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceDataset("never-existed", repl); err == nil {
+		t.Fatal("replacing an unknown dataset should error")
+	}
+
+	// Old name unresolvable, new name (and the index) serve the new data.
+	if rec := get(t, s, "/api/heatmap?dataset="+url.QueryEscape(oldName)); rec.Code != http.StatusNotFound {
+		t.Fatalf("old name after replace = %d", rec.Code)
+	}
+	second := get(t, s, "/api/heatmap?dataset=swapped&w=64&h=64")
+	if second.Code != http.StatusOK {
+		t.Fatalf("replacement tile = %d: %s", second.Code, second.Body.String())
+	}
+	ts := treeStats(t, s)
+	if ts.Builds != 2 || ts.Invalidations != 1 {
+		t.Fatalf("after replace: %+v", ts)
+	}
+	// Identical params, different generation: the tile was re-rendered, not
+	// served from the pre-replace cache entry.
+	if ep := statsOf(t, s, "heatmap"); ep.Computed != 2 {
+		t.Fatalf("computed = %d, want 2 (stale tile served?)", ep.Computed)
+	}
+	if bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("replacement dataset rendered an identical tile")
+	}
+	// The 150-row replacement rejects the old dataset's row space.
+	if rec := get(t, s, "/api/heatmap?dataset=swapped&rows=200:210"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("rows past replacement end = %d", rec.Code)
+	}
+}
+
+// TestTreeCacheLeaderCancelHandover: a leader whose context dies mid-build
+// must not fail live followers — one of them rebuilds. Exercised at the
+// treeCache level for determinism; assertions hold under any interleaving.
+func TestTreeCacheLeaderCancelHandover(t *testing.T) {
+	u := synth.NewUniverse(1200, 10, 5)
+	ds := u.Generate(synth.DatasetSpec{Name: "big", NumExperiments: 24, Seed: 6})
+	tc := newTreeCache(treeClusterOptions(cluster.PearsonDist, cluster.AverageLinkage, false))
+	tc.addRaw(ds)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := tc.get(leaderCtx, 0)
+		leaderErr <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // give the leader a head start (not required for correctness)
+	followerErr := make(chan error, 1)
+	go func() {
+		cd, _, err := tc.get(context.Background(), 0)
+		if err == nil && (cd == nil || cd.GeneTree == nil) {
+			err = fmt.Errorf("follower got no tree")
+		}
+		followerErr <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower failed after leader cancel: %v", err)
+	}
+	if err := <-leaderErr; err != nil && err != context.Canceled {
+		t.Fatalf("leader error = %v, want nil or context.Canceled", err)
+	}
+	// Whatever the interleaving, the cache must end up with the tree built.
+	if cd, _, err := tc.get(context.Background(), 0); err != nil || cd == nil {
+		t.Fatalf("cache not settled: %v", err)
+	}
+}
+
+// TestHeatmapDendrogramStrip: tree=W draws a dendrogram panel and the tile
+// stays a valid PNG; a pane without a gene tree refuses honestly.
+func TestHeatmapDendrogramStrip(t *testing.T) {
+	s, _ := rawFixture(t, 1)
+	withTree := get(t, s, "/api/heatmap?dataset=0&w=256&h=128&tree=64")
+	if withTree.Code != http.StatusOK || !bytes.HasPrefix(withTree.Body.Bytes(), pngMagic) {
+		t.Fatalf("tree tile = %d", withTree.Code)
+	}
+	plain := get(t, s, "/api/heatmap?dataset=0&w=256&h=128")
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain tile = %d", plain.Code)
+	}
+	if bytes.Equal(withTree.Body.Bytes(), plain.Body.Bytes()) {
+		t.Fatal("dendrogram strip did not change the tile")
+	}
+
+	// A pre-clustered pane without a gene tree (CDT-style display order
+	// only) cannot draw a dendrogram.
+	u := synth.NewUniverse(60, 4, 3)
+	flat, err := core.FromDataset(u.Generate(synth.DatasetSpec{Name: "flat", NumExperiments: 8, Seed: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := spell.NewEngine([]*microarray.Dataset{flat.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Engine: engine, Datasets: []*core.ClusteredDataset{flat}, RenderWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	if rec := get(t, s2, "/api/heatmap?dataset=flat&tree=32"); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("treeless pane with tree param = %d", rec.Code)
+	}
+	if rec := get(t, s2, "/api/heatmap?dataset=flat&w=64&h=64"); rec.Code != http.StatusOK {
+		t.Fatalf("treeless pane plain tile = %d", rec.Code)
+	}
+}
+
+// TestMixedPreAndRawPanes: pre-clustered panes occupy the low indices, raw
+// panes follow, and both resolve by name; pre-clustered panes never count
+// as builds.
+func TestMixedPreAndRawPanes(t *testing.T) {
+	u := synth.NewUniverse(120, 5, 11)
+	pre := u.Generate(synth.DatasetSpec{Name: "pre", NumExperiments: 8, Seed: 12})
+	raw := u.Generate(synth.DatasetSpec{Name: "raw", NumExperiments: 8, Seed: 13})
+	cd, err := core.Cluster(pre, core.ClusterOptions{Metric: cluster.PearsonDist, Linkage: cluster.AverageLinkage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := spell.NewEngine([]*microarray.Dataset{pre, raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Engine:        engine,
+		Datasets:      []*core.ClusteredDataset{cd},
+		RawDatasets:   []*microarray.Dataset{raw},
+		RenderWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	if rec := get(t, s, "/api/heatmap?dataset=pre&w=32&h=32"); rec.Code != http.StatusOK {
+		t.Fatalf("pre pane = %d", rec.Code)
+	}
+	ts := treeStats(t, s)
+	if ts.Builds != 0 || ts.Hits != 1 || ts.Panes != 2 || ts.Built != 1 {
+		t.Fatalf("pre pane stats: %+v", ts)
+	}
+	if rec := get(t, s, "/api/heatmap?dataset=raw&w=32&h=32"); rec.Code != http.StatusOK {
+		t.Fatalf("raw pane = %d", rec.Code)
+	}
+	if ts := treeStats(t, s); ts.Builds != 1 || ts.Built != 2 {
+		t.Fatalf("raw pane stats: %+v", ts)
+	}
+}

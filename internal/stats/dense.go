@@ -80,6 +80,34 @@ func CenterUnitNorm(xs []float64) ([]float64, bool) {
 	return dst, true
 }
 
+// UnitNormInto writes xs scaled to unit Euclidean norm into dst — no
+// centering — and reports whether that form exists: it returns false,
+// leaving dst in an unspecified state, when xs is empty, has a missing
+// value, or has zero norm. When it returns true, PearsonUncentered(a, b) ==
+// Dot(ua, ub) for any two rows prepared this way (up to floating-point
+// rounding): the cosine-distance analogue of CenterUnitNormInto, used by
+// the clustering kernel's uncentered fast path.
+func UnitNormInto(dst, xs []float64) bool {
+	if len(xs) == 0 || len(dst) < len(xs) {
+		return false
+	}
+	ss := 0.0
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return false
+		}
+		ss += v * v
+	}
+	if ss == 0 {
+		return false
+	}
+	inv := 1 / math.Sqrt(ss)
+	for i, v := range xs {
+		dst[i] = v * inv
+	}
+	return true
+}
+
 // ZScoresInto is ZScores writing into a caller-provided slice (len(dst)
 // must be at least len(xs)), so bulk preprocessing can fill one contiguous
 // slab without a per-row allocation.

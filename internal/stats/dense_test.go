@@ -97,3 +97,46 @@ func TestZScoresInto(t *testing.T) {
 		}
 	}
 }
+
+func TestUnitNormInto(t *testing.T) {
+	xs := []float64{3, 4}
+	dst := make([]float64, 2)
+	if !UnitNormInto(dst, xs) {
+		t.Fatal("complete row rejected")
+	}
+	if math.Abs(dst[0]-0.6) > 1e-15 || math.Abs(dst[1]-0.8) > 1e-15 {
+		t.Fatalf("unit form = %v, want [0.6 0.8]", dst)
+	}
+	// Undefined forms: missing values, zero norm, empty, short dst.
+	if UnitNormInto(dst, []float64{1, math.NaN()}) {
+		t.Fatal("missing value accepted")
+	}
+	if UnitNormInto(dst, []float64{0, 0}) {
+		t.Fatal("zero norm accepted")
+	}
+	if UnitNormInto(dst, nil) {
+		t.Fatal("empty row accepted")
+	}
+	if UnitNormInto(dst[:1], xs) {
+		t.Fatal("short destination accepted")
+	}
+	// The identity the clustering kernel relies on: PearsonUncentered of
+	// two rows equals the dot product of their unit forms.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := r.Intn(20) + 1
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = r.NormFloat64()+1, r.NormFloat64()-1
+		}
+		ua, ub := make([]float64, n), make([]float64, n)
+		if !UnitNormInto(ua, a) || !UnitNormInto(ub, b) {
+			continue // zero-norm fluke
+		}
+		want := PearsonUncentered(a, b)
+		got := Clamp(Dot(ua, ub), -1, 1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d (n=%d): Dot=%v PearsonUncentered=%v", trial, n, got, want)
+		}
+	}
+}
