@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -362,6 +363,119 @@ func BenchmarkF4_HeatmapTile(b *testing.B) {
 		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
 		if rec.Code != http.StatusOK {
 			b.Fatalf("tile = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F4c — the GOLEM enrichment half of the interactive drill-down path, at the
+// acceptance scale from ISSUE 4: a 6k-gene background against a 2k-term
+// ontology. BenchmarkF4_Enrich runs the bitset AND-popcount kernel,
+// BenchmarkF4_EnrichReference the retained map-walk + per-call-Lgamma path,
+// so the speedup is measurable within one binary (acceptance bar: >= 5x).
+// BenchmarkF4_EnrichHTTP runs the daemon's full /api/enrich pipeline with a
+// distinct selection per iteration (parse -> canonicalize -> cache miss ->
+// kernel -> JSON), the enrichment analogue of BenchmarkF4_HeatmapTile.
+
+type enrichBench struct {
+	enricher   *golem.Enricher
+	background []string
+	selection  []string
+}
+
+var (
+	enrichBenchOnce sync.Once
+	enrichBenchFix  *enrichBench
+)
+
+func getEnrichBench(b testing.TB) *enrichBench {
+	enrichBenchOnce.Do(func() {
+		const nTerms, nGenes = 2000, 6000
+		names := make([]string, nTerms)
+		for i := range names {
+			names[i] = fmt.Sprintf("process %d", i)
+		}
+		onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{
+			LeafNames: names, IntermediateLevels: 3, Seed: 23})
+		if err != nil {
+			panic(err)
+		}
+		ann := ontology.NewAnnotations()
+		background := make([]string, 0, nGenes)
+		for g := 0; g < nGenes; g++ {
+			id := fmt.Sprintf("G%04d", g)
+			background = append(background, id)
+			ann.Add(id, leafOf[names[g%nTerms]])
+		}
+		enr, err := golem.NewEnricher(onto, ann, background)
+		if err != nil {
+			panic(err)
+		}
+		// A 500-gene selection striding the universe, touching many terms.
+		selection := make([]string, 0, 500)
+		for i := 0; i < 500; i++ {
+			selection = append(selection, background[(i*11)%nGenes])
+		}
+		enrichBenchFix = &enrichBench{enricher: enr, background: background, selection: selection}
+	})
+	return enrichBenchFix
+}
+
+func BenchmarkF4_Enrich(b *testing.B) {
+	f := getEnrichBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.enricher.Analyze(f.selection, golem.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF4_EnrichReference runs the identical workload through the
+// retained pre-kernel path (per-call sort.Strings, map-walk intersections,
+// math.Lgamma hypergeometrics) so the bitset kernel's speedup is measurable
+// within one binary: compare against BenchmarkF4_Enrich.
+func BenchmarkF4_EnrichReference(b *testing.B) {
+	f := getEnrichBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.enricher.ReferenceAnalyze(f.selection, golem.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF4_EnrichHTTP measures the daemon's full enrichment pipeline:
+// each iteration requests a distinct 100-gene selection window, so every
+// request walks parse -> canonicalize -> cache miss -> singleflight ->
+// bitset kernel -> corrections -> JSON encode end to end.
+func BenchmarkF4_EnrichHTTP(b *testing.B) {
+	f := getEnrichBench(b)
+	u := synth.NewUniverse(500, 10, 3)
+	ds := u.Generate(synth.DatasetSpec{Name: "enrichbench", NumExperiments: 10, Seed: 5})
+	engine, err := spell.NewEngine([]*microarray.Dataset{ds})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine, Enricher: f.enricher, CacheBytes: 32 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	nGenes := len(f.background)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := (i * 7) % (nGenes - 100)
+		url := "/api/enrich?genes=" + strings.Join(f.background[from:from+100], ",")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("enrich = %d: %s", rec.Code, rec.Body.String())
 		}
 	}
 }

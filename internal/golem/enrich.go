@@ -4,12 +4,25 @@
 // functional-enrichment testing of a gene list with multiple-hypothesis
 // correction, extraction of the local DAG neighbourhood around significant
 // terms, and a layered layout of that neighbourhood for display.
+//
+// Scoring runs on a dense bitset kernel (the same playbook as the SPELL and
+// clustering kernels): NewEnricher interns the background into an integer
+// gene index and packs every testable term's annotated-gene set into one
+// []uint64 bitset row of a shared arena, so Analyze is one selection bitset
+// plus an AND-popcount per term — no map walks, no string hashing, no
+// per-call sorting. The pre-kernel map-walk is retained verbatim as
+// ReferenceAnalyze (reference.go), the golden standard the kernel is held
+// to by parity_test.go.
 package golem
 
 import (
+	"context"
 	"errors"
 	"math"
+	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 
 	"forestview/internal/ontology"
 	"forestview/internal/stats"
@@ -35,14 +48,40 @@ type Enrichment struct {
 	Fold float64
 }
 
+// termEntry is one testable term in the kernel's sorted arena. Its bitset
+// row lives at bits[row*words : (row+1)*words].
+type termEntry struct {
+	id   string
+	name string
+	k    int // K: background genes annotated to the term
+}
+
 // Enricher performs enrichment analyses against a fixed background. Build
 // it once per (ontology, annotations, background) and reuse it for many
 // selections — ForestView calls it every time the user re-selects genes.
+// An Enricher is immutable after NewEnricher and safe for concurrent use;
+// it assumes the ontology and annotations it was built from are not
+// mutated afterwards.
 type Enricher struct {
 	onto       *ontology.Ontology
-	ann        *ontology.Annotations // propagated
+	direct     *ontology.Annotations // unpropagated, as handed to NewEnricher
 	background map[string]bool
-	termGenes  map[string]map[string]bool // term -> background genes
+
+	// The dense kernel state: every background gene owns one bit position,
+	// every testable term one packed bitset row in a shared arena, rows in
+	// ascending TermID order so Analyze needs no per-call sort.
+	geneIdx map[string]int32 // background gene -> bit position [0, N)
+	words   int              // uint64 words per bitset row: ceil(N/64)
+	terms   []termEntry      // sorted by TermID
+	bits    []uint64         // term arena, len = len(terms)*words
+
+	// The reference path's map state (term -> background gene set) is heavy
+	// — at GO scale it dwarfs the packed arena — and only parity tests,
+	// benchmarks and the golem -reference flag ever walk it, so it is built
+	// lazily on the first ReferenceAnalyze instead of living on the serving
+	// path's memory for the process lifetime.
+	refOnce   sync.Once
+	termGenes map[string]map[string]bool
 }
 
 // NewEnricher prepares an enrichment context. annotations are direct
@@ -58,17 +97,62 @@ func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background 
 	}
 	e := &Enricher{
 		onto:       o,
-		ann:        direct.Propagate(o),
+		direct:     direct,
 		background: make(map[string]bool, len(background)),
-		termGenes:  make(map[string]map[string]bool),
+		geneIdx:    make(map[string]int32, len(background)),
 	}
 	for _, g := range background {
-		e.background[g] = true
+		if !e.background[g] {
+			// First occurrence claims the bit; duplicate universe entries
+			// collapse, matching the map semantics of the reference path.
+			e.geneIdx[g] = int32(len(e.geneIdx))
+			e.background[g] = true
+		}
 	}
-	for term, genes := range e.ann.GenesPerTerm() {
-		// Obsolete terms are untestable (Analyze skips them); keeping them
-		// out here keeps NumTerms honest.
-		if t := o.Term(term); t != nil && t.Obsolete {
+	// The propagated per-term gene sets are needed only transiently here:
+	// they compile into the packed arena and are then released, so the
+	// serving path never carries the map-of-maps weight.
+	termGenes := e.buildTermGenes()
+
+	// Pack the term arena in sorted order.
+	N := len(e.geneIdx)
+	e.words = (N + 63) / 64
+	e.terms = make([]termEntry, 0, len(termGenes))
+	ids := make([]string, 0, len(termGenes))
+	for t := range termGenes {
+		ids = append(ids, t)
+	}
+	sort.Strings(ids)
+	e.bits = make([]uint64, len(ids)*e.words)
+	for row, id := range ids {
+		set := termGenes[id]
+		name := id
+		if t := o.Term(id); t != nil {
+			name = t.Name
+		}
+		e.terms = append(e.terms, termEntry{id: id, name: name, k: len(set)})
+		tb := e.bits[row*e.words : (row+1)*e.words]
+		for g := range set {
+			gi := e.geneIdx[g]
+			tb[gi>>6] |= 1 << uint(gi&63)
+		}
+	}
+	// The universe size bounds every log-factorial the hypergeometric tests
+	// will ever need; growing the shared table here keeps Analyze pure
+	// lookups.
+	stats.GrowLnFactorial(N)
+	return e, nil
+}
+
+// buildTermGenes applies the true-path rule and inverts the annotations
+// into term -> background-gene sets, skipping obsolete terms (untestable;
+// keeping them out keeps NumTerms honest) and terms annotating no
+// background gene. Deterministic in the inputs, so the lazy reference
+// rebuild reproduces exactly what the arena was compiled from.
+func (e *Enricher) buildTermGenes() map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for term, genes := range e.direct.Propagate(e.onto).GenesPerTerm() {
+		if t := e.onto.Term(term); t != nil && t.Obsolete {
 			continue
 		}
 		set := make(map[string]bool)
@@ -78,10 +162,16 @@ func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background 
 			}
 		}
 		if len(set) > 0 {
-			e.termGenes[term] = set
+			out[term] = set
 		}
 	}
-	return e, nil
+	return out
+}
+
+// refTermGenes returns the reference path's map state, built on first use.
+func (e *Enricher) refTermGenes() map[string]map[string]bool {
+	e.refOnce.Do(func() { e.termGenes = e.buildTermGenes() })
+	return e.termGenes
 }
 
 // BackgroundSize returns N, the size of the gene universe.
@@ -90,7 +180,7 @@ func (e *Enricher) BackgroundSize() int { return len(e.background) }
 // NumTerms returns the number of testable terms — terms annotating at
 // least one background gene after propagation. The query daemon reports it
 // in /api/stats.
-func (e *Enricher) NumTerms() int { return len(e.termGenes) }
+func (e *Enricher) NumTerms() int { return len(e.terms) }
 
 // InBackground reports whether a gene is part of the universe. Analyze
 // silently drops selection genes outside it, so callers reporting what was
@@ -111,60 +201,132 @@ type Options struct {
 // outside the background are ignored (a selection pasted from another
 // dataset may contain IDs this universe lacks).
 func (e *Enricher) Analyze(selection []string, opt Options) ([]Enrichment, error) {
+	return e.AnalyzeCtx(context.Background(), selection, opt)
+}
+
+// countShardTerms is the minimum number of terms a single worker keeps:
+// below par×this, the AND-popcount pass runs serially — goroutine handoff
+// would cost more than the counting.
+const countShardTerms = 256
+
+// AnalyzeCtx is Analyze with cancellation: the term-count shards and the
+// p-value pass poll ctx, so a disconnected client stops paying for its
+// enrichment mid-scan. The result is identical to Analyze's for a live
+// context; a canceled one returns ctx.Err().
+func (e *Enricher) AnalyzeCtx(ctx context.Context, selection []string, opt Options) ([]Enrichment, error) {
 	if opt.MinSelected < 1 {
 		opt.MinSelected = 1
 	}
-	sel := make(map[string]bool, len(selection))
-	for _, g := range selection {
-		if e.background[g] {
-			sel[g] = true
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if len(sel) == 0 {
-		return nil, errors.New("golem: no selection genes in the background")
-	}
-	N := len(e.background)
-	n := len(sel)
 
-	var results []Enrichment
-	// Deterministic term order for stable output and reproducible
-	// corrections.
-	terms := make([]string, 0, len(e.termGenes))
-	for t := range e.termGenes {
-		terms = append(terms, t)
-	}
-	sort.Strings(terms)
-	for _, term := range terms {
-		tg := e.termGenes[term]
-		k := 0
-		for g := range sel {
-			if tg[g] {
-				k++
+	// One selection bitset; duplicate and out-of-background IDs vanish here
+	// exactly as they did in the reference's selection map.
+	sel := make([]uint64, e.words)
+	n := 0
+	for _, g := range selection {
+		if gi, ok := e.geneIdx[g]; ok {
+			w, m := gi>>6, uint64(1)<<uint(gi&63)
+			if sel[w]&m == 0 {
+				sel[w] |= m
+				n++
 			}
 		}
+	}
+	if n == 0 {
+		return nil, errors.New("golem: no selection genes in the background")
+	}
+	N := len(e.geneIdx)
+
+	// k per term: AND-popcount of the term's arena row against the
+	// selection, sharded across workers for large ontologies. Each worker
+	// owns a disjoint ks range — no locks, deterministic output.
+	ks := make([]int, len(e.terms))
+	par := runtime.GOMAXPROCS(0)
+	if max := len(e.terms) / countShardTerms; par > max {
+		par = max
+	}
+	if par <= 1 {
+		if err := e.countRange(ctx, sel, ks, 0, len(e.terms)); err != nil {
+			return nil, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(e.terms) + par - 1) / par
+		for w := 0; w < par; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(e.terms) {
+				hi = len(e.terms)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				// Workers bail on cancellation; the error surfaces from
+				// the ctx re-check after the join.
+				_ = e.countRange(ctx, sel, ks, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Score the terms that pass MinSelected. The arena is TermID-sorted, so
+	// the tested family accumulates in the reference's deterministic order.
+	var results []Enrichment
+	for i := range e.terms {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		k := ks[i]
 		if k < opt.MinSelected {
 			continue
 		}
-		K := len(tg)
-		name := term
-		if t := e.onto.Term(term); t != nil {
-			if t.Obsolete {
-				continue
-			}
-			name = t.Name
-		}
+		t := &e.terms[i]
 		results = append(results, Enrichment{
-			TermID:         term,
-			TermName:       name,
+			TermID:         t.id,
+			TermName:       t.name,
 			Selected:       k,
-			Background:     K,
+			Background:     t.k,
 			SelectionSize:  n,
 			BackgroundSize: N,
-			PValue:         stats.HypergeomUpperTail(k, N, K, n),
-			Fold:           stats.FoldEnrichment(k, N, K, n),
+			PValue:         stats.HypergeomUpperTail(k, N, t.k, n),
+			Fold:           stats.FoldEnrichment(k, N, t.k, n),
 		})
 	}
-	// Corrections over the tested family.
+	return finishAnalysis(results, opt), nil
+}
+
+// countRange fills ks[lo:hi] with AND-popcounts of term rows against sel,
+// polling ctx between terms.
+func (e *Enricher) countRange(ctx context.Context, sel []uint64, ks []int, lo, hi int) error {
+	words := e.words
+	for i := lo; i < hi; i++ {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		row := e.bits[i*words : (i+1)*words]
+		row = row[:len(sel)] // one bounds check for the fused loop below
+		k := 0
+		for w, s := range sel {
+			k += bits.OnesCount64(row[w] & s)
+		}
+		ks[i] = k
+	}
+	return nil
+}
+
+// finishAnalysis applies the multiple-hypothesis corrections over the
+// tested family, the MaxPValue filter, and the final (p, TermID) ordering —
+// shared bit-for-bit by both the kernel and the reference path.
+func finishAnalysis(results []Enrichment, opt Options) []Enrichment {
 	ps := make([]float64, len(results))
 	for i := range results {
 		ps[i] = results[i].PValue
@@ -190,7 +352,7 @@ func (e *Enricher) Analyze(selection []string, opt Options) ([]Enrichment, error
 		}
 		return results[a].TermID < results[b].TermID
 	})
-	return results, nil
+	return results
 }
 
 // TopTerms returns the IDs of the first n results.

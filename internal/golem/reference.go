@@ -1,0 +1,75 @@
+package golem
+
+import (
+	"errors"
+	"sort"
+
+	"forestview/internal/stats"
+)
+
+// ReferenceAnalyze is the pre-kernel enrichment path, retained verbatim as
+// the golden standard the bitset kernel is tested against (parity_test.go)
+// and the in-binary baseline BenchmarkF4_EnrichReference measures: the
+// per-call sort.Strings over the term map, a map-walk intersection per
+// term, and per-call math.Lgamma hypergeometrics
+// (stats.HypergeomUpperTailLgamma). Results are identical to Analyze's.
+func (e *Enricher) ReferenceAnalyze(selection []string, opt Options) ([]Enrichment, error) {
+	if opt.MinSelected < 1 {
+		opt.MinSelected = 1
+	}
+	sel := make(map[string]bool, len(selection))
+	for _, g := range selection {
+		if e.background[g] {
+			sel[g] = true
+		}
+	}
+	if len(sel) == 0 {
+		return nil, errors.New("golem: no selection genes in the background")
+	}
+	N := len(e.background)
+	n := len(sel)
+
+	// The map state is rebuilt lazily (first ReferenceAnalyze) so the
+	// serving path doesn't retain it; from here down this is the old code.
+	termGenes := e.refTermGenes()
+
+	var results []Enrichment
+	// Deterministic term order for stable output and reproducible
+	// corrections.
+	terms := make([]string, 0, len(termGenes))
+	for t := range termGenes {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		tg := termGenes[term]
+		k := 0
+		for g := range sel {
+			if tg[g] {
+				k++
+			}
+		}
+		if k < opt.MinSelected {
+			continue
+		}
+		K := len(tg)
+		name := term
+		if t := e.onto.Term(term); t != nil {
+			if t.Obsolete {
+				continue
+			}
+			name = t.Name
+		}
+		results = append(results, Enrichment{
+			TermID:         term,
+			TermName:       name,
+			Selected:       k,
+			Background:     K,
+			SelectionSize:  n,
+			BackgroundSize: N,
+			PValue:         stats.HypergeomUpperTailLgamma(k, N, K, n),
+			Fold:           stats.FoldEnrichment(k, N, K, n),
+		})
+	}
+	return finishAnalysis(results, opt), nil
+}

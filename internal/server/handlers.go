@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"image/color"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -20,15 +21,31 @@ import (
 
 var errNoEnricher = errors.New("server: no ontology loaded; /api/enrich is unavailable")
 
-// writeJSON encodes v with the right Content-Type.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v with the right Content-Type. The body is encoded
+// before the status line is committed: an encode failure (a NaN float is
+// the classic) becomes a logged, counted 500 with an error body instead of
+// the silent empty 200 it used to be.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		s.encodeFailures.Add(1)
+		log.Printf("server: response encode failed (intended status %d): %v", status, err)
+		// Marshaling a string map cannot fail (unlike Go's %q quoting, whose
+		// \x escapes are not valid JSON), so the error body is always
+		// parseable.
+		body, _ := json.Marshal(map[string]string{"error": "internal: response encoding failed: " + err.Error()})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write(body)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
-func writeJSONError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) writeJSONError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }
 
 // handleSearch serves /api/search?q=GENE1,GENE2[&top=N]: the SPELL ranked
@@ -36,24 +53,32 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ids := spellweb.ParseQuery(r.URL.Query().Get("q"))
 	if len(ids) == 0 {
-		writeJSONError(w, http.StatusBadRequest, "missing q parameter (comma separated gene IDs)")
+		s.writeJSONError(w, http.StatusBadRequest, "missing q parameter (comma separated gene IDs)")
 		return
 	}
 	top := 0
 	if t := r.URL.Query().Get("top"); t != "" {
 		v, err := strconv.Atoi(t)
 		if err != nil || v < 1 {
-			writeJSONError(w, http.StatusBadRequest, "top must be a positive integer")
+			s.writeJSONError(w, http.StatusBadRequest, "top must be a positive integer")
 			return
 		}
 		top = v
 	}
-	res, err := s.Search(ids, spell.Options{MaxGenes: top, IncludeQuery: true})
-	if err != nil {
-		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+	if len(spell.CanonicalQuery(ids)) < 2 {
+		// A one-gene query has no query pairs, so every dataset's coherence
+		// is NaN — unencodable and meaningless. Reject up front rather than
+		// serve a weightless ranking (this used to escape as an empty 200
+		// when the NaN killed the JSON encoder silently).
+		s.writeJSONError(w, http.StatusUnprocessableEntity, spell.MsgSingleGeneQuery)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	res, err := s.Search(ids, spell.Options{MaxGenes: top, IncludeQuery: true})
+	if err != nil {
+		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 // enrichResponse is the /api/enrich body.
@@ -74,19 +99,19 @@ type enrichResponse struct {
 // GOLEM enrichment table for a gene list as JSON.
 func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Enricher == nil {
-		writeJSONError(w, http.StatusServiceUnavailable, errNoEnricher.Error())
+		s.writeJSONError(w, http.StatusServiceUnavailable, errNoEnricher.Error())
 		return
 	}
 	genes := spellweb.ParseQuery(r.URL.Query().Get("genes"))
 	if len(genes) == 0 {
-		writeJSONError(w, http.StatusBadRequest, "missing genes parameter (comma separated gene IDs)")
+		s.writeJSONError(w, http.StatusBadRequest, "missing genes parameter (comma separated gene IDs)")
 		return
 	}
 	opt := golem.Options{MinSelected: 1}
 	if v := r.URL.Query().Get("maxp"); v != "" {
 		p, err := strconv.ParseFloat(v, 64)
 		if err != nil || p < 0 || p > 1 {
-			writeJSONError(w, http.StatusBadRequest, "maxp must be in [0, 1]")
+			s.writeJSONError(w, http.StatusBadRequest, "maxp must be in [0, 1]")
 			return
 		}
 		opt.MaxPValue = p
@@ -94,14 +119,30 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("min"); v != "" {
 		m, err := strconv.Atoi(v)
 		if err != nil || m < 1 {
-			writeJSONError(w, http.StatusBadRequest, "min must be a positive integer")
+			s.writeJSONError(w, http.StatusBadRequest, "min must be a positive integer")
 			return
 		}
 		opt.MinSelected = m
 	}
-	results, err := s.Enrich(genes, opt)
+	results, err := s.EnrichCtx(r.Context(), genes, opt)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if r.Context().Err() != nil {
+			// Our client hung up before the analysis finished; the kernel
+			// stopped mid-scan and nobody is listening for a body. Keep the
+			// abort visible in /api/stats as a 499.
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		// The context error leaked from other requests' flights (EnrichCtx
+		// exhausted its retries against flights whose leaders kept
+		// disconnecting). Shed so the client retries, counted like every
+		// other shed.
+		s.statEnrich.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, "enrichment repeatedly interrupted, retry later")
+		return
+	}
 	if err != nil {
-		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	var tested, ignored []string
@@ -112,7 +153,7 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 			ignored = append(ignored, g)
 		}
 	}
-	writeJSON(w, http.StatusOK, enrichResponse{
+	s.writeJSON(w, http.StatusOK, enrichResponse{
 		Selection:  tested,
 		Ignored:    ignored,
 		Background: s.cfg.Enricher.BackgroundSize(),
@@ -150,12 +191,12 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ref := q.Get("dataset")
 	if ref == "" {
-		writeJSONError(w, http.StatusBadRequest, "missing dataset parameter (index or name); see /api/stats for the loaded compendium")
+		s.writeJSONError(w, http.StatusBadRequest, "missing dataset parameter (index or name); see /api/stats for the loaded compendium")
 		return
 	}
 	dsIndex, ok := s.lookupDataset(ref)
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, s.NumPanes()))
+		s.writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, s.NumPanes()))
 		return
 	}
 	// Parameter validation runs before the (possibly expensive) tree
@@ -166,14 +207,14 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("rows"); v != "" {
 		from, to, ok := parseRowRange(v)
 		if !ok {
-			writeJSONError(w, http.StatusBadRequest, "rows must be FROM:TO with 0 <= FROM < TO")
+			s.writeJSONError(w, http.StatusBadRequest, "rows must be FROM:TO with 0 <= FROM < TO")
 			return
 		}
 		if to > nRows {
 			to = nRows
 		}
 		if from >= nRows {
-			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", nRows))
+			s.writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", nRows))
 			return
 		}
 		p.from, p.to = from, to
@@ -185,7 +226,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		if v := q.Get(dim.name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 || n > s.cfg.MaxTileDim {
-				writeJSONError(w, http.StatusBadRequest,
+				s.writeJSONError(w, http.StatusBadRequest,
 					fmt.Sprintf("%s must be in [1, %d]", dim.name, s.cfg.MaxTileDim))
 				return
 			}
@@ -195,7 +236,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("cmap"); v != "" {
 		cm, ok := parseColorMap(v)
 		if !ok {
-			writeJSONError(w, http.StatusBadRequest, "cmap must be one of green-black-red, blue-black-yellow, grayscale")
+			s.writeJSONError(w, http.StatusBadRequest, "cmap must be one of green-black-red, blue-black-yellow, grayscale")
 			return
 		}
 		p.cmap = cm
@@ -203,7 +244,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		lim, err := strconv.ParseFloat(v, 64)
 		if err != nil || lim <= 0 {
-			writeJSONError(w, http.StatusBadRequest, "limit must be a positive number")
+			s.writeJSONError(w, http.StatusBadRequest, "limit must be a positive number")
 			return
 		}
 		p.limit = lim
@@ -211,11 +252,11 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("tree"); v != "" {
 		tw, err := strconv.Atoi(v)
 		if err != nil || tw < 0 || tw >= p.w {
-			writeJSONError(w, http.StatusBadRequest, "tree must be a dendrogram width in [0, w)")
+			s.writeJSONError(w, http.StatusBadRequest, "tree must be a dendrogram width in [0, w)")
 			return
 		}
 		if tw > 0 && (p.from != 0 || p.to != nRows) {
-			writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
+			s.writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
 			return
 		}
 		p.treeW = tw
@@ -229,7 +270,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(statusClientClosedRequest)
 			return
 		}
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	p.gen = gen
@@ -242,23 +283,23 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			p.to = got
 		}
 		if p.from >= p.to {
-			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", got))
+			s.writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", got))
 			return
 		}
 		if p.treeW > 0 && (p.from != 0 || p.to != got) {
-			writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
+			s.writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
 			return
 		}
 	}
 	if p.treeW > 0 && cd.GeneTree == nil {
-		writeJSONError(w, http.StatusUnprocessableEntity, "dataset has no gene tree to draw")
+		s.writeJSONError(w, http.StatusUnprocessableEntity, "dataset has no gene tree to draw")
 		return
 	}
 
 	png, err := s.renderTile(r.Context(), cd, p)
 	if errors.Is(err, ErrSaturated) {
 		s.statHeatmap.rejected.Add(1)
-		writeJSONError(w, http.StatusServiceUnavailable, "render pool saturated, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, "render pool saturated, retry later")
 		return
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -275,11 +316,11 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		// flights whose leaders kept disconnecting). Shed like saturation
 		// so the client retries, rather than misreporting a hangup.
 		s.statHeatmap.rejected.Add(1)
-		writeJSONError(w, http.StatusServiceUnavailable, "render repeatedly interrupted, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, "render repeatedly interrupted, retry later")
 		return
 	}
 	if err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
@@ -389,5 +430,5 @@ func parseColorMap(v string) (render.ColorMap, bool) {
 
 // handleStats serves /api/stats.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }

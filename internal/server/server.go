@@ -22,11 +22,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"forestview/internal/cluster"
@@ -98,6 +100,13 @@ type Server struct {
 	statHeatmap endpointStats
 	statHTML    endpointStats
 	statStats   endpointStats
+
+	// enrichKernel tracks actual golem kernel executions (cache misses that
+	// computed), reported as the enrich_cache stats section.
+	enrichKernel enrichKernelStats
+	// encodeFailures counts JSON responses whose encoding failed (writeJSON
+	// turned them into 500s); any nonzero value is a bug worth paging on.
+	encodeFailures atomic.Int64
 }
 
 // New wires a Server from the config.
@@ -230,14 +239,46 @@ func (c *cachedSearcher) NumGenes() int    { return c.s.NumGenes() }
 // Enrich runs a GOLEM analysis through the shared cache and coalescing
 // layer.
 func (s *Server) Enrich(genes []string, opt golem.Options) ([]golem.Enrichment, error) {
+	return s.EnrichCtx(context.Background(), genes, opt)
+}
+
+// EnrichCtx is the /api/enrich compute path: canonicalized cache key into
+// the sharded LRU, singleflight coalescing, and the request context threaded
+// into the bitset kernel (golem.AnalyzeCtx) so a disconnected client stops
+// paying mid-scan. Like the tile path, a follower whose joined flight died
+// of the *leader's* hangup retries with its own live context instead of
+// failing an innocent request. Kernel executions and their latency are
+// accounted under enrich_cache in /api/stats.
+func (s *Server) EnrichCtx(ctx context.Context, genes []string, opt golem.Options) ([]golem.Enrichment, error) {
 	if s.cfg.Enricher == nil {
 		return nil, errNoEnricher
 	}
 	genes = spell.CanonicalQuery(genes)
 	key := fmt.Sprintf("enrich\x1f%d\x1f%g\x1f%s", opt.MinSelected, opt.MaxPValue, joinIDs(genes))
-	v, err := s.cachedDo(&s.statEnrich, key, enrichCost, func() (any, error) {
-		return s.cfg.Enricher.Analyze(genes, opt)
-	})
+	const maxAttempts = 3
+	var (
+		v   any
+		err error
+	)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			s.enrichKernel.retries.Add(1)
+		}
+		v, err = s.cachedDo(&s.statEnrich, key, enrichCost, func() (any, error) {
+			t0 := time.Now()
+			res, aerr := s.cfg.Enricher.AnalyzeCtx(ctx, genes, opt)
+			s.enrichKernel.observe(time.Since(t0), aerr)
+			return res, aerr
+		})
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		// A joined flight failed with a context error that is not ours: the
+		// leader's client disconnected. Retry for our still-live client.
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +400,24 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	if s.cfg.Enricher != nil {
 		snap.Compendium.GOTerms = s.cfg.Enricher.NumTerms()
+		ec := &EnrichCacheInfo{
+			Terms:        s.cfg.Enricher.NumTerms(),
+			Background:   s.cfg.Enricher.BackgroundSize(),
+			Hits:         s.statEnrich.cacheHits.Load(),
+			Misses:       s.statEnrich.cacheMisses.Load(),
+			Coalesced:    s.statEnrich.coalesced.Load(),
+			Analyses:     s.enrichKernel.analyses.Load(),
+			Canceled:     s.enrichKernel.canceled.Load(),
+			Failures:     s.enrichKernel.failures.Load(),
+			Retries:      s.enrichKernel.retries.Load(),
+			MaxAnalyzeUS: s.enrichKernel.maxUS.Load(),
+		}
+		if ec.Analyses > 0 {
+			ec.MeanAnalyzeUS = s.enrichKernel.analyzeUS.Load() / ec.Analyses
+		}
+		snap.EnrichCache = ec
 	}
+	snap.EncodeFailures = s.encodeFailures.Load()
 	return snap
 }
 

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -391,5 +393,183 @@ func TestStatsShape(t *testing.T) {
 func TestServerRequiresEngine(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("New accepted a nil engine")
+	}
+}
+
+// TestSearchSingleGeneRejected is the regression test for the pre-existing
+// empty-200 bug: a one-gene query has no query pairs, every dataset's
+// coherence is NaN, and the NaN used to kill the JSON encoder silently.
+// The daemon now rejects it with 422 and a clear error body — including
+// queries that collapse to one gene after canonicalization.
+func TestSearchSingleGeneRejected(t *testing.T) {
+	s, u := fixture(t)
+	g := u.ModuleGeneIDs(1)[0]
+	for _, q := range []string{g, g + "," + g, g + ",%20" + g} {
+		rec := get(t, s, "/api/search?q="+q)
+		if rec.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("q=%s: status = %d, want 422 (body %q)", q, rec.Code, rec.Body.String())
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("q=%s: error body is not JSON: %v", q, err)
+		}
+		if !strings.Contains(body["error"], "single-gene") {
+			t.Fatalf("q=%s: unhelpful error %q", q, body["error"])
+		}
+	}
+	// Two distinct genes still search fine.
+	ids := u.ModuleGeneIDs(1)[:2]
+	if rec := get(t, s, "/api/search?q="+strings.Join(ids, ",")); rec.Code != http.StatusOK {
+		t.Fatalf("two-gene query = %d: %s", rec.Code, rec.Body.String())
+	}
+	if n := s.encodeFailures.Load(); n != 0 {
+		t.Fatalf("encode failures = %d, want 0 — NaN reached the encoder", n)
+	}
+}
+
+// TestSearchTypoQueryStillEncodes: two distinct IDs where one is a typo
+// resolve to a single compendium gene — every dataset's coherence is NaN
+// (the uniform-weight fallback ranks by the one real gene). The response
+// must be valid JSON with null coherence, not the encoder-killed empty 200
+// (or, post-writeJSON-hardening, a 500).
+func TestSearchTypoQueryStillEncodes(t *testing.T) {
+	s, u := fixture(t)
+	g := u.ModuleGeneIDs(2)[0]
+	rec := get(t, s, "/api/search?q="+g+",NOT-A-REAL-GENE&top=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"QueryCoherence":null`) {
+		t.Fatalf("undefined coherence not encoded as null: %s", rec.Body.String())
+	}
+	var res spell.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("body is not valid JSON: %v", err)
+	}
+	if len(res.Genes) == 0 {
+		t.Fatal("no ranked genes from the uniform-weight fallback")
+	}
+	if n := s.encodeFailures.Load(); n != 0 {
+		t.Fatalf("encode failures = %d, want 0", n)
+	}
+}
+
+// TestWriteJSONSurfacesEncodeErrors: an unencodable body must become a
+// logged, counted 500 with an error payload — never again a silent empty
+// 200.
+func TestWriteJSONSurfacesEncodeErrors(t *testing.T) {
+	s, _ := fixture(t)
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]float64{"bad": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if !strings.Contains(body["error"], "encoding failed") {
+		t.Fatalf("error body = %q", body["error"])
+	}
+	if n := s.Stats().EncodeFailures; n != 1 {
+		t.Fatalf("encode_failures = %d, want 1", n)
+	}
+}
+
+// TestEnrichCacheStats: /api/stats grows an enrich_cache section whose
+// analysis counter proves one kernel scan per distinct gene list — a
+// reordered duplicate request is a pure cache hit.
+func TestEnrichCacheStats(t *testing.T) {
+	s, u := fixture(t)
+	genes := u.ModuleGeneIDs(u.ESRInduced)
+	if rec := get(t, s, "/api/enrich?genes="+strings.Join(genes, ",")); rec.Code != http.StatusOK {
+		t.Fatalf("first enrich = %d", rec.Code)
+	}
+	// Same gene set, reversed order: canonicalization must hit the cache.
+	rev := make([]string, len(genes))
+	for i, g := range genes {
+		rev[len(genes)-1-i] = g
+	}
+	if rec := get(t, s, "/api/enrich?genes="+strings.Join(rev, ",")); rec.Code != http.StatusOK {
+		t.Fatalf("second enrich = %d", rec.Code)
+	}
+
+	rec := get(t, s, "/api/stats")
+	var snap StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ec := snap.EnrichCache
+	if ec == nil {
+		t.Fatal("enrich_cache section missing")
+	}
+	if ec.Analyses != 1 || ec.Misses != 1 || ec.Hits != 1 {
+		t.Fatalf("enrich cache accounting: %+v", ec)
+	}
+	if ec.Terms != fixEnricher.NumTerms() || ec.Background != fixEnricher.BackgroundSize() {
+		t.Fatalf("enrich context info: %+v", ec)
+	}
+	if ec.Canceled != 0 || ec.Failures != 0 {
+		t.Fatalf("unexpected kernel errors: %+v", ec)
+	}
+
+	// A daemon without an ontology has no section at all.
+	bare, err := New(Config{Engine: fixEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bare.Close)
+	if bare.Stats().EnrichCache != nil {
+		t.Fatal("enrich_cache section present without an enricher")
+	}
+}
+
+// TestEnrichClientCancel: a request whose client already hung up must not
+// pay for the scan — the kernel stops on the dead context and the abort is
+// accounted as a 499 and a canceled analysis.
+func TestEnrichClientCancel(t *testing.T) {
+	s, u := fixture(t)
+	genes := u.ModuleGeneIDs(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/enrich?genes="+strings.Join(genes, ","), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if got := s.enrichKernel.canceled.Load(); got != 1 {
+		t.Fatalf("canceled analyses = %d, want 1", got)
+	}
+	// The poisoned flight must not have cached anything: a live client
+	// computes fresh and succeeds.
+	if rec := get(t, s, "/api/enrich?genes="+strings.Join(genes, ",")); rec.Code != http.StatusOK {
+		t.Fatalf("live retry = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestConcurrentIdenticalEnrichComputesOnce extends the coalescing proof to
+// the enrichment path: many goroutines, one gene list, exactly one kernel
+// scan.
+func TestConcurrentIdenticalEnrichComputesOnce(t *testing.T) {
+	s, u := fixture(t)
+	q := strings.Join(u.ModuleGeneIDs(6), ",")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rec := get(t, s, "/api/enrich?genes="+q); rec.Code != http.StatusOK {
+				t.Errorf("status = %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.enrichKernel.analyses.Load(); got != 1 {
+		t.Fatalf("kernel scans = %d, want exactly 1 (coalescing failed)", got)
+	}
+	if ep := statsOf(t, s, "enrich"); ep.Requests != n {
+		t.Fatalf("requests = %d, want %d", ep.Requests, n)
 	}
 }

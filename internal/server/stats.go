@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -70,13 +72,72 @@ func (e *endpointStats) snapshot() EndpointSnapshot {
 	return s
 }
 
+// enrichKernelStats tracks GOLEM kernel executions behind the enrich cache:
+// how often /api/enrich actually ran the bitset scan (vs being absorbed by
+// the LRU or a coalesced flight), how those runs ended, and what they cost.
+type enrichKernelStats struct {
+	analyses  atomic.Int64 // kernel executions
+	canceled  atomic.Int64 // ended by client disconnect (context error)
+	failures  atomic.Int64 // other analysis errors (bad selections)
+	retries   atomic.Int64 // re-entries after a flight died of its leader's hangup
+	analyzeUS atomic.Int64 // summed kernel latency, microseconds
+	maxUS     atomic.Int64 // worst observed kernel latency, microseconds
+}
+
+// observe records one finished kernel run.
+func (e *enrichKernelStats) observe(d time.Duration, err error) {
+	e.analyses.Add(1)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.canceled.Add(1)
+	default:
+		e.failures.Add(1)
+	}
+	us := d.Microseconds()
+	e.analyzeUS.Add(us)
+	for {
+		cur := e.maxUS.Load()
+		if us <= cur || e.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// EnrichCacheInfo is the enrich_cache section of /api/stats: the cache
+// traffic of the enrich key space (from the endpoint counters — HTML and
+// API callers share the keys) next to the kernel executions that traffic
+// actually cost. Analyses vs Hits+Coalesced is the "one scan per distinct
+// gene list, not per request" criterion made observable.
+type EnrichCacheInfo struct {
+	Terms      int   `json:"terms"`
+	Background int   `json:"background"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Coalesced  int64 `json:"coalesced"`
+	Analyses   int64 `json:"analyses"`
+	Canceled   int64 `json:"canceled"`
+	Failures   int64 `json:"failures"`
+	// Retries counts re-entries into the cache path after a joined flight
+	// died of its leader's disconnect; each one re-counts a miss (and
+	// possibly an analysis) for the same request, so under leader-cancel
+	// churn compare Analyses against Misses - Retries.
+	Retries       int64 `json:"retries"`
+	MeanAnalyzeUS int64 `json:"mean_analyze_us"`
+	MaxAnalyzeUS  int64 `json:"max_analyze_us"`
+}
+
 // StatsSnapshot is the /api/stats response body.
 type StatsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Compendium    CompendiumInfo              `json:"compendium"`
 	Cache         CacheInfo                   `json:"cache"`
 	TreeCache     TreeCacheInfo               `json:"tree_cache"`
+	EnrichCache   *EnrichCacheInfo            `json:"enrich_cache,omitempty"` // nil without an ontology
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	// EncodeFailures counts responses whose JSON encoding failed and were
+	// converted to 500s by writeJSON; see the encode-failure regression.
+	EncodeFailures int64 `json:"encode_failures"`
 }
 
 // TreeCacheInfo summarizes the per-dataset clustered-tree cache: how many

@@ -1,0 +1,41 @@
+package spell
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDatasetRankMarshalNaNCoherence: an undefined coherence (the dataset
+// measures fewer than two query genes) must encode as null — NaN is not
+// representable in JSON and used to abort the encoder mid-response on every
+// HTTP entry point.
+func TestDatasetRankMarshalNaNCoherence(t *testing.T) {
+	ranks := []DatasetRank{
+		{Index: 1, Name: "ok", Weight: 0.5, QueryCoherence: 1.25, QueryPresent: 3},
+		{Index: 2, Name: "undef", Weight: 0, QueryCoherence: math.NaN(), QueryPresent: 1},
+	}
+	b, err := json.Marshal(ranks)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"QueryCoherence":null`) {
+		t.Fatalf("NaN coherence not null: %s", s)
+	}
+	if !strings.Contains(s, `"QueryCoherence":1.25`) {
+		t.Fatalf("defined coherence mangled: %s", s)
+	}
+	// Round trip: null leaves the zero value, everything else survives.
+	var back []DatasetRank
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back[0].QueryCoherence != 1.25 || back[0].Name != "ok" || back[0].QueryPresent != 3 {
+		t.Fatalf("round trip: %+v", back[0])
+	}
+	if back[1].QueryCoherence != 0 || back[1].Index != 2 {
+		t.Fatalf("round trip of null: %+v", back[1])
+	}
+}

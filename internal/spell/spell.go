@@ -21,6 +21,7 @@
 package spell
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -59,10 +60,28 @@ type DatasetRank struct {
 	// query (weights sum to 1 over the compendium).
 	Weight float64
 	// QueryCoherence is the raw mean Fisher-z pairwise correlation of the
-	// query genes within this dataset, before normalization.
+	// query genes within this dataset, before normalization. NaN when the
+	// dataset measures fewer than two query genes (coherence is a pairwise
+	// statistic).
 	QueryCoherence float64
 	// QueryPresent counts how many query genes the dataset measures.
 	QueryPresent int
+}
+
+// MarshalJSON emits an undefined QueryCoherence (NaN — the dataset measures
+// fewer than two query genes) as null: NaN is not representable in JSON and
+// used to kill the encoder mid-response on every HTTP entry point, turning
+// such searches into empty 200s.
+func (d DatasetRank) MarshalJSON() ([]byte, error) {
+	type alias DatasetRank // no methods: avoids marshal recursion
+	out := struct {
+		alias
+		QueryCoherence *float64
+	}{alias: alias(d)}
+	if !math.IsNaN(d.QueryCoherence) {
+		out.QueryCoherence = &d.QueryCoherence
+	}
+	return json.Marshal(out)
 }
 
 // GeneRank is one entry of the ranked gene list.
@@ -156,6 +175,13 @@ func (e *Engine) NumGenes() int { return len(e.order) }
 func (e *Engine) GeneIDs() []string {
 	return append([]string(nil), e.order...)
 }
+
+// MsgSingleGeneQuery is the user-facing explanation every HTTP entry point
+// returns (with a 422) for a query that collapses to a single distinct
+// gene: coherence is a pairwise statistic, so a one-gene query has no
+// defined dataset weighting. One shared constant keeps the daemon and the
+// standalone spellweb server from drifting apart.
+const MsgSingleGeneQuery = "single-gene queries are not supported: SPELL's dataset weighting needs at least two distinct query genes to measure coherence; add another gene"
 
 // CanonicalQuery normalizes a query gene list: IDs are trimmed, empties and
 // duplicates dropped, and the remainder sorted. Search results are

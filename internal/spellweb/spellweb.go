@@ -126,6 +126,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.renderPage(w, data)
 		return
 	}
+	if len(spell.CanonicalQuery(ids)) < 2 {
+		// One gene has no query pairs: every dataset's coherence is NaN and
+		// the ranking is weightless. Same contract as the daemon's API.
+		data.Error = "enter at least two distinct gene IDs: SPELL's dataset weighting needs a pair to measure coherence"
+		s.renderPage(w, data)
+		return
+	}
 	res, err := s.engine.Search(ids, spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true})
 	if err != nil {
 		data.Error = err.Error()
@@ -142,15 +149,36 @@ func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"missing q parameter"}`, http.StatusBadRequest)
 		return
 	}
+	if len(spell.CanonicalQuery(ids)) < 2 {
+		// A one-gene query yields NaN coherence in every DatasetRank, which
+		// would kill the JSON encoder below after the 200 header committed —
+		// the empty-200 bug. Reject it like the daemon's /api/search does.
+		apiError(w, http.StatusUnprocessableEntity, spell.MsgSingleGeneQuery)
+		return
+	}
 	res, err := s.engine.Search(ids, spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true})
 	if err != nil {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusUnprocessableEntity)
-		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		apiError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	// Encode before committing the status line so a failure can still
+	// become a real 500 instead of a silently truncated 200.
+	body, err := json.Marshal(res)
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "internal: response encoding failed: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(res)
+	_, _ = w.Write(body)
+}
+
+// apiError writes a JSON error payload; marshaling a string map cannot
+// fail, so this path is safe for encoder-failure reporting too.
+func apiError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) renderPage(w http.ResponseWriter, data pageData) {

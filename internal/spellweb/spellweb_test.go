@@ -140,6 +140,35 @@ func TestAPISearchErrors(t *testing.T) {
 	}
 }
 
+// TestAPISearchSingleGeneRejected: the standalone server shares the daemon's
+// single-gene contract — one gene (even duplicated) means NaN coherence,
+// which used to kill the JSON encoder after the 200 header committed. The
+// API must answer 422 with a parseable error body instead.
+func TestAPISearchSingleGeneRejected(t *testing.T) {
+	s, u := testServer(t)
+	g := u.ModuleGeneIDs(1)[0]
+	for _, q := range []string{g, g + "," + g} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/search?q="+q, nil))
+		if rec.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("q=%s: status = %d, want 422 (body %q)", q, rec.Code, rec.Body.String())
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("q=%s: error body is not JSON: %v", q, err)
+		}
+		if !strings.Contains(e["error"], "single-gene") {
+			t.Fatalf("q=%s: unhelpful error %q", q, e["error"])
+		}
+	}
+	// The HTML page renders the same guidance instead of a NaN ranking.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q="+g, nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "two distinct gene IDs") {
+		t.Fatalf("HTML single-gene search: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
 func TestParseQuery(t *testing.T) {
 	cases := []struct {
 		in   string

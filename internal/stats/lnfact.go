@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The log-factorial table backs the hypergeometric functions: every
+// log-binomial-coefficient is ln(n!) - ln(k!) - ln((n-k)!), so once the
+// table covers the gene universe (N is fixed per Enricher), a p-value is
+// pure lookups and adds — no transcendental calls on the enrichment hot
+// path. Entries are computed with math.Lgamma at growth time, which makes
+// the table path bitwise identical to the retained per-call Lgamma oracle.
+//
+// The table is shared, lazily grown, and immutable once published: growth
+// builds a longer copy under a mutex and swaps it in atomically, so readers
+// never lock and never observe a partially filled slice.
+
+var (
+	lnFactMu  sync.Mutex                // serializes growth only
+	lnFactTab atomic.Pointer[[]float64] // tab[i] = ln(i!), immutable snapshot
+)
+
+func init() {
+	tab := buildLnFact(nil, 256)
+	lnFactTab.Store(&tab)
+}
+
+// buildLnFact returns a table of length n extending old (which it never
+// mutates).
+func buildLnFact(old []float64, n int) []float64 {
+	tab := make([]float64, n)
+	copy(tab, old)
+	for i := len(old); i < n; i++ {
+		tab[i], _ = math.Lgamma(float64(i + 1))
+	}
+	return tab
+}
+
+// LnFactorial returns ln(n!) from the shared table, growing it if needed.
+// Negative n returns NaN (no caller should pass one; logChoose guards its
+// arguments first).
+func LnFactorial(n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	tab := *lnFactTab.Load()
+	if n < len(tab) {
+		return tab[n]
+	}
+	return growLnFact(n)
+}
+
+// growLnFact extends the shared table to cover n and returns ln(n!).
+func growLnFact(n int) float64 {
+	lnFactMu.Lock()
+	defer lnFactMu.Unlock()
+	tab := *lnFactTab.Load()
+	if n < len(tab) { // raced with another grower
+		return tab[n]
+	}
+	// Doubling amortizes growth; +1 because index n needs length n+1.
+	size := 2 * len(tab)
+	if size < n+1 {
+		size = n + 1
+	}
+	next := buildLnFact(tab, size)
+	lnFactTab.Store(&next)
+	return next[n]
+}
+
+// GrowLnFactorial pre-extends the table through ln(n!). golem.NewEnricher
+// calls it with the universe size so no Analyze ever pays the growth.
+func GrowLnFactorial(n int) {
+	if n >= 0 {
+		LnFactorial(n)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLnFactorialMatchesLgamma pins every table entry to math.Lgamma —
+// including entries created by growth well past the seed size.
+func TestLnFactorialMatchesLgamma(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 255, 256, 257, 1000, 5000, 60001} {
+		want, _ := math.Lgamma(float64(n + 1))
+		if got := LnFactorial(n); got != want {
+			t.Fatalf("LnFactorial(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if !math.IsNaN(LnFactorial(-1)) {
+		t.Fatal("LnFactorial(-1) should be NaN")
+	}
+}
+
+// TestLogChooseMatchesLgammaOracle: the table-based logChoose must agree
+// with the retained per-call Lgamma triple bitwise (table entries are
+// Lgamma values, so not even 1 ulp of slack is needed).
+func TestLogChooseMatchesLgammaOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(20000) - 10 // include a few negatives
+		k := rng.Intn(20000) - 10
+		got, want := logChoose(n, k), lgammaLogChoose(n, k)
+		if got != want && !(math.IsInf(got, -1) && math.IsInf(want, -1)) {
+			t.Fatalf("logChoose(%d,%d) = %v, oracle %v", n, k, got, want)
+		}
+	}
+}
+
+// TestHypergeomTableMatchesLgammaOracle is the stats-level golden parity
+// required by the enrichment kernel: on random 2×2 tables at gene-universe
+// scale, the table-based upper tail and the retained Lgamma path agree to
+// ≤ 1e-12 (in fact bitwise).
+func TestHypergeomTableMatchesLgammaOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		N := 1 + rng.Intn(6000)
+		K := rng.Intn(N + 1)
+		n := rng.Intn(N + 1)
+		k := rng.Intn(n + 1)
+		got := HypergeomUpperTail(k, N, K, n)
+		want := HypergeomUpperTailLgamma(k, N, K, n)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("upper tail (k=%d N=%d K=%d n=%d): table %v vs lgamma %v",
+				k, N, K, n, got, want)
+		}
+		lp, lw := HypergeomLogPMF(k, N, K, n), lgammaHypergeomLogPMF(k, N, K, n)
+		if lp != lw && !(math.IsInf(lp, -1) && math.IsInf(lw, -1)) {
+			t.Fatalf("log PMF (k=%d N=%d K=%d n=%d): table %v vs lgamma %v",
+				k, N, K, n, lp, lw)
+		}
+	}
+}
+
+// TestLnFactorialConcurrentGrowth hammers reads racing with growth; run
+// with -race it proves the copy-on-grow publication is safe, and every
+// caller still sees exact Lgamma values.
+func TestLnFactorialConcurrentGrowth(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 2000; i++ {
+				n := rng.Intn(30000)
+				want, _ := math.Lgamma(float64(n + 1))
+				if got := LnFactorial(n); got != want {
+					t.Errorf("LnFactorial(%d) = %v, want %v", n, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestGrowLnFactorial(t *testing.T) {
+	GrowLnFactorial(-5) // no-op, must not panic
+	GrowLnFactorial(70000)
+	tab := *lnFactTab.Load()
+	if len(tab) < 70001 {
+		t.Fatalf("table length %d after GrowLnFactorial(70000)", len(tab))
+	}
+}
