@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"forestview/internal/baseline"
 	"forestview/internal/cluster"
@@ -24,6 +25,7 @@ import (
 	"forestview/internal/ontology"
 	"forestview/internal/render"
 	"forestview/internal/server"
+	"forestview/internal/shard"
 	"forestview/internal/spell"
 	"forestview/internal/synth"
 	"forestview/internal/wall"
@@ -479,6 +481,90 @@ func BenchmarkF4_EnrichHTTP(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// F5a — the sharded compendium (DESIGN.md §4): scatter a SPELL query over
+// N loopback shard daemons and merge with global renormalization. One
+// fixed 24-dataset compendium is split round-robin over the shards, each
+// shard running the real server role (gob endpoint, global index remap)
+// with its scan bounded to ONE worker and its partial cache disabled —
+// loopback shards share this machine's cores, so an unbounded scan or a
+// cache hit would fake the distributed scaling being measured. With the
+// per-shard scan serialized, wall time per query approaches
+// scan(24/N datasets) + scatter overhead: near-linear until overhead
+// dominates (and only when the host has at least N cores). Compare
+// Scatter{1,2,4}Shards sec/op.
+
+type scatterBenchTop struct {
+	coord *shard.Coordinator
+	query []string
+}
+
+func newScatterBench(b *testing.B, nShards int) *scatterBenchTop {
+	b.Helper()
+	u := synth.NewUniverse(2000, 20, 73)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		// Scan-heavy on purpose: the per-query cost must be dominated by
+		// the dataset scan (nDatasets × nGenes × nExp dot products), not
+		// by the fixed per-shard scatter overhead (HTTP + gob + merge),
+		// or the benchmark would measure the overhead's replication.
+		NumDatasets: 24, MinExperiments: 80, MaxExperiments: 120,
+		ActiveFraction: 0.4, Noise: 0.25, Seed: 74,
+	})
+	var addrs []string
+	for s := 0; s < nShards; s++ {
+		var slice []*microarray.Dataset
+		var global []int
+		for gi, ds := range dss {
+			if gi%nShards == s {
+				slice = append(slice, ds)
+				global = append(global, gi)
+			}
+		}
+		engine, err := spell.NewEngine(slice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Engine: engine, ShardIndexes: global,
+			// A 1-byte-per-shard budget caches nothing: every request pays
+			// the full dataset scan, which is the thing under test.
+			CacheBytes:        16,
+			SearchParallelism: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		hs := httptest.NewServer(srv)
+		b.Cleanup(hs.Close)
+		addrs = append(addrs, hs.URL)
+	}
+	coord, err := shard.NewCoordinator(shard.Config{Shards: addrs, Deadline: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &scatterBenchTop{coord: coord, query: u.ModuleGeneIDs(4)[:4]}
+}
+
+func benchScatter(b *testing.B, nShards int) {
+	top := newScatterBench(b, nShards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, meta, err := top.coord.SearchCtx(context.Background(), top.query, spell.Options{MaxGenes: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meta.Degraded || len(res.Genes) == 0 {
+			b.Fatalf("bad scatter: meta %+v, %d genes", meta, len(res.Genes))
+		}
+	}
+}
+
+func BenchmarkF5_Scatter1Shards(b *testing.B) { benchScatter(b, 1) }
+func BenchmarkF5_Scatter2Shards(b *testing.B) { benchScatter(b, 2) }
+func BenchmarkF5_Scatter4Shards(b *testing.B) { benchScatter(b, 4) }
 
 // ---------------------------------------------------------------------------
 // F5 — Figure 5 (GOLEM): enrichment analysis and local-map layout.

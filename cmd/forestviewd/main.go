@@ -10,6 +10,12 @@
 //	/api/stats   per-endpoint latency / cache hit-rate counters (JSON)
 //	/healthz     liveness probe
 //
+// The daemon also scales horizontally (DESIGN.md §4): with -role=shard it
+// serves SPELL partials for its rendezvous-assigned slice of the
+// compendium at /api/shard/search, and with -role=coordinator it scatters
+// every search over the -shards backends and merges with global weight
+// renormalization, degrading gracefully when shards fail.
+//
 // Usage:
 //
 //	forestviewd -demo -addr :8080
@@ -17,16 +23,26 @@
 //	curl 'localhost:8080/api/search?q=YAL001C,YBR072W&top=10'
 //	curl 'localhost:8080/api/enrich?genes=YAL001C,YAL002W&maxp=0.05'
 //	curl 'localhost:8080/api/heatmap?dataset=0&w=512&h=512' -o tile.png
+//
+// A two-shard topology on one machine (see README for the walkthrough):
+//
+//	forestviewd -demo -role=shard -shards :9001,:9002 -self :9001 -addr 127.0.0.1:9001
+//	forestviewd -demo -role=shard -shards :9001,:9002 -self :9002 -addr 127.0.0.1:9002
+//	forestviewd -role=coordinator -shards 127.0.0.1:9001,127.0.0.1:9002 -addr 127.0.0.1:8080
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"forestview/internal/cluster"
@@ -34,6 +50,7 @@ import (
 	"forestview/internal/microarray"
 	"forestview/internal/ontology"
 	"forestview/internal/server"
+	"forestview/internal/shard"
 	"forestview/internal/spell"
 	"forestview/internal/synth"
 )
@@ -55,6 +72,15 @@ func main() {
 		queue      = flag.Int("render-queue", 0, "render queue depth before load shedding (0 = 4x workers)")
 		maxGenes   = flag.Int("max-genes", 200, "cap on requested search result length")
 		maxTileDim = flag.Int("max-tile", 2048, "cap on requested tile width/height")
+		searchPar  = flag.Int("search-parallelism", 0, "workers per SPELL scan (0 = GOMAXPROCS; bound it on colocated shard daemons)")
+
+		role         = flag.String("role", "single", `daemon role: "single" (whole compendium in-process), "shard" (serve partials for this daemon's slice), "coordinator" (scatter searches over -shards and merge)`)
+		shardsFlag   = flag.String("shards", "", "comma-separated shard identities; the full shard set for -role=shard (slice assignment), the backend addresses for -role=coordinator")
+		selfFlag     = flag.String("self", "", "this daemon's entry in -shards (required with -role=shard)")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "coordinator: per-shard attempt deadline")
+		shardRetry   = flag.Bool("shard-retry", true, "coordinator: retry a failed shard once per query")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow shard request after this delay (0 disables hedging)")
+		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	srv, err := buildServer(buildConfig{
@@ -63,7 +89,9 @@ func main() {
 		genes: *genes, modules: *modules,
 		datasets: *nDatasets, seed: *seed,
 		cacheMB: *cacheMB, workers: *workers, queue: *queue,
-		maxGenes: *maxGenes, maxTileDim: *maxTileDim,
+		maxGenes: *maxGenes, maxTileDim: *maxTileDim, searchPar: *searchPar,
+		role: *role, shards: splitList(*shardsFlag), self: *selfFlag,
+		shardDeadline: *shardTimeout, shardRetry: *shardRetry, hedgeAfter: *hedgeAfter,
 		log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
 	if err != nil {
@@ -71,20 +99,56 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("forestviewd listening on http://%s\n", *addr)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forestviewd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("forestviewd (%s) listening on http://%s\n", *role, ln.Addr())
 	// Conservative connection timeouts: a client trickling bytes must not
 	// pin goroutines forever past all the admission control downstream.
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+	// SIGINT/SIGTERM drain instead of drop: in-flight work — a scatter
+	// mid-merge, a tile mid-render — completes within -drain-timeout while
+	// the listener stops accepting, so restarting a shard never turns
+	// queries that already reached it into connection resets.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	if err := serveUntilSignal(hs, ln, sigCh, *drain,
+		func(format string, args ...any) { fmt.Printf(format+"\n", args...) }); err != nil {
 		fmt.Fprintln(os.Stderr, "forestviewd:", err)
 		os.Exit(1)
+	}
+}
+
+// serveUntilSignal serves on ln until a termination signal arrives, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to drain to complete, and only an incomplete drain is
+// an error. Factored from main so tests can deliver simulated signals.
+func serveUntilSignal(hs *http.Server, ln net.Listener, sig <-chan os.Signal, drain time.Duration, logf func(string, ...any)) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err // the listener died on its own; nothing to drain
+	case s := <-sig:
+		logf("forestviewd: received %v, draining in-flight requests (up to %v)", s, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("graceful shutdown incomplete after %v: %w", drain, err)
+		}
+		if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		logf("forestviewd: drained, bye")
+		return nil
 	}
 }
 
@@ -99,16 +163,101 @@ type buildConfig struct {
 	cacheMB                  int64
 	workers, queue           int
 	maxGenes, maxTileDim     int
-	log                      func(format string, args ...any)
+	searchPar                int
+
+	role          string // "", "single", "shard", "coordinator"
+	shards        []string
+	self          string
+	shardDeadline time.Duration
+	shardRetry    bool
+	hedgeAfter    time.Duration
+
+	log func(format string, args ...any)
 }
 
-// buildServer loads the compendium, prepares all three engines and wires
-// the HTTP server. This is the whole startup path of the daemon.
+// buildServer loads the compendium (or, for a coordinator, only the shard
+// topology), prepares the engines the role needs and wires the HTTP
+// server. This is the whole startup path of the daemon.
 func buildServer(cfg buildConfig) (*server.Server, error) {
 	if cfg.log == nil {
 		cfg.log = func(string, ...any) {}
 	}
+	role := cfg.role
+	if role == "" {
+		role = "single"
+	}
+	switch role {
+	case "single", "shard", "coordinator":
+	default:
+		return nil, fmt.Errorf("unknown -role %q (single, shard or coordinator)", role)
+	}
 	t0 := time.Now()
+
+	if role == "coordinator" {
+		// A coordinator holds no expression data at all: ownership is a
+		// pure function of the shard set, so it scatters and merges with
+		// nothing to load. Enrichment needs a local background compendium,
+		// so it stays on single/shard daemons.
+		if len(cfg.shards) == 0 {
+			return nil, fmt.Errorf("-role=coordinator requires -shards")
+		}
+		if cfg.obo != "" {
+			return nil, fmt.Errorf("-obo is not supported with -role=coordinator (enrichment needs a local compendium)")
+		}
+		coord, err := shard.NewCoordinator(shard.Config{
+			Shards:     cfg.shards,
+			Deadline:   cfg.shardDeadline,
+			Retry:      cfg.shardRetry,
+			HedgeAfter: cfg.hedgeAfter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			Scatter:       coord,
+			CacheBytes:    cfg.cacheMB << 20,
+			RenderWorkers: cfg.workers,
+			RenderQueue:   cfg.queue,
+			MaxGenes:      cfg.maxGenes,
+			MaxTileDim:    cfg.maxTileDim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.log("coordinator over %d shards (generation %016x), retry=%t hedge=%v",
+			len(coord.Shards()), coord.Generation(), cfg.shardRetry, cfg.hedgeAfter)
+		return srv, nil
+	}
+
+	// shardIndexes maps engine dataset position -> global compendium index;
+	// nil for the single role.
+	var shardIndexes []int
+	ownedOnly := func(names []string) (map[int]bool, error) {
+		if role != "shard" {
+			return nil, nil
+		}
+		if len(cfg.shards) == 0 || cfg.self == "" {
+			return nil, fmt.Errorf("-role=shard requires -shards and -self")
+		}
+		selfListed := false
+		for _, s := range cfg.shards {
+			if s == cfg.self {
+				selfListed = true
+				break
+			}
+		}
+		if !selfListed {
+			return nil, fmt.Errorf("-self %q is not in -shards (assignment hashes the literal strings)", cfg.self)
+		}
+		owned := make(map[int]bool)
+		for _, gi := range shard.OwnedIndexes(names, cfg.shards, cfg.self) {
+			owned[gi] = true
+		}
+		if len(owned) == 0 {
+			return nil, fmt.Errorf("shard %q owns none of the %d datasets; add datasets or shrink the shard set", cfg.self, len(names))
+		}
+		return owned, nil
+	}
 
 	var (
 		datasets []*microarray.Dataset
@@ -120,12 +269,28 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 			NumDatasets: cfg.datasets, MinExperiments: 10, MaxExperiments: 30,
 			ActiveFraction: 0.4, Noise: 0.25, MissingRate: 0.02, Seed: cfg.seed + 50,
 		})
-		datasets = dss
-		var names []string
-		for _, m := range u.Modules {
-			names = append(names, m.Name)
+		names := make([]string, len(dss))
+		for i, ds := range dss {
+			names[i] = ds.Name
 		}
-		onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: names, Seed: cfg.seed + 3})
+		owned, err := ownedOnly(names)
+		if err != nil {
+			return nil, err
+		}
+		for gi, ds := range dss {
+			if owned != nil && !owned[gi] {
+				continue
+			}
+			datasets = append(datasets, ds)
+			if owned != nil {
+				shardIndexes = append(shardIndexes, gi)
+			}
+		}
+		var leafNames []string
+		for _, m := range u.Modules {
+			leafNames = append(leafNames, m.Name)
+		}
+		onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: leafNames, Seed: cfg.seed + 3})
 		if err != nil {
 			return nil, fmt.Errorf("synthetic ontology: %w", err)
 		}
@@ -134,28 +299,41 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("enricher: %w", err)
 		}
-		cfg.log("demo compendium: %d datasets over %d genes, %d GO terms",
-			len(datasets), cfg.genes, enricher.NumTerms())
+		cfg.log("demo compendium: %d of %d datasets over %d genes, %d GO terms",
+			len(datasets), len(dss), cfg.genes, enricher.NumTerms())
 	} else {
-		for _, path := range strings.Split(cfg.files, ",") {
-			path = strings.TrimSpace(path)
-			if path == "" {
+		paths := splitList(cfg.files)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no datasets given (use -files or -demo)")
+		}
+		// Dataset identity is the trimmed file name, known before parsing:
+		// a shard only pays to parse the slice it owns.
+		names := make([]string, len(paths))
+		for i, p := range paths {
+			names[i] = trimPCLExt(p)
+		}
+		owned, err := ownedOnly(names)
+		if err != nil {
+			return nil, err
+		}
+		for gi, path := range paths {
+			if owned != nil && !owned[gi] {
 				continue
 			}
 			f, err := os.Open(path)
 			if err != nil {
 				return nil, err
 			}
-			ds, err := microarray.ReadPCL(f, trimPCLExt(path))
+			ds, err := microarray.ReadPCL(f, names[gi])
 			f.Close()
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", path, err)
 			}
 			datasets = append(datasets, ds)
+			if owned != nil {
+				shardIndexes = append(shardIndexes, gi)
+			}
 			cfg.log("loaded %q: %d genes x %d experiments", ds.Name, ds.NumGenes(), ds.NumExperiments())
-		}
-		if len(datasets) == 0 {
-			return nil, fmt.Errorf("no datasets given (use -files or -demo)")
 		}
 	}
 
@@ -199,19 +377,24 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 	// one build), keeping startup off the clustering critical path. The
 	// -precluster flag restores pay-at-boot warming.
 	srv, err := server.New(server.Config{
-		Engine:        engine,
-		Enricher:      enricher,
-		RawDatasets:   datasets,
-		TreeMetric:    cluster.PearsonDist,
-		TreeLinkage:   cluster.AverageLinkage,
-		CacheBytes:    cfg.cacheMB << 20,
-		RenderWorkers: cfg.workers,
-		RenderQueue:   cfg.queue,
-		MaxGenes:      cfg.maxGenes,
-		MaxTileDim:    cfg.maxTileDim,
+		Engine:            engine,
+		ShardIndexes:      shardIndexes,
+		Enricher:          enricher,
+		RawDatasets:       datasets,
+		TreeMetric:        cluster.PearsonDist,
+		TreeLinkage:       cluster.AverageLinkage,
+		CacheBytes:        cfg.cacheMB << 20,
+		RenderWorkers:     cfg.workers,
+		RenderQueue:       cfg.queue,
+		MaxGenes:          cfg.maxGenes,
+		MaxTileDim:        cfg.maxTileDim,
+		SearchParallelism: cfg.searchPar,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if role == "shard" {
+		cfg.log("shard %q serving %d datasets at %s", cfg.self, len(datasets), shard.SearchPath)
 	}
 	if cfg.precluster {
 		if err := srv.WarmTrees(context.Background()); err != nil {
@@ -223,6 +406,17 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		cfg.log("%d datasets registered for lazy clustering (use -precluster to warm at boot)", len(datasets))
 	}
 	return srv, nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func trimPCLExt(p string) string {

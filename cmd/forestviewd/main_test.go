@@ -3,12 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"forestview/internal/microarray"
 	"forestview/internal/server"
@@ -170,5 +174,226 @@ func TestTrimPCLExt(t *testing.T) {
 		if got := trimPCLExt(in); got != want {
 			t.Errorf("trimPCLExt(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight is the signal-handling regression
+// test: a simulated SIGINT while a request is in flight must stop the
+// listener, let the request complete with its full body, and only then
+// return from serve — no connection reset for work already accepted.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "drained-ok")
+	})
+	hs := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- serveUntilSignal(hs, ln, sig, 5*time.Second, func(string, ...any) {})
+	}()
+
+	type result struct {
+		body string
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resCh <- result{body: string(b), err: err}
+	}()
+	<-started
+
+	sig <- os.Interrupt // simulated signal, no process-level delivery
+	// The listener must refuse new work promptly while the in-flight
+	// request is still held open.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-served:
+		t.Fatalf("serve returned before the in-flight request drained: %v", err)
+	default:
+	}
+
+	close(release)
+	if res := <-resCh; res.err != nil || res.body != "drained-ok" {
+		t.Fatalf("in-flight request: %q, %v", res.body, res.err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}
+
+// TestGracefulShutdownDrainTimeout: a handler that outlives the drain
+// window surfaces as an explicit error instead of hanging forever.
+func TestGracefulShutdownDrainTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	})
+	hs := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- serveUntilSignal(hs, ln, sig, 50*time.Millisecond, func(string, ...any) {})
+	}()
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	sig <- os.Interrupt
+	select {
+	case err := <-served:
+		if err == nil || !strings.Contains(err.Error(), "graceful shutdown incomplete") {
+			t.Fatalf("err = %v, want drain-timeout error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not give up after the drain window")
+	}
+}
+
+// TestShardCoordinatorTopologyE2E boots the daemon's real roles — two
+// -role=shard builds over rendezvous-assigned slices of the same demo
+// compendium and a -role=coordinator build over their listeners — and
+// checks /api/search through the coordinator against the single-process
+// daemon, plus the scatter bookkeeping the roles expose.
+func TestShardCoordinatorTopologyE2E(t *testing.T) {
+	logical := []string{"shard-a", "shard-b"}
+	var urls []string
+	for _, self := range logical {
+		srv, err := buildServer(buildConfig{
+			demo: true, genes: 200, modules: 8, datasets: 4, seed: 7,
+			cacheMB: 4, workers: 1,
+			role: "shard", shards: logical, self: self,
+		})
+		if err != nil {
+			t.Fatalf("shard %s: %v", self, err)
+		}
+		t.Cleanup(srv.Close)
+		hs := httptest.NewServer(srv)
+		t.Cleanup(hs.Close)
+		urls = append(urls, hs.URL)
+	}
+	coord, err := buildServer(buildConfig{
+		role: "coordinator", shards: urls,
+		cacheMB: 4, workers: 1, shardDeadline: 5 * time.Second, shardRetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	single, err := buildServer(buildConfig{
+		demo: true, genes: 200, modules: 8, datasets: 4, seed: 7,
+		cacheMB: 4, workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(single.Close)
+
+	u := synth.NewUniverse(200, 8, 7)
+	q := strings.Join(u.ModuleGeneIDs(3)[:4], ",")
+	recC := get(t, coord, "/api/search?q="+q+"&top=25")
+	recS := get(t, single, "/api/search?q="+q+"&top=25")
+	if recC.Code != http.StatusOK || recS.Code != http.StatusOK {
+		t.Fatalf("coordinator = %d (%s), single = %d", recC.Code, recC.Body.String(), recS.Code)
+	}
+	if h := recC.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q", h)
+	}
+	type ranked struct {
+		Genes []struct {
+			ID    string
+			Score float64
+		}
+		Degraded bool `json:"degraded"`
+	}
+	var gotC, gotS ranked
+	if err := json.Unmarshal(recC.Body.Bytes(), &gotC); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recS.Body.Bytes(), &gotS); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotC.Genes) == 0 || len(gotC.Genes) != len(gotS.Genes) {
+		t.Fatalf("gene counts: %d vs %d", len(gotC.Genes), len(gotS.Genes))
+	}
+	for i := range gotS.Genes {
+		if gotC.Genes[i].ID != gotS.Genes[i].ID {
+			t.Fatalf("rank %d: %s vs %s", i, gotC.Genes[i].ID, gotS.Genes[i].ID)
+		}
+	}
+
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(get(t, coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter == nil || snap.Scatter.ShardsTotal != 2 {
+		t.Fatalf("scatter stats: %+v", snap.Scatter)
+	}
+	if snap.Compendium.Datasets != 4 {
+		t.Fatalf("coordinator compendium: %+v", snap.Compendium)
+	}
+}
+
+// TestBuildServerRoleValidation pins the role flag contract.
+func TestBuildServerRoleValidation(t *testing.T) {
+	if _, err := buildServer(buildConfig{demo: true, genes: 50, modules: 4, datasets: 1, role: "sharded"}); err == nil {
+		t.Fatal("bad role accepted")
+	}
+	if _, err := buildServer(buildConfig{role: "coordinator"}); err == nil {
+		t.Fatal("coordinator without shards accepted")
+	}
+	if _, err := buildServer(buildConfig{role: "coordinator", shards: []string{"a:1"}, obo: "x"}); err == nil {
+		t.Fatal("coordinator with -obo accepted")
+	}
+	if _, err := buildServer(buildConfig{demo: true, genes: 50, modules: 4, datasets: 2, role: "shard"}); err == nil {
+		t.Fatal("shard without -shards/-self accepted")
+	}
+	if _, err := buildServer(buildConfig{
+		demo: true, genes: 50, modules: 4, datasets: 2,
+		role: "shard", shards: []string{"a:1", "b:1"}, self: "c:1",
+	}); err == nil {
+		t.Fatal("-self outside -shards accepted")
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"hash/fnv"
+	"strings"
 	"sync"
 )
 
@@ -27,6 +28,40 @@ type cacheShard struct {
 	bytes    int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	// prefixes tracks entry-count and byte occupancy per key prefix (the
+	// token before the first 0x1f separator: "search", "enrich", "tile",
+	// "scatter", "partial"), maintained on every insert, replace and
+	// eviction — the per-workload occupancy picture /api/stats surfaces.
+	prefixes map[string]*PrefixOccupancy
+}
+
+// PrefixOccupancy is one key family's share of the cache.
+type PrefixOccupancy struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// keyPrefix is the cache key's leading token (up to the first 0x1f field
+// separator every endpoint's key discipline starts with).
+func keyPrefix(key string) string {
+	if i := strings.IndexByte(key, 0x1f); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// account adjusts a prefix's occupancy; callers hold the shard lock.
+func (s *cacheShard) account(prefix string, entries int, bytes int64) {
+	p := s.prefixes[prefix]
+	if p == nil {
+		p = &PrefixOccupancy{}
+		s.prefixes[prefix] = p
+	}
+	p.Entries += entries
+	p.Bytes += bytes
+	if p.Entries == 0 {
+		delete(s.prefixes, prefix)
+	}
 }
 
 type cacheEntry struct {
@@ -46,6 +81,7 @@ func NewCache(maxBytes int64) *Cache {
 		c.shards[i].maxBytes = maxBytes / numShards
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].prefixes = make(map[string]*PrefixOccupancy)
 	}
 	return c
 }
@@ -79,6 +115,7 @@ func (c *Cache) Put(key string, val any, cost int64) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	prefix := keyPrefix(key)
 	if cost > s.maxBytes {
 		// The value can never fit, but merely skipping the insert would
 		// leave any previous value cached under the key — stale from the
@@ -88,17 +125,20 @@ func (c *Cache) Put(key string, val any, cost int64) {
 			s.ll.Remove(el)
 			delete(s.items, key)
 			s.bytes -= e.cost
+			s.account(prefix, -1, -e.cost)
 		}
 		return
 	}
 	if el, ok := s.items[key]; ok {
 		e := el.Value.(*cacheEntry)
 		s.bytes += cost - e.cost
+		s.account(prefix, 0, cost-e.cost)
 		e.val, e.cost = val, cost
 		s.ll.MoveToFront(el)
 	} else {
 		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val, cost: cost})
 		s.bytes += cost
+		s.account(prefix, 1, cost)
 	}
 	for s.bytes > s.maxBytes {
 		el := s.ll.Back()
@@ -109,6 +149,7 @@ func (c *Cache) Put(key string, val any, cost int64) {
 		s.ll.Remove(el)
 		delete(s.items, e.key)
 		s.bytes -= e.cost
+		s.account(keyPrefix(e.key), -1, -e.cost)
 	}
 }
 
@@ -134,4 +175,24 @@ func (c *Cache) Bytes() int64 {
 		s.mu.Unlock()
 	}
 	return b
+}
+
+// Prefixes aggregates per-prefix occupancy across the shards: how many
+// entries and approximate bytes each key family ("search", "enrich",
+// "tile", ...) currently holds. Sum of the returned occupancies equals
+// Len()/Bytes().
+func (c *Cache) Prefixes() map[string]PrefixOccupancy {
+	out := make(map[string]PrefixOccupancy)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for prefix, p := range s.prefixes {
+			agg := out[prefix]
+			agg.Entries += p.Entries
+			agg.Bytes += p.Bytes
+			out[prefix] = agg
+		}
+		s.mu.Unlock()
+	}
+	return out
 }

@@ -89,6 +89,75 @@ func TestCacheOversizedReplacementDropsOldValue(t *testing.T) {
 	}
 }
 
+// TestCachePrefixOccupancy: per-prefix entry/byte accounting must stay
+// consistent through inserts, replacements, evictions and oversized
+// drops, and sum to the cache totals.
+func TestCachePrefixOccupancy(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put("search\x1fq1", "a", 100)
+	c.Put("search\x1fq2", "b", 50)
+	c.Put("tile\x1f0\x1f0", "png", 300)
+	c.Put("bare-key", "x", 10)
+
+	p := c.Prefixes()
+	if got := p["search"]; got.Entries != 2 || got.Bytes != 150 {
+		t.Fatalf("search prefix: %+v", got)
+	}
+	if got := p["tile"]; got.Entries != 1 || got.Bytes != 300 {
+		t.Fatalf("tile prefix: %+v", got)
+	}
+	if got := p["bare-key"]; got.Entries != 1 || got.Bytes != 10 {
+		t.Fatalf("unseparated key prefix: %+v", got)
+	}
+
+	// Replacement adjusts bytes, not entries.
+	c.Put("search\x1fq1", "a2", 120)
+	if got := c.Prefixes()["search"]; got.Entries != 2 || got.Bytes != 170 {
+		t.Fatalf("after replace: %+v", got)
+	}
+
+	// The per-prefix view always sums to the cache totals.
+	var entries int
+	var bytes int64
+	for _, occ := range c.Prefixes() {
+		entries += occ.Entries
+		bytes += occ.Bytes
+	}
+	if entries != c.Len() || bytes != c.Bytes() {
+		t.Fatalf("prefix sums %d/%d, cache totals %d/%d", entries, bytes, c.Len(), c.Bytes())
+	}
+}
+
+// TestCachePrefixEvictionAccounting: evicted and dropped entries leave
+// the prefix map (an empty prefix disappears entirely).
+func TestCachePrefixEvictionAccounting(t *testing.T) {
+	c := NewCache(numShards * 300)
+	shard0 := c.shard("tile\x1fanchor")
+	keys := []string{"tile\x1fanchor"}
+	for i := 0; len(keys) < 4; i++ {
+		k := fmt.Sprintf("enrich\x1fk%d", i)
+		if c.shard(k) == shard0 {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys[:3] {
+		c.Put(k, k, 100)
+	}
+	c.Put(keys[3], "overflow", 100) // evicts the LRU tile entry
+	p := c.Prefixes()
+	if _, alive := p["tile"]; alive {
+		t.Fatalf("evicted-out prefix still accounted: %+v", p)
+	}
+	if got := p["enrich"]; got.Entries != 3 || got.Bytes != 300 {
+		t.Fatalf("enrich prefix after eviction: %+v", got)
+	}
+	// Oversized replacement removes the old entry's accounting too.
+	c.Put(keys[1], "huge", numShards*300+1)
+	if got := c.Prefixes()["enrich"]; got.Entries != 2 || got.Bytes != 200 {
+		t.Fatalf("enrich prefix after oversized drop: %+v", got)
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache(1 << 20)
 	var wg sync.WaitGroup

@@ -15,6 +15,7 @@ import (
 	"forestview/internal/core"
 	"forestview/internal/golem"
 	"forestview/internal/render"
+	"forestview/internal/shard"
 	"forestview/internal/spell"
 	"forestview/internal/spellweb"
 )
@@ -73,9 +74,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, spell.MsgSingleGeneQuery)
 		return
 	}
-	res, err := s.Search(ids, spell.Options{MaxGenes: top, IncludeQuery: true})
-	if err != nil {
+	res, meta, err := s.searchWith(r.Context(), &s.statSearch, ids, spell.Options{MaxGenes: top, IncludeQuery: true})
+	switch {
+	case errors.Is(err, shard.ErrAllShardsFailed) || errors.Is(err, shard.ErrDegradedUnresolved):
+		// Full outage across the shard set — or a degraded scatter whose
+		// survivors can't resolve the query genes at all. Retryable, so
+		// 503 — a query error it is not.
+		s.statSearch.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.statSearch.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, "search repeatedly interrupted, retry later")
+		return
+	case err != nil:
 		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if meta != nil {
+		// Sharded answers always disclose how much of the compendium they
+		// cover; a degraded merge is a correct ranking over the surviving
+		// shards, flagged rather than failed.
+		w.Header().Set("X-Forestview-Shards-Ok", strconv.Itoa(meta.ShardsOK))
+		w.Header().Set("X-Forestview-Shards-Total", strconv.Itoa(meta.ShardsTotal))
+		w.Header().Set("X-Forestview-Degraded", strconv.FormatBool(meta.Degraded))
+		s.writeJSON(w, http.StatusOK, scatterSearchResponse{Result: res, Meta: *meta})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
@@ -343,57 +370,42 @@ const statusClientClosedRequest = 499
 // when a flight dies of someone else's cancellation, becoming the new
 // leader instead of failing an innocent request.
 func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p tileParams) ([]byte, error) {
-	const maxAttempts = 3
-	var (
-		v   any
-		err error
-	)
 	key := p.key()
 	tileCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		v, err = s.cachedDo(&s.statHeatmap, key, tileCost, func() (any, error) {
-			return s.pool.Run(ctx, func() (any, error) {
-				rows := cd.RowsInDisplayRange(p.from, p.to)
-				c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
-				hx := 0
-				if p.treeW > 0 {
-					// The cached tree drawn against the pane's display
-					// order, so brackets line up with the heatmap rows even
-					// under an optimized leaf orientation.
-					render.RenderDendrogramOrdered(c,
-						render.Rect{X: 0, Y: 0, W: p.treeW, H: p.h},
-						cd.GeneTree, cd.DisplayOrder, render.LeftOfRows,
-						color.RGBA{R: 180, G: 180, B: 180, A: 255})
-					hx = p.treeW
-				}
-				render.RenderHeatmap(c, render.Rect{X: hx, Y: 0, W: p.w - hx, H: p.h}, rows, render.HeatmapOptions{
-					ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
-				})
-				var buf bytes.Buffer
-				if err := c.EncodePNG(&buf); err != nil {
-					return nil, err
-				}
-				png := buf.Bytes()
-				// Fill the cache from inside the job too: a worker only
-				// learns its submitter hung up when the job is already
-				// running, so a render abandoned mid-rasterization still
-				// completes — this keeps the finished tile for the
-				// retrying follower (or the next request) instead of
-				// discarding it with the canceled wait. cachedDo's own
-				// Put after a live wait is an idempotent overwrite.
-				s.cache.Put(key, png, tileCost(png))
-				return png, nil
+	v, err := s.cachedDoRetry(ctx, &s.statHeatmap, key, tileCost, func() (any, error) {
+		return s.pool.Run(ctx, func() (any, error) {
+			rows := cd.RowsInDisplayRange(p.from, p.to)
+			c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
+			hx := 0
+			if p.treeW > 0 {
+				// The cached tree drawn against the pane's display
+				// order, so brackets line up with the heatmap rows even
+				// under an optimized leaf orientation.
+				render.RenderDendrogramOrdered(c,
+					render.Rect{X: 0, Y: 0, W: p.treeW, H: p.h},
+					cd.GeneTree, cd.DisplayOrder, render.LeftOfRows,
+					color.RGBA{R: 180, G: 180, B: 180, A: 255})
+				hx = p.treeW
+			}
+			render.RenderHeatmap(c, render.Rect{X: hx, Y: 0, W: p.w - hx, H: p.h}, rows, render.HeatmapOptions{
+				ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
 			})
+			var buf bytes.Buffer
+			if err := c.EncodePNG(&buf); err != nil {
+				return nil, err
+			}
+			png := buf.Bytes()
+			// Fill the cache from inside the job too: a worker only
+			// learns its submitter hung up when the job is already
+			// running, so a render abandoned mid-rasterization still
+			// completes — this keeps the finished tile for the
+			// retrying follower (or the next request) instead of
+			// discarding it with the canceled wait. cachedDo's own
+			// Put after a live wait is an idempotent overwrite.
+			s.cache.Put(key, png, tileCost(png))
+			return png, nil
 		})
-		if err == nil || ctx.Err() != nil {
-			break
-		}
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			break
-		}
-		// A joined flight failed with a context error that is not ours:
-		// the leader's client disconnected. Retry for our still-live client.
-	}
+	}, nil, nil)
 	if err != nil {
 		return nil, err
 	}

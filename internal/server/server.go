@@ -35,16 +35,31 @@ import (
 	"forestview/internal/core"
 	"forestview/internal/golem"
 	"forestview/internal/microarray"
+	"forestview/internal/shard"
 	"forestview/internal/spell"
 	"forestview/internal/spellweb"
 )
 
-// Config assembles a Server. Engine is required; Enricher and the dataset
-// lists gate their endpoints (a daemon without an ontology serves 503 on
-// /api/enrich rather than failing to start).
+// Config assembles a Server. Engine is required unless Scatter makes the
+// daemon a coordinator; Enricher and the dataset lists gate their
+// endpoints (a daemon without an ontology serves 503 on /api/enrich
+// rather than failing to start).
 type Config struct {
-	// Engine is the prepared SPELL compendium (required).
+	// Engine is the prepared SPELL compendium (required, except for a
+	// pure coordinator: with Scatter set and Engine nil, search scatters
+	// to the shard backends and no local compendium is held).
 	Engine *spell.Engine
+	// Scatter, when set, routes every search — /api/search and the HTML
+	// page alike — through the shard coordinator: scatter, merge with
+	// global renormalization, cache the merged result under the canonical
+	// query + shard-set generation. Degraded merges are never cached.
+	Scatter *shard.Coordinator
+	// ShardIndexes, when non-nil, makes the daemon a shard backend: entry
+	// i is the global compendium index of the engine's dataset i (the
+	// slice selected by shard.OwnedIndexes), and /api/shard/search +
+	// /api/shard/info come up, serving partials with globally remapped
+	// dataset indexes. Requires Engine; length must match its compendium.
+	ShardIndexes []int
 	// Enricher is the prepared GOLEM context behind /api/enrich.
 	Enricher *golem.Enricher
 	// Datasets are pre-clustered panes behind /api/heatmap, indexable by
@@ -76,6 +91,11 @@ type Config struct {
 	// (default 200); requests above it are clamped, keeping any single
 	// query's response — and cache entry — bounded.
 	MaxGenes int
+	// SearchParallelism bounds the worker pool of each SPELL scan — local
+	// search and shard partials alike (0 = GOMAXPROCS). Shard daemons
+	// colocated on one host set it so a single query cannot monopolize
+	// every core their neighbours also scan with.
+	SearchParallelism int
 	// MaxTileDim caps requested tile width and height in pixels
 	// (default 2048).
 	MaxTileDim int
@@ -100,6 +120,7 @@ type Server struct {
 	statHeatmap endpointStats
 	statHTML    endpointStats
 	statStats   endpointStats
+	statShard   endpointStats // /api/shard/* (shard role only)
 
 	// enrichKernel tracks actual golem kernel executions (cache misses that
 	// computed), reported as the enrich_cache stats section.
@@ -111,8 +132,17 @@ type Server struct {
 
 // New wires a Server from the config.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: nil SPELL engine")
+	if cfg.Engine == nil && cfg.Scatter == nil {
+		return nil, fmt.Errorf("server: nil SPELL engine (and no shard coordinator)")
+	}
+	if cfg.ShardIndexes != nil {
+		if cfg.Engine == nil {
+			return nil, fmt.Errorf("server: shard role requires an engine")
+		}
+		if len(cfg.ShardIndexes) != cfg.Engine.NumDatasets() {
+			return nil, fmt.Errorf("server: %d shard indexes for %d datasets",
+				len(cfg.ShardIndexes), cfg.Engine.NumDatasets())
+		}
 	}
 	if cfg.RenderWorkers <= 0 {
 		cfg.RenderWorkers = 4
@@ -165,6 +195,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/api/enrich", s.instrument(&s.statEnrich, s.handleEnrich))
 	s.mux.HandleFunc("/api/heatmap", s.instrument(&s.statHeatmap, s.handleHeatmap))
 	s.mux.HandleFunc("/api/stats", s.instrument(&s.statStats, s.handleStats))
+	if cfg.ShardIndexes != nil {
+		s.mux.HandleFunc(shard.SearchPath, s.instrument(&s.statShard, s.handleShardSearch))
+		s.mux.HandleFunc(shard.InfoPath, s.instrument(&s.statShard, s.handleShardInfo))
+	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -189,25 +223,62 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Close releases the render pool.
 func (s *Server) Close() { s.pool.Close() }
 
-// NumDatasets implements spellweb.Searcher.
-func (s *Server) NumDatasets() int { return s.cfg.Engine.NumDatasets() }
+// NumDatasets implements spellweb.Searcher. A coordinator reports the sum
+// of its shards' slices (0 while no shard has answered an info probe yet).
+func (s *Server) NumDatasets() int {
+	if s.cfg.Engine != nil {
+		return s.cfg.Engine.NumDatasets()
+	}
+	d, _ := s.scatterInfo()
+	return d
+}
 
-// NumGenes implements spellweb.Searcher.
-func (s *Server) NumGenes() int { return s.cfg.Engine.NumGenes() }
+// NumGenes implements spellweb.Searcher. A coordinator reports the union
+// of its shards' gene sets.
+func (s *Server) NumGenes() int {
+	if s.cfg.Engine != nil {
+		return s.cfg.Engine.NumGenes()
+	}
+	_, g := s.scatterInfo()
+	return g
+}
+
+// scatterInfo asks the coordinator for the union compendium description;
+// the coordinator caches a complete answer, so only the first call (and
+// calls while a shard is unreachable) pay a probe.
+func (s *Server) scatterInfo() (datasets, genes int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	info, err := s.cfg.Scatter.Info(ctx)
+	if err != nil {
+		return 0, 0
+	}
+	return info.Datasets, info.Genes
+}
 
 // Search implements spellweb.Searcher for the JSON API through the shared
-// cache and the coalescing layer.
+// cache and the coalescing layer (scattering to shard backends when the
+// daemon coordinates).
 func (s *Server) Search(ids []string, opt spell.Options) (*spell.Result, error) {
-	return s.searchWith(&s.statSearch, ids, opt)
+	res, _, err := s.searchWith(context.Background(), &s.statSearch, ids, opt)
+	return res, err
 }
 
 // searchWith is the single search path; ep receives the cache/compute
 // accounting, so HTML-page and API traffic stay separable in /api/stats
-// while sharing one set of cache keys.
-func (s *Server) searchWith(ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, error) {
+// while sharing one set of cache keys. The returned meta is non-nil only
+// on the scatter path.
+func (s *Server) searchWith(ctx context.Context, ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, *shard.Meta, error) {
 	ids = spell.CanonicalQuery(ids)
 	if opt.MaxGenes <= 0 || opt.MaxGenes > s.cfg.MaxGenes {
 		opt.MaxGenes = s.cfg.MaxGenes
+	}
+	if s.cfg.Scatter != nil {
+		return s.scatterSearch(ctx, ep, ids, opt)
+	}
+	if opt.Parallelism <= 0 {
+		// Doesn't shape results, so it stays out of the cache key.
+		opt.Parallelism = s.cfg.SearchParallelism
 	}
 	// Parallelism doesn't affect results so it stays out of the key; every
 	// result-shaping option must be in it.
@@ -217,9 +288,9 @@ func (s *Server) searchWith(ep *endpointStats, ids []string, opt spell.Options) 
 		return s.cfg.Engine.Search(ids, opt)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return v.(*spell.Result), nil
+	return v.(*spell.Result), nil, nil
 }
 
 // cachedSearcher adapts the shared search path for the HTML page: same
@@ -230,7 +301,25 @@ type cachedSearcher struct {
 }
 
 func (c *cachedSearcher) Search(ids []string, opt spell.Options) (*spell.Result, error) {
-	return c.s.searchWith(c.ep, ids, opt)
+	res, _, err := c.s.searchWith(context.Background(), c.ep, ids, opt)
+	return res, err
+}
+
+// SearchCtx implements spellweb.ContextSearcher: the page request's
+// context rides into the search (a closed tab cancels a whole scatter on
+// a coordinator), and a degraded merge comes back with the disclosure the
+// page must print — the HTML surface keeps the same honesty contract as
+// the API's degraded headers.
+func (c *cachedSearcher) SearchCtx(ctx context.Context, ids []string, opt spell.Options) (*spell.Result, string, error) {
+	res, meta, err := c.s.searchWith(ctx, c.ep, ids, opt)
+	if err != nil {
+		return nil, "", err
+	}
+	if meta != nil && meta.Degraded {
+		return res, fmt.Sprintf("degraded result: only %d of %d shards answered; rankings are renormalized over the reachable slice of the compendium",
+			meta.ShardsOK, meta.ShardsTotal), nil
+	}
+	return res, "", nil
 }
 
 func (c *cachedSearcher) NumDatasets() int { return c.s.NumDatasets() }
@@ -255,30 +344,12 @@ func (s *Server) EnrichCtx(ctx context.Context, genes []string, opt golem.Option
 	}
 	genes = spell.CanonicalQuery(genes)
 	key := fmt.Sprintf("enrich\x1f%d\x1f%g\x1f%s", opt.MinSelected, opt.MaxPValue, joinIDs(genes))
-	const maxAttempts = 3
-	var (
-		v   any
-		err error
-	)
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if attempt > 0 {
-			s.enrichKernel.retries.Add(1)
-		}
-		v, err = s.cachedDo(&s.statEnrich, key, enrichCost, func() (any, error) {
-			t0 := time.Now()
-			res, aerr := s.cfg.Enricher.AnalyzeCtx(ctx, genes, opt)
-			s.enrichKernel.observe(time.Since(t0), aerr)
-			return res, aerr
-		})
-		if err == nil || ctx.Err() != nil {
-			break
-		}
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			break
-		}
-		// A joined flight failed with a context error that is not ours: the
-		// leader's client disconnected. Retry for our still-live client.
-	}
+	v, err := s.cachedDoRetry(ctx, &s.statEnrich, key, enrichCost, func() (any, error) {
+		t0 := time.Now()
+		res, aerr := s.cfg.Enricher.AnalyzeCtx(ctx, genes, opt)
+		s.enrichKernel.observe(time.Since(t0), aerr)
+		return res, aerr
+	}, nil, func() { s.enrichKernel.retries.Add(1) })
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +374,14 @@ func joinIDs(ids []string) string {
 // cached (a transiently bad query must not poison the cache), but
 // concurrent identical failures still compute only once.
 func (s *Server) cachedDo(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error)) (any, error) {
+	return s.cachedDoIf(ep, key, cost, compute, nil)
+}
+
+// cachedDoIf is cachedDo with a cacheability predicate: a computed value
+// for which it returns false is delivered to its waiters but never enters
+// the cache (the scatter path keeps degraded merges out this way). A nil
+// predicate caches every successful value.
+func (s *Server) cachedDoIf(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error), cacheable func(any) bool) (any, error) {
 	if v, ok := s.cache.Get(key); ok {
 		ep.cacheHits.Add(1)
 		return v, nil
@@ -317,13 +396,40 @@ func (s *Server) cachedDo(ep *endpointStats, key string, cost func(any) int64, c
 		}
 		ep.computed.Add(1)
 		v, err := compute()
-		if err == nil {
+		if err == nil && (cacheable == nil || cacheable(v)) {
 			s.cache.Put(key, v, cost(v))
 		}
 		return v, err
 	})
 	if joined {
 		ep.coalesced.Add(1)
+	}
+	return v, err
+}
+
+// cachedDoRetry wraps cachedDoIf in the daemon's leader-handover retry
+// discipline, shared by every compute path (tiles, enrichment, partials,
+// scatters): a coalesced follower whose joined flight died of a context
+// error that is not its own — the *leader's* client disconnected — retries
+// with its own live context instead of failing an innocent request.
+// onRetry (optional) is called before each re-attempt, for accounting.
+func (s *Server) cachedDoRetry(ctx context.Context, ep *endpointStats, key string, cost func(any) int64, compute func() (any, error), cacheable func(any) bool, onRetry func()) (any, error) {
+	const maxAttempts = 3
+	var (
+		v   any
+		err error
+	)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 && onRetry != nil {
+			onRetry()
+		}
+		v, err = s.cachedDoIf(ep, key, cost, compute, cacheable)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
 	}
 	return v, err
 }
@@ -377,11 +483,18 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // Stats assembles the /api/stats snapshot.
 func (s *Server) Stats() StatsSnapshot {
+	prefixes := s.cache.Prefixes()
+	nDatasets, nGenes := 0, 0
+	if s.cfg.Engine != nil {
+		nDatasets, nGenes = s.cfg.Engine.NumDatasets(), s.cfg.Engine.NumGenes()
+	} else {
+		nDatasets, nGenes = s.scatterInfo() // one probe (cached after success)
+	}
 	snap := StatsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Compendium: CompendiumInfo{
-			Datasets:  s.cfg.Engine.NumDatasets(),
-			Genes:     s.cfg.Engine.NumGenes(),
+			Datasets:  nDatasets,
+			Genes:     nGenes,
 			Clustered: s.NumPanes(),
 		},
 		TreeCache: s.trees.snapshot(),
@@ -389,6 +502,7 @@ func (s *Server) Stats() StatsSnapshot {
 			Entries:  s.cache.Len(),
 			Bytes:    s.cache.Bytes(),
 			MaxBytes: s.cacheMaxBytes(),
+			Prefixes: prefixes,
 		},
 		Endpoints: map[string]EndpointSnapshot{
 			"search":  s.statSearch.snapshot(),
@@ -397,6 +511,15 @@ func (s *Server) Stats() StatsSnapshot {
 			"html":    s.statHTML.snapshot(),
 			"stats":   s.statStats.snapshot(),
 		},
+	}
+	snap.TreeCache.TileEntries = prefixes["tile"].Entries
+	snap.TreeCache.TileBytes = prefixes["tile"].Bytes
+	if s.cfg.ShardIndexes != nil {
+		snap.Endpoints["shard"] = s.statShard.snapshot()
+	}
+	if s.cfg.Scatter != nil {
+		sc := s.cfg.Scatter.Stats()
+		snap.Scatter = &sc
 	}
 	if s.cfg.Enricher != nil {
 		snap.Compendium.GOTerms = s.cfg.Enricher.NumTerms()
@@ -411,6 +534,8 @@ func (s *Server) Stats() StatsSnapshot {
 			Failures:     s.enrichKernel.failures.Load(),
 			Retries:      s.enrichKernel.retries.Load(),
 			MaxAnalyzeUS: s.enrichKernel.maxUS.Load(),
+			Entries:      prefixes["enrich"].Entries,
+			Bytes:        prefixes["enrich"].Bytes,
 		}
 		if ec.Analyses > 0 {
 			ec.MeanAnalyzeUS = s.enrichKernel.analyzeUS.Load() / ec.Analyses

@@ -573,3 +573,36 @@ func TestConcurrentIdenticalEnrichComputesOnce(t *testing.T) {
 		t.Fatalf("requests = %d, want %d", ep.Requests, n)
 	}
 }
+
+// TestStatsPrefixOccupancy: after one search, one enrichment and one tile,
+// the cache's per-prefix occupancy surfaces in /api/stats — the overall
+// prefixes map, the enrich_cache residency fields, and the tree_cache's
+// tile fields.
+func TestStatsPrefixOccupancy(t *testing.T) {
+	s, u := fixture(t)
+	q := strings.Join(u.ModuleGeneIDs(2)[:4], ",")
+	if rec := get(t, s, "/api/search?q="+q); rec.Code != http.StatusOK {
+		t.Fatalf("search = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/enrich?genes="+q); rec.Code != http.StatusOK {
+		t.Fatalf("enrich = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/heatmap?dataset=0&w=32&h=32"); rec.Code != http.StatusOK {
+		t.Fatalf("heatmap = %d", rec.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, s, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"search", "enrich", "tile"} {
+		if occ := snap.Cache.Prefixes[prefix]; occ.Entries != 1 || occ.Bytes <= 0 {
+			t.Fatalf("prefix %q occupancy: %+v (map %+v)", prefix, occ, snap.Cache.Prefixes)
+		}
+	}
+	if snap.EnrichCache.Entries != 1 || snap.EnrichCache.Bytes <= 0 {
+		t.Fatalf("enrich_cache residency: %+v", snap.EnrichCache)
+	}
+	if snap.TreeCache.TileEntries != 1 || snap.TreeCache.TileBytes <= 0 {
+		t.Fatalf("tree_cache tile residency: %+v", snap.TreeCache)
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"forestview/internal/shard"
+	"forestview/internal/spell"
+)
+
+// This file is the daemon's side of the sharded compendium (DESIGN.md §4):
+// the shard role serves spell partials for its dataset slice at
+// /api/shard/search, and the coordinator role scatters /api/search over
+// the shard backends, merging with global weight renormalization. Both
+// directions run through the same sharded LRU + singleflight discipline
+// as every other endpoint.
+
+// handleShardSearch serves POST /api/shard/search: a gob shard.SearchRequest
+// in, a gob spell.Partial out — dataset indexes already remapped to the
+// global compendium order. Partials are cached under the canonical query
+// ("partial" prefix): identical queries from one or many coordinators
+// scan each dataset slice once.
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeJSONError(w, http.StatusMethodNotAllowed, "POST a gob-encoded shard search request")
+		return
+	}
+	var req shard.SearchRequest
+	if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSONError(w, http.StatusBadRequest, "bad shard request: "+err.Error())
+		return
+	}
+	ids := spell.CanonicalQuery(req.Query)
+	if len(ids) == 0 {
+		s.writeJSONError(w, http.StatusUnprocessableEntity, "empty query")
+		return
+	}
+	body, err := s.partialSearch(r.Context(), ids)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if r.Context().Err() != nil {
+			// The coordinator gave up on us (deadline, hedge won elsewhere,
+			// or its own caller hung up); nobody reads a body.
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.writeJSONError(w, http.StatusServiceUnavailable, "partial search repeatedly interrupted, retry later")
+		return
+	}
+	if errors.Is(err, errPartialEncode) {
+		s.encodeFailures.Add(1)
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err != nil {
+		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", shard.ContentType)
+	_, _ = w.Write(body)
+}
+
+// errPartialEncode marks a gob failure while encoding a partial — a bug,
+// reported as a counted 500 like every other encode failure.
+var errPartialEncode = errors.New("partial encode failed")
+
+// partialSearch computes (or serves cached) this shard's partial for a
+// canonical query, already gob-encoded: the wire form is what every
+// consumer of the cache wants, so a cache hit costs zero re-encoding and
+// the entry's cost is its exact byte length. Leader-handover retries as
+// on every compute path.
+func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, error) {
+	key := "partial\x1f" + joinIDs(ids)
+	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
+	v, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+		p, perr := s.cfg.Engine.PartialSearchCtx(ctx, ids, spell.Options{Parallelism: s.cfg.SearchParallelism})
+		if perr != nil {
+			return nil, perr
+		}
+		// Remap local dataset indexes to the global compendium order once,
+		// at compute time: cached partials are already global.
+		for i := range p.Datasets {
+			p.Datasets[i].Index = s.cfg.ShardIndexes[p.Datasets[i].Index]
+		}
+		var buf bytes.Buffer
+		if eerr := gob.NewEncoder(&buf).Encode(p); eerr != nil {
+			return nil, fmt.Errorf("%w: %v", errPartialEncode, eerr)
+		}
+		return buf.Bytes(), nil
+	}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// handleShardInfo serves GET /api/shard/info: this shard's slice size and
+// gene IDs (gob), which coordinators union into compendium totals.
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(shard.Info{
+		Datasets: s.cfg.Engine.NumDatasets(),
+		GeneIDs:  s.cfg.Engine.GeneIDs(),
+	})
+	if err != nil {
+		s.encodeFailures.Add(1)
+		s.writeJSONError(w, http.StatusInternalServerError, "info encode failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", shard.ContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// scatterValue is the cached unit of the coordinator search path: the
+// merged result plus the scatter metadata it was merged under.
+type scatterValue struct {
+	res  *spell.Result
+	meta shard.Meta
+}
+
+func scatterCost(v any) int64 { return searchCost(v.(*scatterValue).res) + 64 }
+
+// scatterSearch is searchWith's coordinator branch: scatter over the
+// shard backends, merge with global renormalization, and cache the merged
+// result keyed by canonical query + shard-set generation — a coordinator
+// restarted against a different topology can never replay merges of the
+// old one. Degraded merges (a shard missing) are served but never cached:
+// cached, they would keep answering for the survivor subset long after
+// the shard recovered. Coalescing still holds — concurrent identical
+// queries scatter once — and a flight that died of its leader's hangup is
+// retried under our live context, like every other compute path.
+func (s *Server) scatterSearch(ctx context.Context, ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, *shard.Meta, error) {
+	key := fmt.Sprintf("scatter\x1f%016x\x1f%d\x1f%t\x1f%t\x1f%s",
+		s.cfg.Scatter.Generation(), opt.MaxGenes, opt.IncludeQuery, opt.UniformWeights, joinIDs(ids))
+	v, err := s.cachedDoRetry(ctx, ep, key, scatterCost, func() (any, error) {
+		res, meta, serr := s.cfg.Scatter.SearchCtx(ctx, ids, opt)
+		if serr != nil {
+			return nil, serr
+		}
+		return &scatterValue{res: res, meta: meta}, nil
+	}, func(v any) bool { return !v.(*scatterValue).meta.Degraded }, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	sv := v.(*scatterValue)
+	meta := sv.meta
+	return sv.res, &meta, nil
+}
+
+// scatterSearchResponse is the /api/search body in coordinator mode: the
+// usual result plus the explicit degraded flag and shard tally.
+type scatterSearchResponse struct {
+	*spell.Result
+	shard.Meta
+}

@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"forestview/internal/microarray"
+	"forestview/internal/shard"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+)
+
+// shardTopology is a full two-tier deployment in-process: shard-role
+// Servers behind httptest listeners, selected by the real rendezvous
+// assignment, and a coordinator-role Server over them.
+type shardTopology struct {
+	coord   *Server
+	servers []*httptest.Server
+	dss     []*microarray.Dataset
+	full    *spell.Engine
+	query   []string
+}
+
+func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopology {
+	t.Helper()
+	u := synth.NewUniverse(200, 8, 71)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 6, MinExperiments: 8, MaxExperiments: 14,
+		ActiveFraction: 0.5, Noise: 0.3, Seed: 72,
+	})
+	full, err := spell.NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(dss))
+	for i, ds := range dss {
+		names[i] = ds.Name
+	}
+
+	// Shard identities must be known before listeners exist (the daemon
+	// flags work the same way), so name them logically and route by index.
+	var shardNames []string
+	for i := 0; i < nShards; i++ {
+		shardNames = append(shardNames, fmt.Sprintf("shard-%d", i))
+	}
+	top := &shardTopology{dss: dss, full: full, query: u.ModuleGeneIDs(2)[:4]}
+	for _, self := range shardNames {
+		owned := shard.OwnedIndexes(names, shardNames, self)
+		if len(owned) == 0 {
+			// A shard with an empty slice cannot build an engine; serve
+			// nothing (rendezvous makes this rare but possible at tiny
+			// dataset counts). The coordinator handles it as a failure.
+			t.Fatalf("shard %s owns no datasets; pick a different fixture seed", self)
+		}
+		var slice []*microarray.Dataset
+		for _, gi := range owned {
+			slice = append(slice, dss[gi])
+		}
+		se, err := spell.NewEngine(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := New(Config{Engine: se, ShardIndexes: owned, CacheBytes: 4 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ss.Close)
+		hs := httptest.NewServer(ss)
+		t.Cleanup(hs.Close)
+		top.servers = append(top.servers, hs)
+	}
+	// The coordinator scatters to the listener URLs (ownership used the
+	// logical names; the mapping is by position, as with daemon flags).
+	for _, hs := range top.servers {
+		cfg.Shards = append(cfg.Shards, hs.URL)
+	}
+	coordr, err := shard.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.coord, err = New(Config{Scatter: coordr, CacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(top.coord.Close)
+	return top
+}
+
+// Ownership in newShardTopology hashes logical shard names, while the
+// coordinator dials listener URLs positionally — the same split the
+// daemon's -shards/-self flags produce.
+
+func searchURL(query []string) string {
+	return "/api/search?q=" + strings.Join(query, ",") + "&top=40"
+}
+
+type scatterBody struct {
+	Query    []string
+	Datasets []json.RawMessage
+	Genes    []struct {
+		ID    string
+		Score float64
+	}
+	Degraded    bool `json:"degraded"`
+	ShardsOK    int  `json:"shards_ok"`
+	ShardsTotal int  `json:"shards_total"`
+}
+
+// TestCoordinatorSearchMatchesSingleProcess: a 2-shard topology answers
+// /api/search with the same ranking the single-process daemon computes,
+// carries the shard tally headers, and caches the merged result.
+func TestCoordinatorSearchMatchesSingleProcess(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: 5 * time.Second})
+	rec := get(t, top.coord, searchURL(top.query))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q", h)
+	}
+	if ok, tot := rec.Header().Get("X-Forestview-Shards-Ok"), rec.Header().Get("X-Forestview-Shards-Total"); ok != "2" || tot != "2" {
+		t.Fatalf("shard tally headers = %s/%s", ok, tot)
+	}
+	var body scatterBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Degraded || body.ShardsOK != 2 || body.ShardsTotal != 2 {
+		t.Fatalf("body meta: degraded=%v %d/%d", body.Degraded, body.ShardsOK, body.ShardsTotal)
+	}
+	want, err := top.full.Search(top.query, spell.Options{MaxGenes: 40, IncludeQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Genes) != len(want.Genes) {
+		t.Fatalf("%d genes, want %d", len(body.Genes), len(want.Genes))
+	}
+	for i := range want.Genes {
+		if body.Genes[i].ID != want.Genes[i].ID ||
+			math.Abs(body.Genes[i].Score-want.Genes[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: %+v vs %+v", i, body.Genes[i], want.Genes[i])
+		}
+	}
+	if len(body.Datasets) != len(top.dss) {
+		t.Fatalf("%d datasets, want %d", len(body.Datasets), len(top.dss))
+	}
+
+	// Second identical query: merged-result cache hit, no new scatter.
+	before := statsOf(t, top.coord, "search")
+	rec = get(t, top.coord, searchURL(top.query))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat = %d", rec.Code)
+	}
+	after := statsOf(t, top.coord, "search")
+	if after.CacheHits != before.CacheHits+1 || after.Computed != before.Computed {
+		t.Fatalf("repeat not served from cache: before %+v after %+v", before, after)
+	}
+
+	// The scatter section reports the topology and per-shard traffic.
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter == nil || snap.Scatter.ShardsTotal != 2 || len(snap.Scatter.Shards) != 2 {
+		t.Fatalf("scatter stats: %+v", snap.Scatter)
+	}
+	for _, sh := range snap.Scatter.Shards {
+		if sh.Requests == 0 {
+			t.Fatalf("shard %s saw no requests", sh.Addr)
+		}
+	}
+	// Compendium totals come from the shard info union.
+	if snap.Compendium.Datasets != len(top.dss) || snap.Compendium.Genes != top.full.NumGenes() {
+		t.Fatalf("coordinator compendium: %+v", snap.Compendium)
+	}
+	// Merged results live under the scatter prefix of the shared LRU.
+	if p := snap.Cache.Prefixes["scatter"]; p.Entries == 0 || p.Bytes == 0 {
+		t.Fatalf("scatter prefix occupancy: %+v", snap.Cache.Prefixes)
+	}
+}
+
+// TestCoordinatorDegradedMode is the acceptance criterion: with one shard
+// killed, /api/search still answers 200, flags degraded=true, and the
+// weights renormalize (sum to 1) over the surviving shards' datasets.
+// Degraded merges must not enter the cache.
+func TestCoordinatorDegradedMode(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: 500 * time.Millisecond})
+	top.servers[1].Close() // kill one shard
+
+	rec := get(t, top.coord, searchURL(top.query))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded search = %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Forestview-Degraded"); h != "true" {
+		t.Fatalf("degraded header = %q", h)
+	}
+	var body scatterBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Degraded || body.ShardsOK != 1 || body.ShardsTotal != 2 {
+		t.Fatalf("body meta: degraded=%v %d/%d", body.Degraded, body.ShardsOK, body.ShardsTotal)
+	}
+	// Renormalization: the surviving shard's dataset weights sum to 1.
+	var ranks []spell.DatasetRank
+	raw := struct {
+		Datasets *[]spell.DatasetRank
+	}{&ranks}
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) >= len(top.dss) {
+		t.Fatalf("degraded result covers %d datasets of %d — dead shard's slice leaked in", len(ranks), len(top.dss))
+	}
+	sum := 0.0
+	for _, d := range ranks {
+		sum += d.Weight
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("degraded weights sum to %v", sum)
+	}
+
+	// Not cached: the next identical query scatters again.
+	before := statsOf(t, top.coord, "search")
+	if rec := get(t, top.coord, searchURL(top.query)); rec.Code != http.StatusOK {
+		t.Fatalf("second degraded search = %d", rec.Code)
+	}
+	after := statsOf(t, top.coord, "search")
+	if after.Computed != before.Computed+1 {
+		t.Fatalf("degraded result was served from cache: before %+v after %+v", before, after)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter.Degraded < 2 {
+		t.Fatalf("degraded counter = %d", snap.Scatter.Degraded)
+	}
+}
+
+// TestCoordinatorFullOutage: with every shard dead the coordinator sheds
+// with 503 — retryable, not a query error.
+func TestCoordinatorFullOutage(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: 300 * time.Millisecond})
+	for _, hs := range top.servers {
+		hs.Close()
+	}
+	rec := get(t, top.coord, searchURL(top.query))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("full outage = %d: %s", rec.Code, rec.Body.String())
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter.FullOutages != 1 {
+		t.Fatalf("outage counter = %d", snap.Scatter.FullOutages)
+	}
+}
+
+// TestCoordinatorRejectsSingleGene: query validation runs before any
+// scatter — same 422 contract as the single-process daemon.
+func TestCoordinatorRejectsSingleGene(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: time.Second})
+	rec := get(t, top.coord, "/api/search?q=ONLYONE")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("single gene = %d", rec.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range snap.Scatter.Shards {
+		if sh.Requests != 0 {
+			t.Fatalf("invalid query reached shard %s", sh.Addr)
+		}
+	}
+}
+
+// TestShardEndpointCachesPartials: the shard role caches partials under
+// the canonical query, so repeated scatters (or several coordinators)
+// scan the slice once; the partial prefix shows up in the LRU accounting.
+func TestShardEndpointCachesPartials(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: time.Second})
+	shardURL := top.servers[0].URL
+
+	post := func() *http.Response {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(shard.SearchRequest{Query: top.query}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(shardURL+shard.SearchPath, shard.ContentType, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post()
+	var p spell.Partial
+	if err := gob.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(p.Datasets) == 0 {
+		t.Fatalf("shard search = %d, %d datasets", resp.StatusCode, len(p.Datasets))
+	}
+	// Dataset indexes are global, not local: they must be a subset of the
+	// full compendium's index space with no duplicates of other shards'.
+	for _, d := range p.Datasets {
+		if d.Index < 0 || d.Index >= len(top.dss) {
+			t.Fatalf("dataset index %d outside global range", d.Index)
+		}
+		if top.dss[d.Index].Name != d.Name {
+			t.Fatalf("dataset %q remapped to index %d (%q)", d.Name, d.Index, top.dss[d.Index].Name)
+		}
+	}
+	resp = post()
+	resp.Body.Close()
+
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.servers[0].Config.Handler.(*Server), "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ep := snap.Endpoints["shard"]
+	if ep.CacheHits != 1 || ep.Computed != 1 {
+		t.Fatalf("partial caching: %+v", ep)
+	}
+	if pfx := snap.Cache.Prefixes["partial"]; pfx.Entries != 1 || pfx.Bytes == 0 {
+		t.Fatalf("partial prefix occupancy: %+v", snap.Cache.Prefixes)
+	}
+}
+
+// TestShardEndpointErrors pins the shard protocol's error contract.
+func TestShardEndpointErrors(t *testing.T) {
+	s, _ := fixtureShard(t)
+	// GET is not part of the protocol.
+	rec := get(t, s, shard.SearchPath)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d", rec.Code)
+	}
+	// Garbage body.
+	req := httptest.NewRequest(http.MethodPost, shard.SearchPath, strings.NewReader("not gob"))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage = %d", rec.Code)
+	}
+	// Empty query.
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(shard.SearchRequest{})
+	req = httptest.NewRequest(http.MethodPost, shard.SearchPath, &buf)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("empty query = %d", rec.Code)
+	}
+}
+
+// fixtureShard is the shared fixture server re-wired as a shard backend.
+func fixtureShard(t *testing.T) (*Server, *synth.Universe) {
+	t.Helper()
+	base, u := fixture(t)
+	indexes := make([]int, base.cfg.Engine.NumDatasets())
+	for i := range indexes {
+		indexes[i] = i
+	}
+	s, err := New(Config{Engine: base.cfg.Engine, ShardIndexes: indexes, CacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, u
+}
+
+func TestServerShardConfigValidation(t *testing.T) {
+	s, _ := fixture(t)
+	if _, err := New(Config{Engine: s.cfg.Engine, ShardIndexes: []int{0}}); err == nil {
+		t.Fatal("mismatched shard index length accepted")
+	}
+	if _, err := New(Config{ShardIndexes: []int{0}}); err == nil {
+		t.Fatal("shard role without engine accepted")
+	}
+}
+
+// TestCoordinatorHTMLDisclosesDegraded: the HTML page runs through
+// spellweb.ContextSearcher, so a degraded scatter is disclosed on the
+// page, not silently rendered as a full-compendium ranking.
+func TestCoordinatorHTMLDisclosesDegraded(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: 500 * time.Millisecond})
+	// Healthy probe uses a different gene subset than the degraded probe:
+	// the full merge it caches must not be a (correct) cache hit for the
+	// post-kill query below.
+	rec := get(t, top.coord, "/search?q="+strings.Join(top.query[:3], ","))
+	if rec.Code != http.StatusOK || strings.Contains(rec.Body.String(), "degraded result") {
+		t.Fatalf("healthy page = %d, degraded note present: %v", rec.Code,
+			strings.Contains(rec.Body.String(), "degraded result"))
+	}
+	top.servers[1].Close()
+	rec = get(t, top.coord, "/search?q="+strings.Join(top.query, ","))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded page = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "degraded result: only 1 of 2 shards answered") {
+		t.Fatal("degraded scatter not disclosed on the HTML page")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"time"
+
+	"forestview/internal/shard"
 )
 
 // endpointStats holds the per-endpoint counters behind /api/stats. All
@@ -125,6 +127,11 @@ type EnrichCacheInfo struct {
 	Retries       int64 `json:"retries"`
 	MeanAnalyzeUS int64 `json:"mean_analyze_us"`
 	MaxAnalyzeUS  int64 `json:"max_analyze_us"`
+	// Entries/Bytes are the enrich key family's current occupancy of the
+	// shared LRU (prefix accounting inside the cache), completing the
+	// traffic counters above with a residency picture.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // StatsSnapshot is the /api/stats response body.
@@ -134,6 +141,7 @@ type StatsSnapshot struct {
 	Cache         CacheInfo                   `json:"cache"`
 	TreeCache     TreeCacheInfo               `json:"tree_cache"`
 	EnrichCache   *EnrichCacheInfo            `json:"enrich_cache,omitempty"` // nil without an ontology
+	Scatter       *shard.StatsSnapshot        `json:"scatter,omitempty"`      // nil unless coordinating
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	// EncodeFailures counts responses whose JSON encoding failed and were
 	// converted to 500s by writeJSON; see the encode-failure regression.
@@ -153,6 +161,10 @@ type TreeCacheInfo struct {
 	Invalidations int64   `json:"invalidations"`
 	Failures      int64   `json:"failures"`
 	MeanBuildMS   float64 `json:"mean_build_ms"`
+	// TileEntries/TileBytes are the rendered-tile key family's current
+	// occupancy of the shared LRU — the pixels the cached trees back.
+	TileEntries int   `json:"tile_entries"`
+	TileBytes   int64 `json:"tile_bytes"`
 }
 
 // CompendiumInfo summarizes what the daemon loaded at startup.
@@ -163,9 +175,11 @@ type CompendiumInfo struct {
 	Clustered int `json:"clustered_datasets"`
 }
 
-// CacheInfo summarizes shared-cache occupancy.
+// CacheInfo summarizes shared-cache occupancy, overall and per key family
+// (Prefixes sums to Entries/Bytes).
 type CacheInfo struct {
-	Entries  int   `json:"entries"`
-	Bytes    int64 `json:"bytes"`
-	MaxBytes int64 `json:"max_bytes"`
+	Entries  int                        `json:"entries"`
+	Bytes    int64                      `json:"bytes"`
+	MaxBytes int64                      `json:"max_bytes"`
+	Prefixes map[string]PrefixOccupancy `json:"prefixes,omitempty"`
 }

@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forestview/internal/spell"
+)
+
+// ErrAllShardsFailed reports a scatter in which no shard answered: there
+// is nothing to merge and nothing to degrade to. The daemon maps it to
+// 503 (retryable full outage), distinct from a query error (422).
+var ErrAllShardsFailed = errors.New("shard: every shard failed")
+
+// ErrDegradedUnresolved reports a degraded scatter whose *surviving*
+// shards measured none of the query genes: the unreachable shards may
+// hold them, so the honest answer is "retry later" (503), not the
+// single-process "your genes don't exist" query error (422) that the
+// same merge outcome means when every shard answered.
+var ErrDegradedUnresolved = errors.New("shard: query genes unresolved — unreachable shards may hold them")
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Shards are the backend base addresses (host:port or full URLs).
+	Shards []string
+	// Client issues the scatter requests (default: a plain http.Client;
+	// deadlines come from per-attempt contexts, not a client timeout).
+	Client *http.Client
+	// Deadline bounds each shard attempt (default 10s). A shard that
+	// cannot answer within it is treated as failed for this query — the
+	// merge degrades rather than waiting.
+	Deadline time.Duration
+	// Retry gives each failed shard one extra attempt with a fresh
+	// deadline before the merge degrades around it.
+	Retry bool
+	// HedgeAfter, when positive, fires a duplicate request to a shard
+	// whose first attempt has not answered after this delay, taking
+	// whichever returns first. With single-owner slices the hedge lands on
+	// the same backend: it covers tail latency (GC pauses, a lost packet,
+	// a stalled connection), not host death — that is what Retry and
+	// degraded merges are for.
+	HedgeAfter time.Duration
+}
+
+// Coordinator scatters SPELL queries over shard backends and merges the
+// partials with global weight renormalization. It is stateless about
+// datasets — ownership is a pure function of the shard set (see Owner) —
+// so it boots instantly and never holds expression data. Safe for
+// concurrent use.
+type Coordinator struct {
+	cfg      Config
+	client   *http.Client
+	gen      uint64
+	counters []shardCounters
+	degraded atomic.Int64
+	outages  atomic.Int64
+	info     atomic.Pointer[CompendiumInfo]
+
+	// infoMu serializes info probes (at most one fan-out in flight);
+	// infoFailedAt/infoErr remember the last failed round so that, during
+	// an outage, /api/stats and page renders get the cached error
+	// immediately instead of stacking shard probes behind the deadline.
+	infoMu       sync.Mutex
+	infoFailedAt time.Time
+	infoErr      error
+}
+
+// shardCounters is one backend's cumulative scatter accounting.
+type shardCounters struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	latencyUS atomic.Int64
+	maxUS     atomic.Int64
+}
+
+func (s *shardCounters) observe(d time.Duration, failed bool) {
+	s.requests.Add(1)
+	if failed {
+		s.errors.Add(1)
+	}
+	us := d.Microseconds()
+	s.latencyUS.Add(us)
+	for {
+		cur := s.maxUS.Load()
+		if us <= cur || s.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// NewCoordinator validates the config and prepares the scatter state.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: no shard backends configured")
+	}
+	normalized := make([]string, len(cfg.Shards))
+	seen := make(map[string]bool, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" {
+			return nil, errors.New("shard: empty shard address")
+		}
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("shard: duplicate shard address %s", s)
+		}
+		seen[s] = true
+		normalized[i] = s
+	}
+	cfg.Shards = normalized
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{
+		cfg:      cfg,
+		client:   client,
+		gen:      Generation(cfg.Shards),
+		counters: make([]shardCounters, len(cfg.Shards)),
+	}, nil
+}
+
+// Shards returns the normalized backend list.
+func (c *Coordinator) Shards() []string {
+	return append([]string(nil), c.cfg.Shards...)
+}
+
+// Generation fingerprints the shard topology; see the package function.
+func (c *Coordinator) Generation() uint64 { return c.gen }
+
+// Meta describes how a scatter went: how many shards answered, and
+// whether the merged result is degraded (renormalized over a survivor
+// subset instead of the full compendium).
+type Meta struct {
+	ShardsOK    int  `json:"shards_ok"`
+	ShardsTotal int  `json:"shards_total"`
+	Degraded    bool `json:"degraded"`
+}
+
+// SearchCtx scatters one query over every shard, collects partials under
+// the per-shard deadline, and merges with global renormalization. Shard
+// failures degrade the result (Meta.Degraded true, weights renormalized
+// over the survivors) instead of failing the query; only a full outage —
+// no shard answered — returns ErrAllShardsFailed. A canceled caller
+// context aborts the scatter with the context error.
+func (c *Coordinator) SearchCtx(ctx context.Context, query []string, opt spell.Options) (*spell.Result, Meta, error) {
+	meta := Meta{ShardsTotal: len(c.cfg.Shards)}
+	query = spell.CanonicalQuery(query)
+	if len(query) == 0 {
+		return nil, meta, errors.New("spell: empty query")
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(SearchRequest{Query: query}); err != nil {
+		return nil, meta, err
+	}
+	reqBody := body.Bytes()
+
+	partials := make([]*spell.Partial, len(c.cfg.Shards))
+	errs := make([]error, len(c.cfg.Shards))
+	var wg sync.WaitGroup
+	for si := range c.cfg.Shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			t0 := time.Now()
+			p, err := c.fetchPartial(ctx, si, reqBody)
+			c.counters[si].observe(time.Since(t0), err != nil)
+			partials[si], errs[si] = p, err
+		}(si)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The caller hung up or timed out: report that, not a fabricated
+		// outage — per-shard errors here are all descendants of it.
+		return nil, meta, err
+	}
+
+	parts := make([]spell.Partial, 0, len(partials))
+	var firstErr error
+	for si, p := range partials {
+		if p != nil {
+			parts = append(parts, *p)
+			meta.ShardsOK++
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", c.cfg.Shards[si], errs[si])
+		}
+	}
+	if meta.ShardsOK == 0 {
+		c.outages.Add(1)
+		return nil, meta, fmt.Errorf("%w (first: %v)", ErrAllShardsFailed, firstErr)
+	}
+	meta.Degraded = meta.ShardsOK < meta.ShardsTotal
+	if meta.Degraded {
+		c.degraded.Add(1)
+	}
+	res, err := spell.Merge(parts, opt)
+	if err != nil {
+		if meta.Degraded && errors.Is(err, spell.ErrNoQueryGenes) {
+			// The survivors can't rule the genes in OR out.
+			err = fmt.Errorf("%w (%d of %d shards answered: %v)",
+				ErrDegradedUnresolved, meta.ShardsOK, meta.ShardsTotal, firstErr)
+		}
+		return nil, meta, err
+	}
+	return res, meta, nil
+}
+
+type attemptResult struct {
+	p   *spell.Partial
+	err error
+}
+
+// fetchPartial runs the per-shard attempt discipline: a deadline-bounded
+// request, an optional hedge fired if the first attempt is slow, and an
+// optional single retry once all in-flight attempts have failed.
+func (c *Coordinator) fetchPartial(ctx context.Context, si int, reqBody []byte) (*spell.Partial, error) {
+	addr := c.cfg.Shards[si]
+	resCh := make(chan attemptResult, 2) // buffered: a late loser must not leak its goroutine
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	launch := func() {
+		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
+		cancels = append(cancels, cancel)
+		go func() {
+			p, err := c.doSearch(actx, addr, reqBody)
+			resCh <- attemptResult{p: p, err: err}
+		}()
+	}
+
+	launch()
+	outstanding := 1
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		timer := time.NewTimer(c.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case r := <-resCh:
+			outstanding--
+			if r.err == nil {
+				return r.p, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if ctx.Err() == nil {
+				c.counters[si].hedges.Add(1)
+				launch()
+				outstanding++
+			}
+		}
+	}
+	if c.cfg.Retry && ctx.Err() == nil {
+		c.counters[si].retries.Add(1)
+		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
+		defer cancel()
+		p, err := c.doSearch(actx, addr, reqBody)
+		if err == nil {
+			return p, nil
+		}
+		firstErr = err
+	}
+	return nil, firstErr
+}
+
+// doSearch performs one HTTP attempt against a shard's SearchPath.
+func (c *Coordinator) doSearch(ctx context.Context, addr string, reqBody []byte) (*spell.Partial, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+SearchPath, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ContentType)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("shard status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var p spell.Partial
+	if err := gob.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("decoding partial: %w", err)
+	}
+	return &p, nil
+}
+
+// CompendiumInfo aggregates what the shard set holds.
+type CompendiumInfo struct {
+	Datasets int
+	Genes    int // distinct gene IDs across the union of slices
+}
+
+// infoFailureCooldown bounds how often a failing info probe is retried:
+// during an outage, at most one caller per window pays the probe deadline
+// while everyone else (stats pollers, page renders) gets the cached error
+// immediately.
+const infoFailureCooldown = 15 * time.Second
+
+// Info returns the union compendium description, fetching each shard's
+// InfoPath on the first call and caching a fully successful answer (the
+// slice composition of a fixed topology never changes at runtime). While
+// any shard is unreachable the info stays uncached and the error is
+// returned, so callers degrade to "unknown" rather than a wrong total;
+// probes are serialized, and after a failed round further callers get
+// that error for a cooldown instead of re-probing a known-sick fleet.
+func (c *Coordinator) Info(ctx context.Context) (CompendiumInfo, error) {
+	if cached := c.info.Load(); cached != nil {
+		return *cached, nil
+	}
+	c.infoMu.Lock()
+	defer c.infoMu.Unlock()
+	if cached := c.info.Load(); cached != nil {
+		return *cached, nil // filled while we waited on the lock
+	}
+	if c.infoErr != nil && time.Since(c.infoFailedAt) < infoFailureCooldown {
+		return CompendiumInfo{}, c.infoErr
+	}
+	info, err := c.fetchInfo(ctx)
+	if err != nil {
+		c.infoFailedAt, c.infoErr = time.Now(), err
+		return CompendiumInfo{}, err
+	}
+	c.infoErr = nil
+	c.info.Store(&info)
+	return info, nil
+}
+
+// fetchInfo runs one probe round over every shard.
+func (c *Coordinator) fetchInfo(ctx context.Context) (CompendiumInfo, error) {
+	infos := make([]*Info, len(c.cfg.Shards))
+	errs := make([]error, len(c.cfg.Shards))
+	var wg sync.WaitGroup
+	for si := range c.cfg.Shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
+			defer cancel()
+			req, err := http.NewRequestWithContext(actx, http.MethodGet, c.cfg.Shards[si]+InfoPath, nil)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[si] = fmt.Errorf("shard status %d", resp.StatusCode)
+				return
+			}
+			var info Info
+			if err := gob.NewDecoder(resp.Body).Decode(&info); err != nil {
+				errs[si] = err
+				return
+			}
+			infos[si] = &info
+		}(si)
+	}
+	wg.Wait()
+	out := CompendiumInfo{}
+	genes := make(map[string]bool)
+	for si, info := range infos {
+		if info == nil {
+			return CompendiumInfo{}, fmt.Errorf("%s: %w", c.cfg.Shards[si], errs[si])
+		}
+		out.Datasets += info.Datasets
+		for _, g := range info.GeneIDs {
+			genes[g] = true
+		}
+	}
+	out.Genes = len(genes)
+	return out, nil
+}
+
+// StatsSnapshot is the scatter section of /api/stats.
+type StatsSnapshot struct {
+	// Generation is the shard-set fingerprint baked into merged-result
+	// cache keys, in hex.
+	Generation  string          `json:"generation"`
+	ShardsTotal int             `json:"shards_total"`
+	Degraded    int64           `json:"degraded"`     // queries merged over a survivor subset
+	FullOutages int64           `json:"full_outages"` // scatters in which no shard answered
+	Shards      []ShardSnapshot `json:"shards"`
+}
+
+// ShardSnapshot is one backend's cumulative counters.
+type ShardSnapshot struct {
+	Addr          string `json:"addr"`
+	Requests      int64  `json:"requests"`
+	Errors        int64  `json:"errors"`
+	Retries       int64  `json:"retries"`
+	Hedges        int64  `json:"hedges"`
+	MeanLatencyUS int64  `json:"mean_latency_us"`
+	MaxLatencyUS  int64  `json:"max_latency_us"`
+}
+
+// Stats snapshots the scatter counters.
+func (c *Coordinator) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Generation:  fmt.Sprintf("%016x", c.gen),
+		ShardsTotal: len(c.cfg.Shards),
+		Degraded:    c.degraded.Load(),
+		FullOutages: c.outages.Load(),
+	}
+	for si := range c.counters {
+		sc := &c.counters[si]
+		s := ShardSnapshot{
+			Addr:         c.cfg.Shards[si],
+			Requests:     sc.requests.Load(),
+			Errors:       sc.errors.Load(),
+			Retries:      sc.retries.Load(),
+			Hedges:       sc.hedges.Load(),
+			MaxLatencyUS: sc.maxUS.Load(),
+		}
+		if s.Requests > 0 {
+			s.MeanLatencyUS = sc.latencyUS.Load() / s.Requests
+		}
+		snap.Shards = append(snap.Shards, s)
+	}
+	return snap
+}

@@ -1,0 +1,457 @@
+package shard
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"forestview/internal/microarray"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+)
+
+// testShard is one in-process shard backend: an engine over a slice of
+// the compendium with its global-index remap, plus a per-request behavior
+// hook for failure injection.
+type testShard struct {
+	engine *spell.Engine
+	global []int
+	// behave, when non-nil, may hijack a request before the real handler
+	// runs; return true when it wrote the response.
+	behave func(n int64, w http.ResponseWriter, r *http.Request) bool
+	calls  atomic.Int64
+}
+
+func (s *testShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := s.calls.Add(1)
+	if s.behave != nil && s.behave(n, w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := s.engine.PartialSearchCtx(r.Context(), req.Query, spell.Options{})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	for i := range p.Datasets {
+		p.Datasets[i].Index = s.global[p.Datasets[i].Index]
+	}
+	w.Header().Set("Content-Type", ContentType)
+	_ = gob.NewEncoder(w).Encode(p)
+}
+
+type scatterFixture struct {
+	dss    []*microarray.Dataset
+	full   *spell.Engine
+	shards []*testShard
+	query  []string
+}
+
+// newScatterFixture splits a synthetic compendium round-robin over
+// nShards in-process backends.
+func newScatterFixture(t testing.TB, nShards int) *scatterFixture {
+	t.Helper()
+	u := synth.NewUniverse(150, 6, 31)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 6, MinExperiments: 8, MaxExperiments: 14,
+		ActiveFraction: 0.5, Noise: 0.3, Seed: 32,
+	})
+	full, err := spell.NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &scatterFixture{dss: dss, full: full, query: u.ModuleGeneIDs(2)[:4]}
+	for s := 0; s < nShards; s++ {
+		var slice []*microarray.Dataset
+		var global []int
+		for di, ds := range dss {
+			if di%nShards == s {
+				slice = append(slice, ds)
+				global = append(global, di)
+			}
+		}
+		se, err := spell.NewEngine(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.shards = append(f.shards, &testShard{engine: se, global: global})
+	}
+	return f
+}
+
+// start launches httptest servers for every shard and a coordinator over
+// them.
+func (f *scatterFixture) start(t testing.TB, cfg Config) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	var servers []*httptest.Server
+	for _, sh := range f.shards {
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		servers = append(servers, srv)
+		cfg.Shards = append(cfg.Shards, srv.URL)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+func TestScatterMatchesSingleProcess(t *testing.T) {
+	f := newScatterFixture(t, 3)
+	c, _ := f.start(t, Config{Deadline: 5 * time.Second})
+	opt := spell.Options{IncludeQuery: true, MaxGenes: 30}
+	got, meta, err := c.SearchCtx(context.Background(), f.query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Degraded || meta.ShardsOK != 3 || meta.ShardsTotal != 3 {
+		t.Fatalf("meta: %+v", meta)
+	}
+	want, err := f.full.Search(f.query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Genes) != len(want.Genes) {
+		t.Fatalf("%d genes, want %d", len(got.Genes), len(want.Genes))
+	}
+	for i := range want.Genes {
+		if got.Genes[i].ID != want.Genes[i].ID ||
+			math.Abs(got.Genes[i].Score-want.Genes[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: %+v vs %+v", i, got.Genes[i], want.Genes[i])
+		}
+	}
+	for i := range want.Datasets {
+		if got.Datasets[i].Index != want.Datasets[i].Index ||
+			math.Abs(got.Datasets[i].Weight-want.Datasets[i].Weight) > 1e-12 {
+			t.Fatalf("dataset rank %d: %+v vs %+v", i, got.Datasets[i], want.Datasets[i])
+		}
+	}
+}
+
+// TestScatterFailureModes is the coordinator failure-mode table: a flaky
+// shard that times out, serves 5xx, or is dead must degrade the merge
+// (renormalized over the survivors) rather than fail the query; a full
+// outage must fail loudly with ErrAllShardsFailed.
+func TestScatterFailureModes(t *testing.T) {
+	timeoutBehavior := func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		// Drain the body first: the server only watches for client
+		// disconnect (and cancels r.Context()) once the request body is
+		// consumed.
+		_, _ = io.Copy(io.Discard, r.Body)
+		select { // hold until past the coordinator deadline, politely
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+		return true
+	}
+	cases := []struct {
+		name     string
+		behave   func(n int64, w http.ResponseWriter, r *http.Request) bool
+		killAlso bool // close the flaky shard's listener entirely
+		wantOK   int
+	}{
+		{
+			name:   "timeout",
+			behave: timeoutBehavior,
+			wantOK: 2,
+		},
+		{
+			name: "5xx",
+			behave: func(n int64, w http.ResponseWriter, r *http.Request) bool {
+				http.Error(w, "shard exploded", http.StatusInternalServerError)
+				return true
+			},
+			wantOK: 2,
+		},
+		{
+			name:     "dead",
+			killAlso: true,
+			wantOK:   2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newScatterFixture(t, 3)
+			f.shards[1].behave = tc.behave
+			c, servers := f.start(t, Config{Deadline: 300 * time.Millisecond})
+			if tc.killAlso {
+				servers[1].Close()
+			}
+			got, meta, err := c.SearchCtx(context.Background(), f.query, spell.Options{IncludeQuery: true})
+			if err != nil {
+				t.Fatalf("degraded scatter should answer: %v", err)
+			}
+			if !meta.Degraded || meta.ShardsOK != tc.wantOK || meta.ShardsTotal != 3 {
+				t.Fatalf("meta: %+v", meta)
+			}
+			// The degraded result must equal the merge over the survivors'
+			// partials: weights renormalized over shards 0 and 2 only.
+			var parts []spell.Partial
+			for si, sh := range f.shards {
+				if si == 1 {
+					continue
+				}
+				p, err := sh.engine.PartialSearch(f.query, spell.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range p.Datasets {
+					p.Datasets[i].Index = sh.global[p.Datasets[i].Index]
+				}
+				parts = append(parts, *p)
+			}
+			want, err := spell.Merge(parts, spell.Options{IncludeQuery: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Datasets) != len(want.Datasets) || len(got.Genes) != len(want.Genes) {
+				t.Fatalf("degraded shape: %d/%d datasets, %d/%d genes",
+					len(got.Datasets), len(want.Datasets), len(got.Genes), len(want.Genes))
+			}
+			totalW := 0.0
+			for i := range want.Datasets {
+				if got.Datasets[i] != want.Datasets[i] &&
+					!(math.IsNaN(got.Datasets[i].QueryCoherence) && math.IsNaN(want.Datasets[i].QueryCoherence)) {
+					t.Fatalf("dataset rank %d: %+v vs %+v", i, got.Datasets[i], want.Datasets[i])
+				}
+				totalW += got.Datasets[i].Weight
+			}
+			if math.Abs(totalW-1) > 1e-12 {
+				t.Fatalf("degraded weights sum to %v, want 1", totalW)
+			}
+			snap := c.Stats()
+			if snap.Degraded != 1 {
+				t.Fatalf("degraded counter = %d", snap.Degraded)
+			}
+			if snap.Shards[1].Errors == 0 {
+				t.Fatalf("flaky shard recorded no error: %+v", snap.Shards[1])
+			}
+		})
+	}
+
+	t.Run("full-outage", func(t *testing.T) {
+		f := newScatterFixture(t, 2)
+		c, servers := f.start(t, Config{Deadline: 300 * time.Millisecond})
+		for _, s := range servers {
+			s.Close()
+		}
+		_, meta, err := c.SearchCtx(context.Background(), f.query, spell.Options{})
+		if !errors.Is(err, ErrAllShardsFailed) {
+			t.Fatalf("err = %v, want ErrAllShardsFailed", err)
+		}
+		if meta.ShardsOK != 0 {
+			t.Fatalf("meta: %+v", meta)
+		}
+		if c.Stats().FullOutages != 1 {
+			t.Fatalf("outage counter = %d", c.Stats().FullOutages)
+		}
+	})
+}
+
+// TestScatterRetryRecovers: with Retry enabled, a shard that fails its
+// first attempt but answers the second yields a full (non-degraded)
+// result, and the retry is counted.
+func TestScatterRetryRecovers(t *testing.T) {
+	f := newScatterFixture(t, 2)
+	f.shards[0].behave = func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		if n == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return true
+		}
+		return false
+	}
+	c, _ := f.start(t, Config{Deadline: 2 * time.Second, Retry: true})
+	_, meta, err := c.SearchCtx(context.Background(), f.query, spell.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Degraded || meta.ShardsOK != 2 {
+		t.Fatalf("meta: %+v", meta)
+	}
+	snap := c.Stats()
+	if snap.Shards[0].Retries != 1 {
+		t.Fatalf("retries = %d, want 1", snap.Shards[0].Retries)
+	}
+	if snap.Degraded != 0 {
+		t.Fatalf("degraded = %d, want 0", snap.Degraded)
+	}
+}
+
+// TestScatterHedgeWins: a shard whose first attempt stalls answers
+// through the hedged duplicate fired after HedgeAfter, well inside the
+// deadline — tail latency hidden without degrading.
+func TestScatterHedgeWins(t *testing.T) {
+	f := newScatterFixture(t, 2)
+	f.shards[0].behave = func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		if n == 1 { // first attempt stalls until canceled
+			_, _ = io.Copy(io.Discard, r.Body) // unblock disconnect detection
+			<-r.Context().Done()
+			return true
+		}
+		return false
+	}
+	c, _ := f.start(t, Config{Deadline: 10 * time.Second, HedgeAfter: 50 * time.Millisecond})
+	t0 := time.Now()
+	_, meta, err := c.SearchCtx(context.Background(), f.query, spell.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Degraded {
+		t.Fatalf("meta: %+v", meta)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("hedge did not rescue the stalled attempt (took %v)", elapsed)
+	}
+	if h := c.Stats().Shards[0].Hedges; h != 1 {
+		t.Fatalf("hedges = %d, want 1", h)
+	}
+}
+
+func TestScatterCallerCancellation(t *testing.T) {
+	f := newScatterFixture(t, 2)
+	block := make(chan struct{})
+	defer close(block)
+	f.shards[0].behave = func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		_, _ = io.Copy(io.Discard, r.Body) // unblock disconnect detection
+		select {
+		case <-r.Context().Done():
+		case <-block:
+		}
+		return true
+	}
+	c, _ := f.start(t, Config{Deadline: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, _, err := c.SearchCtx(ctx, f.query, spell.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want caller deadline", err)
+	}
+	if c.Stats().FullOutages != 0 {
+		t.Fatal("caller hangup miscounted as an outage")
+	}
+}
+
+func TestCoordinatorInfoUnion(t *testing.T) {
+	f := newScatterFixture(t, 3)
+	var cfg Config
+	for _, sh := range f.shards {
+		mux := http.NewServeMux()
+		engine := sh.engine
+		mux.Handle(SearchPath, sh)
+		mux.HandleFunc(InfoPath, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", ContentType)
+			_ = gob.NewEncoder(w).Encode(Info{Datasets: engine.NumDatasets(), GeneIDs: engine.GeneIDs()})
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		cfg.Shards = append(cfg.Shards, srv.URL)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Datasets != len(f.dss) {
+		t.Fatalf("datasets = %d, want %d", info.Datasets, len(f.dss))
+	}
+	if info.Genes != f.full.NumGenes() {
+		t.Fatalf("genes = %d, want union %d (per-shard slices overlap)", info.Genes, f.full.NumGenes())
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(Config{}); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewCoordinator(Config{Shards: []string{"a:1", "a:1"}}); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	c, err := NewCoordinator(Config{Shards: []string{"host:9001/", "http://other:9002"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Shards()
+	if got[0] != "http://host:9001" || got[1] != "http://other:9002" {
+		t.Fatalf("normalization: %v", got)
+	}
+}
+
+// TestScatterDegradedUnresolved: when the only shards that measured the
+// query genes are the dead ones, the survivors' merge must NOT claim the
+// genes don't exist — the coordinator converts spell's "none occur" into
+// ErrDegradedUnresolved, which the daemon maps to a retryable 503.
+func TestScatterDegradedUnresolved(t *testing.T) {
+	u := synth.NewUniverse(100, 5, 83)
+	real, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 2, MinExperiments: 8, MaxExperiments: 10, Seed: 84,
+	})
+	realEng, err := spell.NewEngine(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 holds only gene-disjoint data; shard 1 holds everything the
+	// query can resolve against.
+	rng := rand.New(rand.NewSource(9))
+	lone := &microarray.Dataset{Name: "lone", Experiments: make([]string, 8)}
+	for g := 0; g < 20; g++ {
+		id := fmt.Sprintf("LONE-%02d", g)
+		row := make([]float64, 8)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		lone.Genes = append(lone.Genes, microarray.Gene{ID: id, Name: id})
+		lone.Data = append(lone.Data, row)
+	}
+	loneEng, err := spell.NewEngine([]*microarray.Dataset{lone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := []*testShard{
+		{engine: loneEng, global: []int{2}},
+		{engine: realEng, global: []int{0, 1}},
+	}
+	var cfg Config
+	cfg.Deadline = 300 * time.Millisecond
+	var servers []*httptest.Server
+	for _, sh := range shards {
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		servers = append(servers, srv)
+		cfg.Shards = append(cfg.Shards, srv.URL)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With every shard up, genuinely unknown genes ARE the query error.
+	if _, _, err := c.SearchCtx(context.Background(), []string{"NO-SUCH-A", "NO-SUCH-B"}, spell.Options{}); err == nil || errors.Is(err, ErrDegradedUnresolved) {
+		t.Fatalf("full-coverage unknown genes: err = %v, want plain query error", err)
+	}
+
+	servers[1].Close() // kill the shard that held the query genes
+	query := u.ModuleGeneIDs(2)[:3]
+	_, meta, err := c.SearchCtx(context.Background(), query, spell.Options{})
+	if !errors.Is(err, ErrDegradedUnresolved) {
+		t.Fatalf("err = %v, want ErrDegradedUnresolved", err)
+	}
+	if !meta.Degraded || meta.ShardsOK != 1 {
+		t.Fatalf("meta: %+v", meta)
+	}
+}

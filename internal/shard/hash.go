@@ -1,0 +1,87 @@
+// Package shard turns the single-process SPELL compendium into a
+// horizontally scalable service: datasets are assigned to shard backends
+// by consistent hashing on dataset id, a Coordinator scatters each query
+// over HTTP and merges the per-shard spell.Partial results with global
+// weight renormalization (spell.Merge), degrading gracefully when shards
+// fail. It is the paper's replicate-and-coordinate pattern — the display
+// wall's tile grid at the pixel layer (internal/wall) — applied to the
+// query layer.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Owner returns the shard that owns datasetID under rendezvous
+// (highest-random-weight) hashing: every participant scores each
+// (shard, dataset) pair with one hash and the highest score wins.
+//
+// Rendezvous was chosen over a ring for three reasons. (1) It needs no
+// shared state and no virtual-node tuning: any process holding the same
+// shard list computes the same assignment, which is what lets shard
+// daemons self-select their slice from nothing but `-shards` + `-self`
+// while the coordinator stays entirely stateless about datasets.
+// (2) Balance at our scale comes free: with hundreds-to-thousands of
+// datasets over a handful of shards, per-shard load concentrates around
+// n/s without the hundreds of virtual nodes a ring needs for the same
+// variance. (3) Membership changes move only the keys owned by the
+// departed shard (1/s of the data), the same minimal-disruption property
+// a ring has, with O(s) lookup cost that is irrelevant for s in the tens.
+//
+// Shard identity is the listed address string: reordering the list does
+// not change the assignment, renaming a shard does (it is a new
+// participant).
+func Owner(datasetID string, shards []string) string {
+	best := ""
+	var bestScore uint64
+	for _, s := range shards {
+		score := rendezvousScore(s, datasetID)
+		// Deterministic tie-break on the address keeps the assignment a
+		// pure function of the (shard set, dataset) pair.
+		if best == "" || score > bestScore || (score == bestScore && s < best) {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes one (shard, dataset) pair. FNV-1a over
+// shard + NUL + dataset: the separator keeps ("ab","c") and ("a","bc")
+// from colliding by concatenation.
+func rendezvousScore(shard, datasetID string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(shard))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(datasetID))
+	return h.Sum64()
+}
+
+// OwnedIndexes returns the positions (in the given order) of the dataset
+// ids owned by self under the shard set. A shard daemon applies this to
+// the full compendium list to select its slice while retaining each
+// dataset's global index for partial remapping.
+func OwnedIndexes(datasetIDs []string, shards []string, self string) []int {
+	var owned []int
+	for i, id := range datasetIDs {
+		if Owner(id, shards) == self {
+			owned = append(owned, i)
+		}
+	}
+	return owned
+}
+
+// Generation fingerprints a shard set: a stable hash of the sorted
+// addresses. The daemon bakes it into merged-result cache keys, so a
+// coordinator restarted against a different shard topology can never
+// serve results merged over the old one.
+func Generation(shards []string) uint64 {
+	sorted := append([]string(nil), shards...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, s := range sorted {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

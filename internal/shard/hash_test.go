@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerPartition(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1"}
+	var ids []string
+	for i := 0; i < 300; i++ {
+		ids = append(ids, fmt.Sprintf("dataset-%03d", i))
+	}
+	// Every dataset is owned by exactly one shard, and the per-shard
+	// OwnedIndexes views reassemble the full list without overlap.
+	seen := make(map[int]string)
+	for _, s := range shards {
+		for _, idx := range OwnedIndexes(ids, shards, s) {
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("dataset %d owned by both %s and %s", idx, prev, s)
+			}
+			seen[idx] = s
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Fatalf("only %d of %d datasets owned", len(seen), len(ids))
+	}
+	// Rough balance: no shard should be empty, none should hoard.
+	counts := make(map[string]int)
+	for _, s := range seen {
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < len(ids)/10 || n > len(ids)*2/3 {
+			t.Fatalf("shard %s owns %d of %d — hashing badly unbalanced", s, n, len(ids))
+		}
+	}
+}
+
+func TestOwnerOrderInsensitiveAndStable(t *testing.T) {
+	a := []string{"http://a:1", "http://b:1", "http://c:1"}
+	b := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("ds-%d", i)
+		if Owner(id, a) != Owner(id, b) {
+			t.Fatalf("ownership of %s depends on shard list order", id)
+		}
+		if Owner(id, a) != Owner(id, a) {
+			t.Fatalf("ownership of %s unstable", id)
+		}
+	}
+}
+
+// TestOwnerMinimalDisruption pins the consistent-hashing property that
+// justifies rendezvous: removing one shard only reassigns the datasets it
+// owned — every other assignment is untouched.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	without := []string{"http://a:1", "http://b:1", "http://d:1"}
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("ds-%d", i)
+		before := Owner(id, full)
+		after := Owner(id, without)
+		if before != "http://c:1" && after != before {
+			t.Fatalf("dataset %s moved %s -> %s though its owner survived", id, before, after)
+		}
+		if before == "http://c:1" && after == "http://c:1" {
+			t.Fatalf("dataset %s still owned by removed shard", id)
+		}
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	a := Generation([]string{"x", "y"})
+	if a != Generation([]string{"y", "x"}) {
+		t.Fatal("generation depends on shard order")
+	}
+	if a == Generation([]string{"x", "z"}) {
+		t.Fatal("different topologies share a generation")
+	}
+}

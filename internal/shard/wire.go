@@ -1,0 +1,37 @@
+package shard
+
+// The shard wire protocol: Go-to-Go internal RPC carried as gob over
+// HTTP POST. Gob over JSON because the payloads are float-heavy and
+// NaN-bearing — a dataset that measures fewer than two query genes has NaN
+// coherence, which JSON cannot represent at all (the daemon's public API
+// papers over it with a custom marshaler) — and gob round-trips every
+// float64 bit-exactly, which the golden-parity guarantee of the merged
+// path leans on. The endpoints are internal (shard daemons are not meant
+// to face the public), so Go-only encoding is not a constraint.
+
+// SearchPath is the shard-role endpoint serving spell partials.
+const SearchPath = "/api/shard/search"
+
+// InfoPath is the shard-role endpoint describing the shard's slice.
+const InfoPath = "/api/shard/info"
+
+// ContentType labels gob-encoded shard protocol bodies.
+const ContentType = "application/x-gob"
+
+// SearchRequest asks a shard for its partial of one query. Result-shaping
+// options stay coordinator-side (spell.Merge applies them); the shard only
+// needs the gene list, so identical queries hit the shard's partial cache
+// regardless of which coordinator options rode in.
+type SearchRequest struct {
+	Query []string
+}
+
+// Info describes a shard's slice of the compendium, served at InfoPath.
+type Info struct {
+	// Datasets is the number of datasets in the shard's slice.
+	Datasets int
+	// GeneIDs lists the distinct gene IDs of the slice in stable order.
+	// The coordinator unions these across shards to report compendium
+	// totals (shards overlap in genes, so counts cannot simply be summed).
+	GeneIDs []string
+}

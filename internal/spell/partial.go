@@ -1,0 +1,432 @@
+package spell
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file factors Search into a mergeable pipeline for the sharded
+// compendium (internal/shard): a shard engine holding a slice of the
+// datasets computes a Partial — unnormalized per-dataset coherences plus
+// per-gene correlation accumulators — and the pure Merge renormalizes the
+// dataset weights over the union compendium and reproduces the
+// single-process ranking.
+//
+// Why the accumulators merge exactly: SPELL's dataset weights are
+// w_d = c_d / Σc (c_d the clamped raw coherence), and a gene's final score
+// is Σ_d w_d·m_{g,d} / Σ_d w_d — the global normalizer Σc divides both the
+// numerator and the denominator, so it cancels. A shard can therefore ship
+// Σ_{d∈shard} c_d·m and Σ_{d∈shard} c_d without knowing Σc, and Merge's
+// score (Σ c·m)/(Σ c) equals the single-process score up to float
+// accumulation order (the golden-parity tests pin ≤1e-12). The one place
+// the global total does change the math is SPELL's degenerate fallback —
+// when every dataset's coherence clamps to zero, Search reweights uniformly
+// over datasets measuring the query — and a shard cannot know locally
+// whether the *global* total is zero. Each PartialGene therefore carries
+// both accumulator pairs: coherence-weighted (WSum/WCnt) and unweighted
+// (USum/UCnt); Merge picks per the global total (and UCnt also serves the
+// UniformWeights ablation, which is deferred to merge time entirely).
+
+// Partial is one shard's share of a search: every dataset the shard holds
+// (weighted or not), and the accumulators for every gene that scored
+// against the query there. Partials are wire-friendly — all fields
+// exported, NaN coherences intact under encoding/gob — and are merged with
+// Merge. The zero shard case (no query gene present anywhere in the slice)
+// is a valid Partial with Present == 0 on every dataset and no genes.
+type Partial struct {
+	// Query is the canonicalized query the shard ran. Merge refuses to
+	// combine partials of different queries.
+	Query []string
+	// Datasets lists every dataset of the shard's slice.
+	Datasets []PartialDataset
+	// Genes holds one accumulator entry per gene that scored in at least
+	// one dataset of the slice, in the shard engine's stable gene order.
+	Genes []PartialGene
+}
+
+// PartialDataset is one dataset's unnormalized stage-1 result.
+type PartialDataset struct {
+	// Index identifies the dataset in the *global* compendium order.
+	// PartialSearch fills in the shard engine's local index; a sharded
+	// deployment remaps it (server-side, from the shard's slice of the
+	// global dataset list) before merging, so that merged dataset ranks
+	// and zero-weight tie order match the single-process engine.
+	Index int
+	// Name of the dataset.
+	Name string
+	// Coherence is the raw mean Fisher-z pairwise query correlation — NaN
+	// when fewer than two query genes are present, exactly as
+	// DatasetRank.QueryCoherence before normalization.
+	Coherence float64
+	// Present counts how many query genes the dataset measures.
+	Present int
+}
+
+// PartialGene carries one gene's mergeable score accumulators over the
+// shard's datasets. m_{g,d} is the gene's mean correlation to the query
+// genes within dataset d; c_d is the dataset's raw coherence clamped to
+// [0, ∞) with NaN → 0.
+type PartialGene struct {
+	ID   string
+	Name string
+	// WSum = Σ c_d·m_{g,d} and WCnt = Σ c_d over the shard's datasets with
+	// c_d > 0 where the gene scored — the coherence-weighted pair.
+	WSum, WCnt float64
+	// USum = Σ m_{g,d} and UCnt = count, over every dataset measuring the
+	// query where the gene scored regardless of coherence — the uniform
+	// pair, used by Merge for the degenerate fallback and the
+	// UniformWeights ablation.
+	USum, UCnt float64
+}
+
+// dualAccum is the stage-2 accumulator of PartialSearch: per-worker dense
+// vectors like accum, but keeping the coherence-weighted and unweighted
+// pairs side by side so one scoring pass feeds both (the mean-correlation
+// dot products dominate; computing them twice would double the scan).
+// It satisfies scoreAdder with w carrying the dataset's clamped raw
+// coherence: the weighted pair only accumulates when it is positive,
+// mirroring Search's stage-2 skip of zero-weight datasets.
+type dualAccum struct {
+	wsum, wcnt []float64
+	usum, ucnt []float64
+}
+
+func newDualAccum(numGenes int) *dualAccum {
+	return &dualAccum{
+		wsum: make([]float64, numGenes),
+		wcnt: make([]float64, numGenes),
+		usum: make([]float64, numGenes),
+		ucnt: make([]float64, numGenes),
+	}
+}
+
+func (a *dualAccum) add(gid int32, c, meanCorr float64) {
+	if c > 0 {
+		a.wsum[gid] += c * meanCorr
+		a.wcnt[gid] += c
+	}
+	a.usum[gid] += meanCorr
+	a.ucnt[gid]++
+}
+
+// merge folds o into a by vector addition.
+func (a *dualAccum) merge(o *dualAccum) {
+	for i, v := range o.wsum {
+		a.wsum[i] += v
+	}
+	for i, v := range o.wcnt {
+		a.wcnt[i] += v
+	}
+	for i, v := range o.usum {
+		a.usum[i] += v
+	}
+	for i, v := range o.ucnt {
+		a.ucnt[i] += v
+	}
+}
+
+// PartialSearch computes this engine's share of a sharded query. Unlike
+// Search it does not error when no query gene occurs in this engine's
+// datasets — on a shard that is an ordinary outcome, and the resulting
+// empty Partial merges as zero contribution. Options are honored for
+// Parallelism only: result-shaping options (MaxGenes, IncludeQuery,
+// UniformWeights) apply at Merge time, because a shard cannot cap or
+// filter accumulators without breaking the union renormalization.
+func (e *Engine) PartialSearch(query []string, opt Options) (*Partial, error) {
+	return e.PartialSearchCtx(context.Background(), query, opt)
+}
+
+// PartialSearchCtx is PartialSearch with cooperative cancellation: the
+// per-dataset scan stops pulling work once ctx is done, so a coordinator
+// deadline or a hung-up client stops costing shard CPU mid-scan.
+func (e *Engine) PartialSearchCtx(ctx context.Context, query []string, opt Options) (*Partial, error) {
+	query = CanonicalQuery(query)
+	if len(query) == 0 {
+		return nil, errors.New("spell: empty query")
+	}
+	qgids := make([]int, 0, len(query))
+	for _, q := range query {
+		if gi, ok := e.gid[q]; ok {
+			qgids = append(qgids, gi)
+		}
+	}
+
+	par := e.searchPar(opt.Parallelism)
+	infos := e.queryInfos(ctx, qgids, par)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p := &Partial{Query: query, Datasets: make([]PartialDataset, len(e.slabs))}
+	for di := range e.slabs {
+		p.Datasets[di] = PartialDataset{
+			Index:     di,
+			Name:      e.datasets[di].Name,
+			Coherence: infos[di].coherence,
+			Present:   len(infos[di].rows),
+		}
+	}
+	if len(qgids) == 0 {
+		return p, nil // no query gene in this slice: zero contribution
+	}
+
+	// Stage 2: one scoring pass per dataset measuring the query feeds both
+	// accumulator pairs, per worker, merged lock-free like Search.
+	accs := make([]*dualAccum, par)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var acc *dualAccum
+			for di := range work {
+				if len(infos[di].rows) == 0 || ctx.Err() != nil {
+					continue
+				}
+				if acc == nil {
+					acc = newDualAccum(len(e.order))
+				}
+				cw := infos[di].coherence
+				if math.IsNaN(cw) || cw < 0 {
+					cw = 0
+				}
+				scoreInto(e.slabs[di], infos[di].rows, infos[di].allFast, cw, acc)
+			}
+			accs[w] = acc
+		}(w)
+	}
+	for di := range e.slabs {
+		work <- di
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var merged *dualAccum
+	for _, a := range accs {
+		if a == nil {
+			continue
+		}
+		if merged == nil {
+			merged = a
+			continue
+		}
+		merged.merge(a)
+	}
+	if merged != nil {
+		for gi := range e.order {
+			if merged.ucnt[gi] == 0 {
+				continue
+			}
+			p.Genes = append(p.Genes, PartialGene{
+				ID:   e.order[gi],
+				Name: e.names[gi],
+				WSum: merged.wsum[gi], WCnt: merged.wcnt[gi],
+				USum: merged.usum[gi], UCnt: merged.ucnt[gi],
+			})
+		}
+	}
+	return p, nil
+}
+
+// ErrNoQueryGenes reports that no dataset of the merged partials measured
+// any query gene. Callers merging a *subset* of the compendium (a
+// degraded scatter) should treat it as inconclusive — the missing shards
+// may hold the genes — rather than as proof the genes don't exist.
+var ErrNoQueryGenes = errors.New("spell: none of the query genes occur in the compendium")
+
+// mergedGene is one gene's union accumulator during Merge.
+type mergedGene struct {
+	name       string
+	wsum, wcnt float64
+	usum, ucnt float64
+}
+
+// Merge combines per-shard partials into the full search result,
+// renormalizing dataset weights over the union compendium. It is pure —
+// no engine, no I/O — so the coordinator can merge whatever subset of
+// shards answered: dropping a shard's partial renormalizes the weights
+// over the survivors, which is exactly the degraded-mode semantics.
+//
+// Parity with the single-process Search (pinned ≤1e-12 by the package
+// tests, for any split of the compendium): dataset weights sum the clamped
+// coherences in global-index order, the degenerate all-zero-coherence
+// fallback reweights uniformly over datasets measuring the query, and gene
+// scores divide the merged weighted sums. The one intended deviation is
+// tie order among genes with exactly equal float scores: Search ties by
+// compendium first-seen order, which is unrecoverable from partials, so
+// Merge ties by gene ID.
+//
+// Every partial must carry the same canonical query, and dataset names
+// must be unique across partials — a duplicate means two shards both
+// claimed a dataset, which would double-count its coherence and scores.
+func Merge(parts []Partial, opt Options) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("spell: no partials to merge")
+	}
+	query := parts[0].Query
+	for _, p := range parts[1:] {
+		if !equalQueries(query, p.Query) {
+			return nil, fmt.Errorf("spell: partials ran different queries (%v vs %v)", query, p.Query)
+		}
+	}
+	if len(query) == 0 {
+		return nil, errors.New("spell: empty query")
+	}
+
+	// Union dataset list in global-index order; weight normalization must
+	// sum in that order to match Search's total bitwise.
+	var dss []PartialDataset
+	seenDS := make(map[string]bool)
+	for _, p := range parts {
+		for _, d := range p.Datasets {
+			if seenDS[d.Name] {
+				return nil, fmt.Errorf("spell: dataset %q claimed by more than one shard", d.Name)
+			}
+			seenDS[d.Name] = true
+			dss = append(dss, d)
+		}
+	}
+	sort.Slice(dss, func(a, b int) bool {
+		if dss[a].Index != dss[b].Index {
+			return dss[a].Index < dss[b].Index
+		}
+		return dss[a].Name < dss[b].Name
+	})
+
+	weights := make([]float64, len(dss))
+	total := 0.0
+	anyPresent := false
+	for i, d := range dss {
+		if d.Present > 0 {
+			anyPresent = true
+		}
+		w := d.Coherence
+		if opt.UniformWeights {
+			if d.Present > 0 {
+				w = 1
+			} else {
+				w = 0
+			}
+		}
+		if math.IsNaN(w) || w < 0 {
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if !anyPresent {
+		return nil, fmt.Errorf("%w (%d query genes)", ErrNoQueryGenes, len(query))
+	}
+	uniform := opt.UniformWeights
+	if total == 0 {
+		// Degenerate query (incoherent everywhere): uniform weights over
+		// datasets measuring the query, as in Search.
+		uniform = true
+		n := 0
+		for i, d := range dss {
+			if d.Present > 0 {
+				weights[i] = 1
+				n++
+			} else {
+				weights[i] = 0
+			}
+		}
+		total = float64(n)
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+
+	// Union gene accumulators, in deterministic first-partial-first-seen
+	// order (only tie order among bitwise-equal scores could observe it).
+	genes := make(map[string]*mergedGene)
+	var order []string
+	for _, p := range parts {
+		for _, g := range p.Genes {
+			mg := genes[g.ID]
+			if mg == nil {
+				mg = &mergedGene{name: g.Name}
+				genes[g.ID] = mg
+				order = append(order, g.ID)
+			}
+			mg.wsum += g.WSum
+			mg.wcnt += g.WCnt
+			mg.usum += g.USum
+			mg.ucnt += g.UCnt
+		}
+	}
+
+	res := &Result{Query: query}
+	for i, d := range dss {
+		res.Datasets = append(res.Datasets, DatasetRank{
+			Index:          d.Index,
+			Name:           d.Name,
+			Weight:         weights[i],
+			QueryCoherence: d.Coherence,
+			QueryPresent:   d.Present,
+		})
+	}
+	// Equivalent to Search's stable sort over index-ordered entries:
+	// weight descending, global index ascending among equal weights.
+	sort.Slice(res.Datasets, func(a, b int) bool {
+		if res.Datasets[a].Weight != res.Datasets[b].Weight {
+			return res.Datasets[a].Weight > res.Datasets[b].Weight
+		}
+		return res.Datasets[a].Index < res.Datasets[b].Index
+	})
+
+	qset := make(map[string]bool, len(query))
+	for _, q := range query {
+		qset[q] = true
+	}
+	for _, id := range order {
+		isQ := qset[id]
+		if isQ && !opt.IncludeQuery {
+			continue
+		}
+		mg := genes[id]
+		var score float64
+		if uniform {
+			if mg.ucnt == 0 {
+				continue
+			}
+			score = mg.usum / mg.ucnt
+		} else {
+			if mg.wcnt == 0 {
+				continue
+			}
+			score = mg.wsum / mg.wcnt
+		}
+		res.Genes = append(res.Genes, GeneRank{ID: id, Name: mg.name, Score: score, IsQuery: isQ})
+	}
+	sort.Slice(res.Genes, func(a, b int) bool {
+		if res.Genes[a].Score != res.Genes[b].Score {
+			return res.Genes[a].Score > res.Genes[b].Score
+		}
+		return res.Genes[a].ID < res.Genes[b].ID
+	})
+	if opt.MaxGenes > 0 && len(res.Genes) > opt.MaxGenes {
+		res.Genes = res.Genes[:opt.MaxGenes]
+	}
+	return res, nil
+}
+
+func equalQueries(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

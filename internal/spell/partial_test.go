@@ -1,0 +1,376 @@
+package spell
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"forestview/internal/microarray"
+	"forestview/internal/synth"
+)
+
+// shardSplit builds one engine per shard over a round-robin split of the
+// datasets, runs PartialSearch on each, and remaps the per-shard local
+// dataset indexes back to the global compendium order — exactly what the
+// shard server role does before answering the coordinator.
+func shardSplit(t testing.TB, dss []*microarray.Dataset, nShards int, query []string, opt Options) []Partial {
+	t.Helper()
+	var parts []Partial
+	for s := 0; s < nShards; s++ {
+		var slice []*microarray.Dataset
+		var global []int
+		for di, ds := range dss {
+			if di%nShards == s {
+				slice = append(slice, ds)
+				global = append(global, di)
+			}
+		}
+		if len(slice) == 0 {
+			continue
+		}
+		se, err := NewEngine(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := se.PartialSearch(query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p.Datasets {
+			p.Datasets[i].Index = global[p.Datasets[i].Index]
+		}
+		parts = append(parts, *p)
+	}
+	return parts
+}
+
+// disjointDataset is a dataset over gene IDs that occur nowhere else in the
+// compendium: it measures zero query genes, its coherence is NaN, and any
+// shard holding it alone contributes nothing — the "shard holding zero
+// coherent datasets" acceptance case.
+func disjointDataset(name string, nGenes, nExp int, seed int64) *microarray.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &microarray.Dataset{Name: name, Experiments: make([]string, nExp)}
+	for g := 0; g < nGenes; g++ {
+		id := fmt.Sprintf("%s-X%03d", name, g)
+		ds.Genes = append(ds.Genes, microarray.Gene{ID: id, Name: id})
+		row := make([]float64, nExp)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		ds.Data = append(ds.Data, row)
+	}
+	return ds
+}
+
+// TestMergeMatchesSearch is the golden-parity proof for the sharded
+// pipeline: for every shard count in {1, 2, 3, 5}, Merge over the
+// round-robin split of the compendium must agree with the single-process
+// Search to 1e-12 — dataset weights, coherences, gene scores, and rank
+// order (modulo exact float ties) — including a disjoint dataset whose
+// shard contributes zero coherent datasets, missing values, and every
+// result-shaping option.
+func TestMergeMatchesSearch(t *testing.T) {
+	for _, missing := range []float64{0, 0.05} {
+		t.Run(fmt.Sprintf("missing-%g", missing), func(t *testing.T) {
+			u := synth.NewUniverse(200, 8, 41)
+			dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+				NumDatasets: 7, MinExperiments: 8, MaxExperiments: 18,
+				ActiveFraction: 0.5, Noise: 0.3, MissingRate: missing, Seed: 42,
+			})
+			// Dataset 7 measures no query gene at all; with 5 shards the
+			// round-robin split parks it (index 7 mod 5 == 2) next to a
+			// coherent dataset, and with smaller compendndia-to-shard ratios
+			// it still exercises Present == 0 / NaN-coherence merging.
+			dss = append(dss, disjointDataset("disjoint", 30, 10, 99))
+			full, err := NewEngine(dss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			query := u.ModuleGeneIDs(3)[:5]
+			for _, opt := range []Options{
+				{},
+				{IncludeQuery: true},
+				{UniformWeights: true},
+				{MaxGenes: 25, IncludeQuery: true},
+			} {
+				want, err := full.Search(query, opt)
+				if err != nil {
+					t.Fatalf("search %+v: %v", opt, err)
+				}
+				for _, nShards := range []int{1, 2, 3, 5} {
+					parts := shardSplit(t, dss, nShards, query, opt)
+					got, err := Merge(parts, opt)
+					if err != nil {
+						t.Fatalf("merge %d shards %+v: %v", nShards, opt, err)
+					}
+					assertResultsMatch(t, got, want, 1e-12)
+					// Identical rank order, not merely tie-tolerant: the
+					// synthetic scores carry no exact float ties.
+					for i := range want.Genes {
+						if got.Genes[i].ID != want.Genes[i].ID {
+							t.Fatalf("%d shards %+v: rank %d = %s, want %s",
+								nShards, opt, i, got.Genes[i].ID, want.Genes[i].ID)
+						}
+					}
+					for i := range want.Datasets {
+						if got.Datasets[i].Index != want.Datasets[i].Index {
+							t.Fatalf("%d shards %+v: dataset rank %d = index %d, want %d",
+								nShards, opt, i, got.Datasets[i].Index, want.Datasets[i].Index)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeDegenerateFallback: when no dataset holds two query genes,
+// every coherence is NaN, and Search falls back to uniform weights over
+// datasets measuring the query. Merge must reproduce that from the
+// unweighted accumulator pair — the global total being zero is knowable
+// only at merge time.
+func TestMergeDegenerateFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nExp = 10
+	mk := func(name string, ids ...string) *microarray.Dataset {
+		ds := &microarray.Dataset{Name: name, Experiments: make([]string, nExp)}
+		for _, id := range ids {
+			row := make([]float64, nExp)
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			ds.Genes = append(ds.Genes, microarray.Gene{ID: id, Name: id})
+			ds.Data = append(ds.Data, row)
+		}
+		return ds
+	}
+	// A and B never share a dataset: coherence is NaN everywhere.
+	dss := []*microarray.Dataset{
+		mk("d0", "A", "F0", "F1", "F2"),
+		mk("d1", "B", "F1", "F3", "F4"),
+		mk("d2", "F0", "F3", "F5"),
+	}
+	full, err := NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := []string{"A", "B"}
+	want, err := full.Search(query, Options{IncludeQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nShards := range []int{1, 2, 3} {
+		parts := shardSplit(t, dss, nShards, query, Options{IncludeQuery: true})
+		got, err := Merge(parts, Options{IncludeQuery: true})
+		if err != nil {
+			t.Fatalf("%d shards: %v", nShards, err)
+		}
+		assertResultsMatch(t, got, want, 1e-12)
+	}
+}
+
+// TestPartialSearchNoQueryGenes: a shard whose slice holds none of the
+// query genes answers with a valid zero-contribution partial, not an error
+// — Search's "none occur" error belongs to the union, which only Merge
+// sees.
+func TestPartialSearchNoQueryGenes(t *testing.T) {
+	e, err := NewEngine([]*microarray.Dataset{disjointDataset("lone", 20, 8, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.PartialSearch([]string{"A", "B"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Genes) != 0 || len(p.Datasets) != 1 {
+		t.Fatalf("partial shape: %d genes, %d datasets", len(p.Genes), len(p.Datasets))
+	}
+	if d := p.Datasets[0]; d.Present != 0 || !math.IsNaN(d.Coherence) {
+		t.Fatalf("dataset entry: %+v", d)
+	}
+	// The union of only such shards is the single-process error case.
+	if _, err := Merge([]Partial{*p}, Options{}); err == nil {
+		t.Fatal("merge of query-free partials should error")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(nil, Options{}); err == nil {
+		t.Fatal("empty partial list accepted")
+	}
+	pd := []PartialDataset{{Index: 0, Name: "d", Coherence: 1, Present: 2}}
+	if _, err := Merge([]Partial{
+		{Query: []string{"A", "B"}, Datasets: pd},
+		{Query: []string{"A", "C"}, Datasets: []PartialDataset{{Index: 1, Name: "e", Present: 2}}},
+	}, Options{}); err == nil {
+		t.Fatal("mismatched queries accepted")
+	}
+	if _, err := Merge([]Partial{
+		{Query: []string{"A", "B"}, Datasets: pd},
+		{Query: []string{"A", "B"}, Datasets: pd},
+	}, Options{}); err == nil {
+		t.Fatal("dataset claimed by two shards accepted")
+	}
+}
+
+// TestPartialGobRoundTrip pins the wire contract: a Partial — NaN
+// coherences included — survives encoding/gob bit-exactly, so the merged
+// result of decoded partials is identical (==, not merely close) to the
+// merge of the originals.
+func TestPartialGobRoundTrip(t *testing.T) {
+	u := synth.NewUniverse(120, 6, 17)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 3, MinExperiments: 8, MaxExperiments: 12,
+		ActiveFraction: 0.5, Noise: 0.3, MissingRate: 0.03, Seed: 18,
+	})
+	dss = append(dss, disjointDataset("disjoint", 10, 8, 5))
+	query := u.ModuleGeneIDs(2)[:4]
+	parts := shardSplit(t, dss, 2, query, Options{})
+
+	var wire []Partial
+	for _, p := range parts {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+			t.Fatal(err)
+		}
+		var back Partial
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, back)
+	}
+	want, err := Merge(parts, Options{IncludeQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Merge(wire, Options{IncludeQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Genes) != len(want.Genes) || len(got.Datasets) != len(want.Datasets) {
+		t.Fatalf("shape changed over the wire")
+	}
+	for i := range want.Genes {
+		if got.Genes[i] != want.Genes[i] {
+			t.Fatalf("gene %d: %+v vs %+v", i, got.Genes[i], want.Genes[i])
+		}
+	}
+	for i := range want.Datasets {
+		g, w := got.Datasets[i], want.Datasets[i]
+		bothNaN := math.IsNaN(g.QueryCoherence) && math.IsNaN(w.QueryCoherence)
+		if bothNaN {
+			g.QueryCoherence, w.QueryCoherence = 0, 0
+		}
+		if g != w {
+			t.Fatalf("dataset %d: %+v vs %+v", i, got.Datasets[i], want.Datasets[i])
+		}
+	}
+}
+
+func TestPartialSearchCtxCanceled(t *testing.T) {
+	u := synth.NewUniverse(100, 5, 23)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 3, MinExperiments: 8, MaxExperiments: 10, Seed: 24,
+	})
+	e, err := NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.PartialSearchCtx(ctx, u.ModuleGeneIDs(1)[:3], Options{}); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}
+
+// TestPartialConcurrentHammer drives concurrent PartialSearch + Merge
+// against shared engines; under -race it proves the dual-accumulator
+// stage shares nothing mutable, and results must stay deterministic.
+func TestPartialConcurrentHammer(t *testing.T) {
+	u := synth.NewUniverse(150, 6, 61)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 6, MinExperiments: 8, MaxExperiments: 14,
+		ActiveFraction: 0.5, Noise: 0.3, MissingRate: 0.03, Seed: 62,
+	})
+	full, err := NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := u.ModuleGeneIDs(2)[:4]
+	want, err := full.Search(query, Options{IncludeQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shard engines, shared by all workers.
+	type eng struct {
+		e      *Engine
+		global []int
+	}
+	var shards []eng
+	for s := 0; s < 2; s++ {
+		var slice []*microarray.Dataset
+		var global []int
+		for di, ds := range dss {
+			if di%2 == s {
+				slice = append(slice, ds)
+				global = append(global, di)
+			}
+		}
+		se, err := NewEngine(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, eng{e: se, global: global})
+	}
+
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				var parts []Partial
+				for _, sh := range shards {
+					p, err := sh.e.PartialSearch(query, Options{Parallelism: 1 + (w+iter)%3})
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					for i := range p.Datasets {
+						p.Datasets[i].Index = sh.global[p.Datasets[i].Index]
+					}
+					parts = append(parts, *p)
+				}
+				got, err := Merge(parts, Options{IncludeQuery: true})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if len(got.Genes) != len(want.Genes) {
+					t.Errorf("worker %d: %d genes, want %d", w, len(got.Genes), len(want.Genes))
+					return
+				}
+				for i := range got.Genes {
+					if math.Abs(got.Genes[i].Score-want.Genes[i].Score) > 1e-9 {
+						t.Errorf("worker %d: rank %d score %v vs %v",
+							w, i, got.Genes[i].Score, want.Genes[i].Score)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

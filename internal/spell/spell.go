@@ -21,6 +21,7 @@
 package spell
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -210,6 +211,48 @@ type dsInfo struct {
 	coherence float64
 }
 
+// searchPar clamps a requested parallelism to the compendium size.
+func (e *Engine) searchPar(requested int) int {
+	par := requested
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(e.slabs) {
+		par = len(e.slabs)
+	}
+	return par
+}
+
+// queryInfos runs stage 1 — per-dataset query rows and raw coherence —
+// concurrently over par workers. One result slot per dataset, no shared
+// mutable state. Workers stop pulling datasets once ctx is canceled; the
+// caller must check ctx.Err() before trusting the result.
+func (e *Engine) queryInfos(ctx context.Context, qgids []int, par int) []dsInfo {
+	infos := make([]dsInfo, len(e.slabs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range work {
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
+				sl := e.slabs[di]
+				rows, allFast := sl.queryRows(qgids)
+				infos[di] = dsInfo{rows: rows, allFast: allFast, coherence: coherence(sl, rows)}
+			}
+		}()
+	}
+	for di := range e.slabs {
+		work <- di
+	}
+	close(work)
+	wg.Wait()
+	return infos
+}
+
 // Search runs a SPELL query. At least one query gene must be present
 // somewhere in the compendium.
 //
@@ -235,35 +278,10 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("spell: none of the %d query genes occur in the compendium", len(query))
 	}
 
-	par := opt.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(e.slabs) {
-		par = len(e.slabs)
-	}
+	par := e.searchPar(opt.Parallelism)
 
-	// Stage 1: per-dataset query rows and coherence, computed concurrently
-	// — one result slot per dataset, no shared mutable state.
-	infos := make([]dsInfo, len(e.slabs))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for di := range work {
-				sl := e.slabs[di]
-				rows, allFast := sl.queryRows(qgids)
-				infos[di] = dsInfo{rows: rows, allFast: allFast, coherence: coherence(sl, rows)}
-			}
-		}()
-	}
-	for di := range e.slabs {
-		work <- di
-	}
-	close(work)
-	wg.Wait()
+	// Stage 1: per-dataset query rows and coherence.
+	infos := e.queryInfos(context.Background(), qgids, par)
 
 	// Normalize positive coherence into weights. A dataset where the query
 	// genes are uncorrelated (or absent) contributes nothing, exactly the
@@ -311,6 +329,7 @@ func (e *Engine) Search(query []string, opt Options) (*Result, error) {
 	// the vectors merge by plain addition once the workers drain — no lock,
 	// no map, no string hashing on the hot path.
 	accs := make([]*accum, par)
+	var wg sync.WaitGroup
 	work2 := make(chan int)
 	for w := 0; w < par; w++ {
 		wg.Add(1)
@@ -418,6 +437,14 @@ func rowCorr(sl *slab, a, b int32) float64 {
 	return stats.Pearson(sl.zrow(a), sl.zrow(b))
 }
 
+// scoreAdder is the accumulator contract of the stage-2 scoring loops: the
+// single-process kernel's dense *accum and the shard path's *dualAccum
+// (partial.go) both satisfy it, and the generic instantiation keeps each
+// call monomorphized — no interface dispatch on the per-gene hot path.
+type scoreAdder interface {
+	add(gid int32, w, meanCorr float64)
+}
+
 // scoreInto accumulates dataset sl's contribution (at weight w) to every
 // gene's score: each gene row's mean correlation to the query rows.
 //
@@ -425,7 +452,7 @@ func rowCorr(sl *slab, a, b int32) float64 {
 // for a gene row g with a unit form, mean_q Pearson(g, q) =
 // Dot(unit_g, Σ_q unit_q) / nq — one dot product per gene instead of one
 // per (gene, query) pair. Rows without unit forms take the per-pair path.
-func scoreInto(sl *slab, qrows []int32, allFast bool, w float64, acc *accum) {
+func scoreInto[A scoreAdder](sl *slab, qrows []int32, allFast bool, w float64, acc A) {
 	nq := len(qrows)
 	if nq == 0 {
 		return
@@ -469,7 +496,7 @@ func scoreInto(sl *slab, qrows []int32, allFast bool, w float64, acc *accum) {
 // scoreRowSlow scores one gene row against the query rows pair by pair,
 // skipping undefined correlations; the row scores only when at least one
 // pair is defined.
-func scoreRowSlow(sl *slab, g int32, qrows []int32, w float64, acc *accum) {
+func scoreRowSlow[A scoreAdder](sl *slab, g int32, qrows []int32, w float64, acc A) {
 	s, n := 0.0, 0
 	for _, qr := range qrows {
 		r := rowCorr(sl, g, qr)

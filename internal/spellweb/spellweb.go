@@ -6,6 +6,7 @@
 package spellweb
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html/template"
@@ -23,6 +24,26 @@ type Searcher interface {
 	Search(ids []string, opt spell.Options) (*spell.Result, error)
 	NumDatasets() int
 	NumGenes() int
+}
+
+// ContextSearcher is an optional Searcher upgrade. Implementations
+// receive the page request's context — so an abandoned browser tab
+// cancels the search, which on a sharded daemon stops a whole scatter —
+// and may return a service notice the page must disclose alongside the
+// result (e.g. that a ranking is degraded because a shard was
+// unreachable). An empty notice means nothing to disclose.
+type ContextSearcher interface {
+	SearchCtx(ctx context.Context, ids []string, opt spell.Options) (res *spell.Result, notice string, err error)
+}
+
+// search dispatches through ContextSearcher when the engine offers it.
+func (s *Server) search(r *http.Request, ids []string) (*spell.Result, string, error) {
+	opt := spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true}
+	if cs, ok := s.engine.(ContextSearcher); ok {
+		return cs.SearchCtx(r.Context(), ids, opt)
+	}
+	res, err := s.engine.Search(ids, opt)
+	return res, "", err
 }
 
 // Server wraps a Searcher as an http.Handler.
@@ -76,6 +97,7 @@ var pageTmpl = template.Must(template.New("page").Funcs(template.FuncMap{
   <input type="submit" value="Search">
 </form>
 {{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
+{{if .Notice}}<p style="color:darkorange"><b>notice:</b> {{.Notice}}</p>{{end}}
 {{if .Result}}
 <h2>Datasets by relevance</h2>
 <table border="1" cellpadding="3">
@@ -99,7 +121,9 @@ type pageData struct {
 	NumGenes    int
 	Query       string
 	Error       string
-	Result      *spell.Result
+	// Notice is a non-fatal service disclosure (degraded shard coverage).
+	Notice string
+	Result *spell.Result
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -133,13 +157,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.renderPage(w, data)
 		return
 	}
-	res, err := s.engine.Search(ids, spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true})
+	res, notice, err := s.search(r, ids)
 	if err != nil {
 		data.Error = err.Error()
 		s.renderPage(w, data)
 		return
 	}
-	data.Result = res
+	data.Result, data.Notice = res, notice
 	s.renderPage(w, data)
 }
 
@@ -156,7 +180,7 @@ func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusUnprocessableEntity, spell.MsgSingleGeneQuery)
 		return
 	}
-	res, err := s.engine.Search(ids, spell.Options{MaxGenes: s.maxGenes(), IncludeQuery: true})
+	res, _, err := s.search(r, ids)
 	if err != nil {
 		apiError(w, http.StatusUnprocessableEntity, err.Error())
 		return
