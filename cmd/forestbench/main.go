@@ -1,0 +1,365 @@
+// Command forestbench drives an open-loop load against a running
+// forestviewd (any role: single, shard or coordinator) and folds the
+// recorded per-request envelopes into latency and capacity reports.
+//
+// The generator is open-loop — arrivals are scheduled by a Poisson clock
+// at the offered rate before the first request is sent — so a saturated
+// server shows up as growing scheduled-relative latency, not as a quietly
+// reduced load (the coordinated-omission trap of closed-loop drivers; see
+// EXPERIMENTS.md for the methodology).
+//
+// Usage:
+//
+//	# replay a mixed session at 100 req/s for 30s, one JSONL line per request
+//	forestbench run -target http://127.0.0.1:8080 -rate 100 -duration 30s -out run.jsonl
+//
+//	# stepped rate sweep for a capacity curve
+//	forestbench run -target http://127.0.0.1:8080 -sweep 50,100,200,400 -step-duration 10s -out sweep.jsonl
+//
+//	# fold envelopes into p50/p95/p99 per endpoint, error/degraded rates
+//	# and the max sustainable rate; gate CI on the result
+//	forestbench analyze -in sweep.jsonl -fail-on-5xx -max-p99 2000
+//
+//	# seconds-scale self-contained proof against in-process topologies
+//	forestbench -profile=smoke -topology both
+//
+// run generates queries for the daemon's -demo compendium by regenerating
+// the same synthetic universe; point -demo-genes/-demo-modules/-demo-seed/
+// -demo-datasets at the daemon's flags (defaults match forestviewd's).
+// Against a file compendium, pass -gene-ids and -pane-rows explicitly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"forestview/internal/synth"
+	"forestview/internal/workload"
+)
+
+func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runMain is main with its environment injected, so E2E tests run the
+// real CLI in-process.
+func runMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return cmdRun(args[1:], stderr)
+		case "analyze":
+			return cmdAnalyze(args[1:], stdout, stderr)
+		}
+	}
+	fs := flag.NewFlagSet("forestbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		profile  = fs.String("profile", "", `"smoke": seconds-scale run against in-process topologies (the only profile)`)
+		topo     = fs.String("topology", "both", `smoke topology: "single", "shard2" (coordinator + 2 shards) or "both"`)
+		rate     = fs.Float64("rate", 40, "smoke base rate, req/s (the sweep steps are 1x and 2x)")
+		stepDur  = fs.Duration("step-duration", 1200*time.Millisecond, "smoke duration per sweep step")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		out      = fs.String("out", "forestbench-smoke", "smoke artifact prefix (<out>-<topology>.jsonl, <out>-<topology>-report.txt)")
+		maxP99MS = fs.Float64("max-p99", 2000, "fail if overall p99 latency exceeds this many ms")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *profile != "smoke" {
+		fmt.Fprintln(stderr, `forestbench: expected "run", "analyze" or -profile=smoke`)
+		fs.Usage()
+		return 2
+	}
+	topos := []string{"single", "shard2"}
+	if *topo != "both" {
+		topos = []string{*topo}
+	}
+	code := 0
+	for _, name := range topos {
+		if err := smokeOne(name, *rate, *stepDur, *seed, *out, *maxP99MS, stdout); err != nil {
+			fmt.Fprintf(stderr, "forestbench: smoke %s: %v\n", name, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// smokeOne loads one in-process topology with a two-step rate sweep and
+// gates on the analysis: any 5xx or transport error fails, as does an
+// overall p99 beyond maxP99MS.
+func smokeOne(name string, rate float64, stepDur time.Duration, seed int64, outPrefix string, maxP99MS float64, stdout io.Writer) error {
+	tp, err := newTopology(name, 32<<20)
+	if err != nil {
+		return err
+	}
+	defer tp.close()
+
+	jsonlPath := fmt.Sprintf("%s-%s.jsonl", outPrefix, name)
+	f, err := os.Create(jsonlPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for step := 0; step < 2; step++ {
+		plan, err := workload.NewPlan(workload.Spec{
+			Rate:     rate * float64(step+1),
+			Duration: stepDur,
+			Seed:     seed + int64(step),
+			Mix:      tp.mix,
+			Genes:    tp.genes,
+			PaneRows: tp.paneRows,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := workload.Run(context.Background(), plan, workload.RunOptions{
+			BaseURL: tp.url, Out: f, Step: step,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	envs, err := workload.ReadEnvelopes(f)
+	if err != nil {
+		return err
+	}
+	rep := workload.Analyze(envs, workload.AnalyzeOptions{P99SLOMS: maxP99MS})
+	fmt.Fprintf(stdout, "== smoke %s: %d requests against %s ==\n", name, rep.Requests, tp.url)
+	rep.WriteText(stdout)
+	fmt.Fprintln(stdout)
+	if reportPath := fmt.Sprintf("%s-%s-report.txt", outPrefix, name); reportPath != "" {
+		rf, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		rep.WriteText(rf)
+		rf.Close()
+	}
+	return gate(rep, maxP99MS)
+}
+
+// gate is the pass/fail fold shared by smoke and analyze -fail-on-5xx.
+func gate(rep *workload.Report, maxP99MS float64) error {
+	if rep.Requests == 0 {
+		return fmt.Errorf("no envelopes recorded")
+	}
+	if rep.Errors5xx > 0 {
+		return fmt.Errorf("%d 5xx responses", rep.Errors5xx)
+	}
+	if rep.Transport > 0 {
+		return fmt.Errorf("%d transport errors", rep.Transport)
+	}
+	if maxP99MS > 0 && rep.Latency.P99 > maxP99MS {
+		return fmt.Errorf("p99 %.1fms exceeds bound %.1fms", rep.Latency.P99, maxP99MS)
+	}
+	return nil
+}
+
+func cmdRun(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("forestbench run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target  = fs.String("target", "", "base URL of the daemon under load (required)")
+		rate    = fs.Float64("rate", 50, "open-loop arrival rate, req/s")
+		dur     = fs.Duration("duration", 10*time.Second, "run length (single step)")
+		sweep   = fs.String("sweep", "", "comma-separated rates for a stepped sweep (overrides -rate)")
+		stepDur = fs.Duration("step-duration", 10*time.Second, "duration of each sweep step")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		mixFlag = fs.String("mix", "search=5,heatmap=3,enrich=2,stats=0", "endpoint mix weights")
+		out     = fs.String("out", "-", `JSONL output path ("-" = stdout)`)
+
+		demoGenes    = fs.Int("demo-genes", 1500, "daemon's -genes (regenerates the demo universe for queries)")
+		demoModules  = fs.Int("demo-modules", 20, "daemon's -modules")
+		demoSeed     = fs.Int64("demo-seed", 1, "daemon's -seed")
+		demoDatasets = fs.Int("demo-datasets", 8, "daemon's -datasets (pane count)")
+		geneIDs      = fs.String("gene-ids", "", "comma-separated queryable gene IDs (overrides the demo universe)")
+		paneRows     = fs.String("pane-rows", "", "comma-separated per-dataset row counts (overrides the demo universe)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *target == "" {
+		fmt.Fprintln(stderr, "forestbench run: -target is required")
+		return 2
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "forestbench run:", err)
+		return 2
+	}
+	spec := workload.Spec{Seed: *seed, Mix: mix}
+	if *geneIDs != "" {
+		spec.Genes = strings.Split(*geneIDs, ",")
+	}
+	if *paneRows != "" {
+		for _, s := range strings.Split(*paneRows, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(stderr, "forestbench run: bad -pane-rows entry %q\n", s)
+				return 2
+			}
+			spec.PaneRows = append(spec.PaneRows, n)
+		}
+	}
+	if spec.Genes == nil && (mix.Search > 0 || mix.Enrich > 0) {
+		spec.Genes = synth.NewUniverse(*demoGenes, *demoModules, *demoSeed).GeneIDs()
+	}
+	if spec.PaneRows == nil && mix.Heatmap > 0 {
+		// Demo datasets each span the full universe, so every pane has
+		// -demo-genes rows.
+		for i := 0; i < *demoDatasets; i++ {
+			spec.PaneRows = append(spec.PaneRows, *demoGenes)
+		}
+	}
+
+	rates := []float64{*rate}
+	durs := []time.Duration{*dur}
+	if *sweep != "" {
+		rates = rates[:0]
+		for _, s := range strings.Split(*sweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || r <= 0 {
+				fmt.Fprintf(stderr, "forestbench run: bad -sweep entry %q\n", s)
+				return 2
+			}
+			rates = append(rates, r)
+		}
+		durs = nil
+		for range rates {
+			durs = append(durs, *stepDur)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "forestbench run:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	total := 0
+	for step, r := range rates {
+		spec.Rate = r
+		spec.Duration = durs[step]
+		spec.Seed = *seed + int64(step)
+		plan, err := workload.NewPlan(spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "forestbench run:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "step %d: %g req/s for %v (%d requests) against %s\n",
+			step, r, durs[step], len(plan.Ops), *target)
+		n, err := workload.Run(context.Background(), plan, workload.RunOptions{
+			BaseURL: *target, Out: w, Step: step,
+		})
+		total += n
+		if err != nil {
+			fmt.Fprintln(stderr, "forestbench run:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %d envelopes\n", total)
+	return 0
+}
+
+func cmdAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("forestbench analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "-", `JSONL envelope path ("-" = stdin)`)
+		asJSON    = fs.Bool("json", false, "emit the report as JSON instead of text")
+		stallMS   = fs.Float64("stall-ms", 5, "issue-delay threshold counted as a generator stall")
+		sloP99    = fs.Float64("slo-p99", 1000, "per-step p99 bound for the capacity model, ms")
+		failOn5xx = fs.Bool("fail-on-5xx", false, "exit nonzero if any 5xx or transport error was recorded")
+		maxP99MS  = fs.Float64("max-p99", 0, "exit nonzero if overall p99 exceeds this many ms (0 = no gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "forestbench analyze:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	envs, err := workload.ReadEnvelopes(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "forestbench analyze:", err)
+		return 1
+	}
+	rep := workload.Analyze(envs, workload.AnalyzeOptions{StallMS: *stallMS, P99SLOMS: *sloP99})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "forestbench analyze:", err)
+			return 1
+		}
+	} else {
+		rep.WriteText(stdout)
+	}
+	if *failOn5xx {
+		if rep.Errors5xx > 0 || rep.Transport > 0 {
+			fmt.Fprintf(stderr, "forestbench analyze: %d 5xx, %d transport errors\n", rep.Errors5xx, rep.Transport)
+			return 1
+		}
+		if rep.Requests == 0 {
+			fmt.Fprintln(stderr, "forestbench analyze: no envelopes")
+			return 1
+		}
+	}
+	if *maxP99MS > 0 && rep.Latency.P99 > *maxP99MS {
+		fmt.Fprintf(stderr, "forestbench analyze: p99 %.1fms exceeds -max-p99 %.1fms\n", rep.Latency.P99, *maxP99MS)
+		return 1
+	}
+	return 0
+}
+
+// parseMix parses "search=5,heatmap=3,enrich=2,stats=0".
+func parseMix(s string) (workload.Mix, error) {
+	var m workload.Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return m, fmt.Errorf("bad mix weight in %q", part)
+		}
+		switch strings.TrimSpace(name) {
+		case "search":
+			m.Search = w
+		case "heatmap":
+			m.Heatmap = w
+		case "enrich":
+			m.Enrich = w
+		case "stats":
+			m.Stats = w
+		default:
+			return m, fmt.Errorf("unknown mix endpoint %q", name)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+
+	"forestview/internal/cluster"
+	"forestview/internal/golem"
+	"forestview/internal/microarray"
+	"forestview/internal/ontology"
+	"forestview/internal/server"
+	"forestview/internal/shard"
+	"forestview/internal/spell"
+	"forestview/internal/synth"
+	"forestview/internal/workload"
+)
+
+// This file builds the in-process topologies behind -profile=smoke: real
+// server.Server instances behind httptest listeners, so CI can push a
+// seconds-scale open-loop load through the exact fleet wiring — including
+// a coordinator scattering over two shard daemons — without sockets to
+// provision or processes to babysit. The E2E tests reuse these builders.
+
+// smokeUniverse are the demo-compendium parameters every smoke topology
+// shares; kept small so a full smoke run stays seconds-scale.
+const (
+	smokeGenes    = 300
+	smokeModules  = 10
+	smokeSeed     = 1
+	smokeDatasets = 4 // single-role compendium; the shard pair splits 6
+)
+
+// topology is one in-process deployment under test.
+type topology struct {
+	name string
+	// url is the load target (the only listener in single mode, the
+	// coordinator in shard2 mode).
+	url string
+	// genes is the queryable universe, paneRows the per-dataset heatmap
+	// row counts (nil when the target serves no heatmaps).
+	genes    []string
+	paneRows []int
+	// mix is a workload mix every endpoint of which the target actually
+	// serves (a coordinator has no enrich or heatmap).
+	mix workload.Mix
+	// shardServers are the shard backends, exposed so fleet tests can
+	// kill one mid-run. Empty in single mode.
+	shardServers []*httptest.Server
+
+	closers []func()
+}
+
+func (tp *topology) close() {
+	for i := len(tp.closers) - 1; i >= 0; i-- {
+		tp.closers[i]()
+	}
+}
+
+func smokeCompendium(nDatasets int) (*synth.Universe, []*microarray.Dataset) {
+	u := synth.NewUniverse(smokeGenes, smokeModules, smokeSeed)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: nDatasets, MinExperiments: 8, MaxExperiments: 14,
+		ActiveFraction: 0.5, Noise: 0.3, MissingRate: 0.02, Seed: smokeSeed + 50,
+	})
+	return u, dss
+}
+
+// newSingleTopology builds a single-role daemon: SPELL + GOLEM + heatmap
+// panes in one process, every endpoint live, generous render pool so the
+// smoke gate measures the server rather than deliberate load shedding.
+func newSingleTopology() (*topology, error) {
+	u, dss := smokeCompendium(smokeDatasets)
+	engine, err := spell.NewEngine(dss)
+	if err != nil {
+		return nil, err
+	}
+	var leafNames []string
+	for _, m := range u.Modules {
+		leafNames = append(leafNames, m.Name)
+	}
+	onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: leafNames, Seed: smokeSeed + 3})
+	if err != nil {
+		return nil, fmt.Errorf("synthetic ontology: %w", err)
+	}
+	enricher, err := golem.NewEnricher(onto, ontology.AnnotateFromModules(u.Annotations(), leafOf), u.GeneIDs())
+	if err != nil {
+		return nil, fmt.Errorf("enricher: %w", err)
+	}
+	srv, err := server.New(server.Config{
+		Engine:        engine,
+		Enricher:      enricher,
+		RawDatasets:   dss,
+		TreeMetric:    cluster.PearsonDist,
+		TreeLinkage:   cluster.AverageLinkage,
+		CacheBytes:    32 << 20,
+		RenderWorkers: runtime.GOMAXPROCS(0),
+		RenderQueue:   256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs := httptest.NewServer(srv)
+	tp := &topology{
+		name:    "single",
+		url:     hs.URL,
+		genes:   u.GeneIDs(),
+		mix:     workload.Mix{Search: 5, Heatmap: 3, Enrich: 2, Stats: 1},
+		closers: []func(){srv.Close, hs.Close},
+	}
+	for _, ds := range dss {
+		tp.paneRows = append(tp.paneRows, ds.NumGenes())
+	}
+	return tp, nil
+}
+
+// newShard2Topology builds the fleet: two shard-role daemons owning a
+// rendezvous split of a 6-dataset compendium, and a coordinator scattering
+// /api/search over them. The coordinator serves no heatmap or enrichment,
+// so the mix is search plus stats. coordCacheBytes sizes the coordinator's
+// merged-result cache — pass something tiny (e.g. 16) to force every
+// search to re-scatter, which is what a shard-kill test needs: cached full
+// merges would keep answering non-degraded after the shard died.
+func newShard2Topology(coordCacheBytes int64) (*topology, error) {
+	u, dss := smokeCompendium(6)
+	names := make([]string, len(dss))
+	for i, ds := range dss {
+		names[i] = ds.Name
+	}
+	shardNames := []string{"shard-0", "shard-1"}
+	tp := &topology{name: "shard2"}
+	ok := false
+	defer func() {
+		if !ok {
+			tp.close()
+		}
+	}()
+	for _, self := range shardNames {
+		owned := shard.OwnedIndexes(names, shardNames, self)
+		if len(owned) == 0 {
+			return nil, fmt.Errorf("shard %s owns no datasets at this fixture seed", self)
+		}
+		var slice []*microarray.Dataset
+		for _, gi := range owned {
+			slice = append(slice, dss[gi])
+		}
+		se, err := spell.NewEngine(slice)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := server.New(server.Config{Engine: se, ShardIndexes: owned, CacheBytes: 8 << 20})
+		if err != nil {
+			return nil, err
+		}
+		hs := httptest.NewServer(ss)
+		tp.closers = append(tp.closers, ss.Close, hs.Close)
+		tp.shardServers = append(tp.shardServers, hs)
+	}
+	cfg := shard.Config{Retry: true}
+	for _, hs := range tp.shardServers {
+		cfg.Shards = append(cfg.Shards, hs.URL)
+	}
+	coordr, err := shard.NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := server.New(server.Config{Scatter: coordr, CacheBytes: coordCacheBytes})
+	if err != nil {
+		return nil, err
+	}
+	chs := httptest.NewServer(coord)
+	tp.closers = append(tp.closers, coord.Close, chs.Close)
+	tp.url = chs.URL
+	tp.genes = u.GeneIDs()
+	tp.mix = workload.Mix{Search: 4, Stats: 1}
+	ok = true
+	return tp, nil
+}
+
+func newTopology(name string, coordCacheBytes int64) (*topology, error) {
+	switch name {
+	case "single":
+		return newSingleTopology()
+	case "shard2":
+		return newShard2Topology(coordCacheBytes)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (single or shard2)", name)
+	}
+}

@@ -74,7 +74,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, spell.MsgSingleGeneQuery)
 		return
 	}
-	res, meta, err := s.searchWith(r.Context(), &s.statSearch, ids, spell.Options{MaxGenes: top, IncludeQuery: true})
+	res, meta, disp, err := s.searchWith(r.Context(), &s.statSearch, ids, spell.Options{MaxGenes: top, IncludeQuery: true})
 	switch {
 	case errors.Is(err, shard.ErrAllShardsFailed) || errors.Is(err, shard.ErrDegradedUnresolved):
 		// Full outage across the shard set — or a degraded scatter whose
@@ -94,6 +94,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
 		return
+	}
+	if disp != "" {
+		w.Header().Set(cacheHeader, disp)
 	}
 	if meta != nil {
 		// Sharded answers always disclose how much of the compendium they
@@ -151,7 +154,7 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 		}
 		opt.MinSelected = m
 	}
-	results, err := s.EnrichCtx(r.Context(), genes, opt)
+	results, disp, err := s.enrichCtx(r.Context(), genes, opt)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		if r.Context().Err() != nil {
 			// Our client hung up before the analysis finished; the kernel
@@ -179,6 +182,9 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 		} else {
 			ignored = append(ignored, g)
 		}
+	}
+	if disp != "" {
+		w.Header().Set(cacheHeader, disp)
 	}
 	s.writeJSON(w, http.StatusOK, enrichResponse{
 		Selection:  tested,
@@ -323,7 +329,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	png, err := s.renderTile(r.Context(), cd, p)
+	png, disp, err := s.renderTile(r.Context(), cd, p)
 	if errors.Is(err, ErrSaturated) {
 		s.statHeatmap.rejected.Add(1)
 		s.writeJSONError(w, http.StatusServiceUnavailable, "render pool saturated, retry later")
@@ -350,6 +356,9 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if disp != "" {
+		w.Header().Set(cacheHeader, disp)
+	}
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("Content-Length", strconv.Itoa(len(png)))
 	_, _ = w.Write(png)
@@ -369,10 +378,10 @@ const statusClientClosedRequest = 499
 // leader's context — a follower whose own context is still live retries
 // when a flight dies of someone else's cancellation, becoming the new
 // leader instead of failing an innocent request.
-func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p tileParams) ([]byte, error) {
+func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p tileParams) ([]byte, string, error) {
 	key := p.key()
 	tileCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	v, err := s.cachedDoRetry(ctx, &s.statHeatmap, key, tileCost, func() (any, error) {
+	v, disp, err := s.cachedDoRetry(ctx, &s.statHeatmap, key, tileCost, func() (any, error) {
 		return s.pool.Run(ctx, func() (any, error) {
 			rows := cd.RowsInDisplayRange(p.from, p.to)
 			c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
@@ -407,9 +416,9 @@ func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p ti
 		})
 	}, nil, nil)
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
-	return v.([]byte), nil
+	return v.([]byte), disp, nil
 }
 
 // parseRowRange parses a strict "FROM:TO" display-row range; unlike

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -260,15 +261,16 @@ func (s *Server) scatterInfo() (datasets, genes int) {
 // cache and the coalescing layer (scattering to shard backends when the
 // daemon coordinates).
 func (s *Server) Search(ids []string, opt spell.Options) (*spell.Result, error) {
-	res, _, err := s.searchWith(context.Background(), &s.statSearch, ids, opt)
+	res, _, _, err := s.searchWith(context.Background(), &s.statSearch, ids, opt)
 	return res, err
 }
 
 // searchWith is the single search path; ep receives the cache/compute
 // accounting, so HTML-page and API traffic stay separable in /api/stats
 // while sharing one set of cache keys. The returned meta is non-nil only
-// on the scatter path.
-func (s *Server) searchWith(ctx context.Context, ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, *shard.Meta, error) {
+// on the scatter path; disp is the cache disposition (hit/miss/coalesced)
+// the handlers surface as the X-Forestview-Cache header.
+func (s *Server) searchWith(ctx context.Context, ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, *shard.Meta, string, error) {
 	ids = spell.CanonicalQuery(ids)
 	if opt.MaxGenes <= 0 || opt.MaxGenes > s.cfg.MaxGenes {
 		opt.MaxGenes = s.cfg.MaxGenes
@@ -284,13 +286,13 @@ func (s *Server) searchWith(ctx context.Context, ep *endpointStats, ids []string
 	// result-shaping option must be in it.
 	key := fmt.Sprintf("search\x1f%d\x1f%t\x1f%t\x1f%s",
 		opt.MaxGenes, opt.IncludeQuery, opt.UniformWeights, joinIDs(ids))
-	v, err := s.cachedDo(ep, key, searchCost, func() (any, error) {
+	v, disp, err := s.cachedDo(ep, key, searchCost, func() (any, error) {
 		return s.cfg.Engine.Search(ids, opt)
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, disp, err
 	}
-	return v.(*spell.Result), nil, nil
+	return v.(*spell.Result), nil, disp, nil
 }
 
 // cachedSearcher adapts the shared search path for the HTML page: same
@@ -301,7 +303,7 @@ type cachedSearcher struct {
 }
 
 func (c *cachedSearcher) Search(ids []string, opt spell.Options) (*spell.Result, error) {
-	res, _, err := c.s.searchWith(context.Background(), c.ep, ids, opt)
+	res, _, _, err := c.s.searchWith(context.Background(), c.ep, ids, opt)
 	return res, err
 }
 
@@ -311,7 +313,7 @@ func (c *cachedSearcher) Search(ids []string, opt spell.Options) (*spell.Result,
 // page must print — the HTML surface keeps the same honesty contract as
 // the API's degraded headers.
 func (c *cachedSearcher) SearchCtx(ctx context.Context, ids []string, opt spell.Options) (*spell.Result, string, error) {
-	res, meta, err := c.s.searchWith(ctx, c.ep, ids, opt)
+	res, meta, _, err := c.s.searchWith(ctx, c.ep, ids, opt)
 	if err != nil {
 		return nil, "", err
 	}
@@ -339,21 +341,28 @@ func (s *Server) Enrich(genes []string, opt golem.Options) ([]golem.Enrichment, 
 // failing an innocent request. Kernel executions and their latency are
 // accounted under enrich_cache in /api/stats.
 func (s *Server) EnrichCtx(ctx context.Context, genes []string, opt golem.Options) ([]golem.Enrichment, error) {
+	res, _, err := s.enrichCtx(ctx, genes, opt)
+	return res, err
+}
+
+// enrichCtx is EnrichCtx plus the cache disposition, for the handler's
+// X-Forestview-Cache header.
+func (s *Server) enrichCtx(ctx context.Context, genes []string, opt golem.Options) ([]golem.Enrichment, string, error) {
 	if s.cfg.Enricher == nil {
-		return nil, errNoEnricher
+		return nil, "", errNoEnricher
 	}
 	genes = spell.CanonicalQuery(genes)
 	key := fmt.Sprintf("enrich\x1f%d\x1f%g\x1f%s", opt.MinSelected, opt.MaxPValue, joinIDs(genes))
-	v, err := s.cachedDoRetry(ctx, &s.statEnrich, key, enrichCost, func() (any, error) {
+	v, disp, err := s.cachedDoRetry(ctx, &s.statEnrich, key, enrichCost, func() (any, error) {
 		t0 := time.Now()
 		res, aerr := s.cfg.Enricher.AnalyzeCtx(ctx, genes, opt)
 		s.enrichKernel.observe(time.Since(t0), aerr)
 		return res, aerr
 	}, nil, func() { s.enrichKernel.retries.Add(1) })
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
-	return v.([]golem.Enrichment), nil
+	return v.([]golem.Enrichment), disp, nil
 }
 
 // joinIDs joins gene IDs for a cache key with each ID quoted, so an ID
@@ -369,11 +378,24 @@ func joinIDs(ids []string) string {
 	return b.String()
 }
 
+// Cache dispositions, surfaced to clients as the X-Forestview-Cache
+// response header so load envelopes (and curl users) can attribute a
+// request's latency to the layer that served it.
+const (
+	dispHit       = "hit"       // served from the shared LRU
+	dispMiss      = "miss"      // this request executed the computation
+	dispCoalesced = "coalesced" // joined another request's in-flight compute
+)
+
+// cacheHeader is the response header carrying the cache disposition.
+const cacheHeader = "X-Forestview-Cache"
+
 // cachedDo is the daemon's concurrency discipline in one place: cache
 // lookup, then coalesced computation, then cache fill. Errors are never
 // cached (a transiently bad query must not poison the cache), but
-// concurrent identical failures still compute only once.
-func (s *Server) cachedDo(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error)) (any, error) {
+// concurrent identical failures still compute only once. The returned
+// disposition says which layer answered.
+func (s *Server) cachedDo(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error)) (any, string, error) {
 	return s.cachedDoIf(ep, key, cost, compute, nil)
 }
 
@@ -381,12 +403,15 @@ func (s *Server) cachedDo(ep *endpointStats, key string, cost func(any) int64, c
 // for which it returns false is delivered to its waiters but never enters
 // the cache (the scatter path keeps degraded merges out this way). A nil
 // predicate caches every successful value.
-func (s *Server) cachedDoIf(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error), cacheable func(any) bool) (any, error) {
+func (s *Server) cachedDoIf(ep *endpointStats, key string, cost func(any) int64, compute func() (any, error), cacheable func(any) bool) (any, string, error) {
 	if v, ok := s.cache.Get(key); ok {
 		ep.cacheHits.Add(1)
-		return v, nil
+		return v, dispHit, nil
 	}
 	ep.cacheMisses.Add(1)
+	// computed is written only when this caller leads the flight (a joiner's
+	// closure never runs), so reading it after Do is race-free.
+	computed := false
 	v, err, joined := s.flights.Do(key, func() (any, error) {
 		// Re-check under the flight: a caller that missed the cache just as
 		// the previous flight completed must find that flight's result here
@@ -395,6 +420,7 @@ func (s *Server) cachedDoIf(ep *endpointStats, key string, cost func(any) int64,
 			return v, nil
 		}
 		ep.computed.Add(1)
+		computed = true
 		v, err := compute()
 		if err == nil && (cacheable == nil || cacheable(v)) {
 			s.cache.Put(key, v, cost(v))
@@ -403,8 +429,15 @@ func (s *Server) cachedDoIf(ep *endpointStats, key string, cost func(any) int64,
 	})
 	if joined {
 		ep.coalesced.Add(1)
+		return v, dispCoalesced, err
 	}
-	return v, err
+	if !computed {
+		// We led a flight but its cache re-check hit: the previous flight
+		// filled the key between our miss and our entry. For the client
+		// that's a hit — no computation ran on its behalf.
+		return v, dispHit, err
+	}
+	return v, dispMiss, err
 }
 
 // cachedDoRetry wraps cachedDoIf in the daemon's leader-handover retry
@@ -413,17 +446,19 @@ func (s *Server) cachedDoIf(ep *endpointStats, key string, cost func(any) int64,
 // error that is not its own — the *leader's* client disconnected — retries
 // with its own live context instead of failing an innocent request.
 // onRetry (optional) is called before each re-attempt, for accounting.
-func (s *Server) cachedDoRetry(ctx context.Context, ep *endpointStats, key string, cost func(any) int64, compute func() (any, error), cacheable func(any) bool, onRetry func()) (any, error) {
+// The disposition of the final attempt is returned.
+func (s *Server) cachedDoRetry(ctx context.Context, ep *endpointStats, key string, cost func(any) int64, compute func() (any, error), cacheable func(any) bool, onRetry func()) (any, string, error) {
 	const maxAttempts = 3
 	var (
-		v   any
-		err error
+		v    any
+		disp string
+		err  error
 	)
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 && onRetry != nil {
 			onRetry()
 		}
-		v, err = s.cachedDoIf(ep, key, cost, compute, cacheable)
+		v, disp, err = s.cachedDoIf(ep, key, cost, compute, cacheable)
 		if err == nil || ctx.Err() != nil {
 			break
 		}
@@ -431,7 +466,7 @@ func (s *Server) cachedDoRetry(ctx context.Context, ep *endpointStats, key strin
 			break
 		}
 	}
-	return v, err
+	return v, disp, err
 }
 
 // searchCost approximates the resident size of a cached *spell.Result.
@@ -481,6 +516,20 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Role reports how this daemon participates in the fleet: "coordinator"
+// (scatters searches, holds no data), "shard" (serves partials for its
+// slice) or "single" (the whole compendium in-process).
+func (s *Server) Role() string {
+	switch {
+	case s.cfg.Scatter != nil:
+		return "coordinator"
+	case s.cfg.ShardIndexes != nil:
+		return "shard"
+	default:
+		return "single"
+	}
+}
+
 // Stats assembles the /api/stats snapshot.
 func (s *Server) Stats() StatsSnapshot {
 	prefixes := s.cache.Prefixes()
@@ -492,6 +541,11 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	snap := StatsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Server: ServerInfo{
+			UptimeSeconds: time.Since(s.start).Seconds(),
+			Role:          s.Role(),
+			GoVersion:     runtime.Version(),
+		},
 		Compendium: CompendiumInfo{
 			Datasets:  nDatasets,
 			Genes:     nGenes,

@@ -75,7 +75,7 @@ var errPartialEncode = errors.New("partial encode failed")
 func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, error) {
 	key := "partial\x1f" + joinIDs(ids)
 	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	v, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+	v, _, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
 		p, perr := s.cfg.Engine.PartialSearchCtx(ctx, ids, spell.Options{Parallelism: s.cfg.SearchParallelism})
 		if perr != nil {
 			return nil, perr
@@ -132,10 +132,10 @@ func scatterCost(v any) int64 { return searchCost(v.(*scatterValue).res) + 64 }
 // the shard recovered. Coalescing still holds — concurrent identical
 // queries scatter once — and a flight that died of its leader's hangup is
 // retried under our live context, like every other compute path.
-func (s *Server) scatterSearch(ctx context.Context, ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, *shard.Meta, error) {
+func (s *Server) scatterSearch(ctx context.Context, ep *endpointStats, ids []string, opt spell.Options) (*spell.Result, *shard.Meta, string, error) {
 	key := fmt.Sprintf("scatter\x1f%016x\x1f%d\x1f%t\x1f%t\x1f%s",
 		s.cfg.Scatter.Generation(), opt.MaxGenes, opt.IncludeQuery, opt.UniformWeights, joinIDs(ids))
-	v, err := s.cachedDoRetry(ctx, ep, key, scatterCost, func() (any, error) {
+	v, disp, err := s.cachedDoRetry(ctx, ep, key, scatterCost, func() (any, error) {
 		res, meta, serr := s.cfg.Scatter.SearchCtx(ctx, ids, opt)
 		if serr != nil {
 			return nil, serr
@@ -143,11 +143,11 @@ func (s *Server) scatterSearch(ctx context.Context, ep *endpointStats, ids []str
 		return &scatterValue{res: res, meta: meta}, nil
 	}, func(v any) bool { return !v.(*scatterValue).meta.Degraded }, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, disp, err
 	}
 	sv := v.(*scatterValue)
 	meta := sv.meta
-	return sv.res, &meta, nil
+	return sv.res, &meta, disp, nil
 }
 
 // scatterSearchResponse is the /api/search body in coordinator mode: the

@@ -134,9 +134,24 @@ type EnrichCacheInfo struct {
 	Bytes   int64 `json:"bytes"`
 }
 
+// ServerInfo is the server section of /api/stats: which daemon produced a
+// measurement series. Load-harness analyze output joins on this, so a
+// capacity curve is always attributable to the topology role (and Go
+// runtime) that produced it.
+type ServerInfo struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Role is "single", "shard" or "coordinator" (see Server.Role).
+	Role string `json:"role"`
+	// GoVersion is runtime.Version() of the serving binary.
+	GoVersion string `json:"go_version"`
+}
+
 // StatsSnapshot is the /api/stats response body.
 type StatsSnapshot struct {
+	// UptimeSeconds is kept at the top level for pre-server-section
+	// consumers; Server.UptimeSeconds is the same value.
 	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Server        ServerInfo                  `json:"server"`
 	Compendium    CompendiumInfo              `json:"compendium"`
 	Cache         CacheInfo                   `json:"cache"`
 	TreeCache     TreeCacheInfo               `json:"tree_cache"`

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// AnalyzeOptions tunes the fold from envelopes to a Report.
+type AnalyzeOptions struct {
+	// StallMS is the issue-delay threshold above which a request counts as
+	// a generator stall (default 5ms). Stalls mean the harness fell behind
+	// its own schedule — the run under-offered and its latencies flatter
+	// the server.
+	StallMS float64
+	// P99SLOMS is the p99 latency bound a step must meet to count as
+	// sustained (default 1000ms).
+	P99SLOMS float64
+	// MinAchievedFrac is the fraction of the offered rate a step must
+	// actually complete to count as sustained (default 0.9) — a step that
+	// only finished half its arrivals within its window did not sustain
+	// the rate, whatever its percentiles say.
+	MinAchievedFrac float64
+}
+
+func (o AnalyzeOptions) withDefaults() AnalyzeOptions {
+	if o.StallMS <= 0 {
+		o.StallMS = 5
+	}
+	if o.P99SLOMS <= 0 {
+		o.P99SLOMS = 1000
+	}
+	if o.MinAchievedFrac <= 0 {
+		o.MinAchievedFrac = 0.9
+	}
+	return o
+}
+
+// Quantiles summarizes a latency sample in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// quantilesOf computes nearest-rank percentiles; sample is sorted in
+// place. Zero value for an empty sample.
+func quantilesOf(sample []float64) Quantiles {
+	if len(sample) == 0 {
+		return Quantiles{}
+	}
+	sort.Float64s(sample)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sample)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sample[i]
+	}
+	return Quantiles{
+		P50: rank(0.50),
+		P95: rank(0.95),
+		P99: rank(0.99),
+		Max: sample[len(sample)-1],
+	}
+}
+
+// EndpointReport aggregates one endpoint's envelopes.
+type EndpointReport struct {
+	Requests  int `json:"requests"`
+	Errors5xx int `json:"errors_5xx"`
+	Errors4xx int `json:"errors_4xx"`
+	Transport int `json:"transport_errors"`
+	Degraded  int `json:"degraded"`
+	Hits      int `json:"cache_hits"`
+	Misses    int `json:"cache_misses"`
+	Coalesced int `json:"cache_coalesced"`
+	// Latency is scheduled-arrival-relative (coordinated-omission-free);
+	// Service is send-relative (the server's share alone).
+	Latency Quantiles `json:"latency"`
+	Service Quantiles `json:"service"`
+}
+
+// StepReport aggregates one rate-sweep step.
+type StepReport struct {
+	Step       int     `json:"step"`
+	OfferedQPS float64 `json:"offered_qps"`
+	// AchievedQPS is completions over the step's active span (first
+	// scheduled arrival to last completion).
+	AchievedQPS float64   `json:"achieved_qps"`
+	Requests    int       `json:"requests"`
+	Errors5xx   int       `json:"errors_5xx"`
+	Transport   int       `json:"transport_errors"`
+	Degraded    int       `json:"degraded"`
+	Stalls      int       `json:"stalls"`
+	Latency     Quantiles `json:"latency"`
+	// Sustained: no 5xx or transport errors, p99 within SLO, achieved
+	// rate within MinAchievedFrac of offered.
+	Sustained bool `json:"sustained"`
+}
+
+// Report is the fold of a run's envelopes.
+type Report struct {
+	Requests     int                        `json:"requests"`
+	Errors5xx    int                        `json:"errors_5xx"`
+	Errors4xx    int                        `json:"errors_4xx"`
+	Transport    int                        `json:"transport_errors"`
+	Degraded     int                        `json:"degraded"`
+	DegradedRate float64                    `json:"degraded_rate"`
+	Stalls       int                        `json:"stalls"`
+	Latency      Quantiles                  `json:"latency"`
+	Endpoints    map[string]*EndpointReport `json:"endpoints"`
+	Steps        []*StepReport              `json:"steps,omitempty"`
+	// CapacityQPS is the highest offered rate among sustained steps (0 if
+	// no step sustained, or no sweep was run).
+	CapacityQPS float64 `json:"capacity_qps"`
+}
+
+// Analyze folds envelopes into a Report.
+func Analyze(envs []Envelope, opt AnalyzeOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{Endpoints: map[string]*EndpointReport{}}
+
+	type stepAcc struct {
+		rep        *StepReport
+		latencies  []float64
+		firstSched float64
+		lastDone   float64
+	}
+	steps := map[int]*stepAcc{}
+	var all []float64
+	epLat := map[string][]float64{}
+	epSvc := map[string][]float64{}
+
+	for i := range envs {
+		e := &envs[i]
+		rep.Requests++
+		ep := rep.Endpoints[e.Endpoint]
+		if ep == nil {
+			ep = &EndpointReport{}
+			rep.Endpoints[e.Endpoint] = ep
+		}
+		ep.Requests++
+
+		st := steps[e.Step]
+		if st == nil {
+			st = &stepAcc{
+				rep:        &StepReport{Step: e.Step, OfferedQPS: e.Rate},
+				firstSched: e.SchedMS,
+			}
+			steps[e.Step] = st
+		}
+		st.rep.Requests++
+		if e.SchedMS < st.firstSched {
+			st.firstSched = e.SchedMS
+		}
+		if done := e.SchedMS + e.LatencyMS; done > st.lastDone {
+			st.lastDone = done
+		}
+
+		switch {
+		case e.Status == 0:
+			rep.Transport++
+			ep.Transport++
+			st.rep.Transport++
+		case e.Status >= 500:
+			rep.Errors5xx++
+			ep.Errors5xx++
+			st.rep.Errors5xx++
+		case e.Status >= 400:
+			rep.Errors4xx++
+			ep.Errors4xx++
+		}
+		if e.Degraded {
+			rep.Degraded++
+			ep.Degraded++
+			st.rep.Degraded++
+		}
+		switch e.Cache {
+		case "hit":
+			ep.Hits++
+		case "miss":
+			ep.Misses++
+		case "coalesced":
+			ep.Coalesced++
+		}
+		if e.IssueDelayMS > opt.StallMS {
+			rep.Stalls++
+			st.rep.Stalls++
+		}
+		all = append(all, e.LatencyMS)
+		epLat[e.Endpoint] = append(epLat[e.Endpoint], e.LatencyMS)
+		epSvc[e.Endpoint] = append(epSvc[e.Endpoint], e.ServiceMS)
+		st.latencies = append(st.latencies, e.LatencyMS)
+	}
+
+	if rep.Requests > 0 {
+		rep.DegradedRate = float64(rep.Degraded) / float64(rep.Requests)
+	}
+	rep.Latency = quantilesOf(all)
+	for name, ep := range rep.Endpoints {
+		ep.Latency = quantilesOf(epLat[name])
+		ep.Service = quantilesOf(epSvc[name])
+	}
+
+	ids := make([]int, 0, len(steps))
+	for id := range steps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := steps[id]
+		sr := st.rep
+		sr.Latency = quantilesOf(st.latencies)
+		if span := (st.lastDone - st.firstSched) / 1000; span > 0 {
+			sr.AchievedQPS = float64(sr.Requests) / span
+		}
+		sr.Sustained = sr.Errors5xx == 0 && sr.Transport == 0 &&
+			sr.Latency.P99 <= opt.P99SLOMS &&
+			(sr.OfferedQPS == 0 || sr.AchievedQPS >= opt.MinAchievedFrac*sr.OfferedQPS)
+		if sr.Sustained && sr.OfferedQPS > rep.CapacityQPS {
+			rep.CapacityQPS = sr.OfferedQPS
+		}
+		rep.Steps = append(rep.Steps, sr)
+	}
+	return rep
+}
+
+// WriteText renders the report for a terminal.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "requests: %d  5xx: %d  4xx: %d  transport: %d  stalls: %d\n",
+		r.Requests, r.Errors5xx, r.Errors4xx, r.Transport, r.Stalls)
+	fmt.Fprintf(w, "degraded: %d (%.1f%%)\n", r.Degraded, 100*r.DegradedRate)
+	fmt.Fprintf(w, "latency (sched-relative): p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-10s %8s %6s %6s %6s %10s %10s %10s  %s\n",
+		"endpoint", "requests", "5xx", "4xx", "degr", "p50", "p95", "p99", "hit/miss/coal")
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		fmt.Fprintf(w, "%-10s %8d %6d %6d %6d %8.1fms %8.1fms %8.1fms  %d/%d/%d\n",
+			name, ep.Requests, ep.Errors5xx, ep.Errors4xx, ep.Degraded,
+			ep.Latency.P50, ep.Latency.P95, ep.Latency.P99,
+			ep.Hits, ep.Misses, ep.Coalesced)
+	}
+
+	if len(r.Steps) > 1 || (len(r.Steps) == 1 && r.Steps[0].OfferedQPS > 0) {
+		fmt.Fprintf(w, "\n%-5s %10s %10s %8s %5s %7s %10s  %s\n",
+			"step", "offered", "achieved", "requests", "5xx", "stalls", "p99", "sustained")
+		for _, st := range r.Steps {
+			fmt.Fprintf(w, "%-5d %7.1f/s %7.1f/s %8d %5d %7d %8.1fms  %t\n",
+				st.Step, st.OfferedQPS, st.AchievedQPS, st.Requests, st.Errors5xx,
+				st.Stalls, st.Latency.P99, st.Sustained)
+		}
+		if r.CapacityQPS > 0 {
+			fmt.Fprintf(w, "\nmax sustainable rate: %.1f req/s\n", r.CapacityQPS)
+		} else {
+			fmt.Fprintf(w, "\nno step sustained its offered rate\n")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// synthStep fabricates n envelopes for one sweep step: evenly spaced
+// arrivals at the offered rate, constant latency, optional failures.
+func synthStep(step int, rate float64, n int, latencyMS float64, fail5xx int) []Envelope {
+	envs := make([]Envelope, n)
+	interval := 1000 / rate
+	for i := range envs {
+		envs[i] = Envelope{
+			Step:      step,
+			Rate:      rate,
+			Seq:       i,
+			Endpoint:  "search",
+			Path:      "/api/search?q=x,y",
+			SchedMS:   float64(i) * interval,
+			LatencyMS: latencyMS,
+			ServiceMS: latencyMS,
+			Status:    200,
+			Cache:     "hit",
+		}
+		if i < fail5xx {
+			envs[i].Status = 503
+		}
+	}
+	return envs
+}
+
+// TestAnalyzeQuantiles: nearest-rank percentiles over a known sample.
+func TestAnalyzeQuantiles(t *testing.T) {
+	envs := make([]Envelope, 100)
+	for i := range envs {
+		envs[i] = Envelope{Endpoint: "search", Status: 200, LatencyMS: float64(i + 1), SchedMS: float64(i)}
+	}
+	rep := Analyze(envs, AnalyzeOptions{})
+	if rep.Latency.P50 != 50 || rep.Latency.P95 != 95 || rep.Latency.P99 != 99 || rep.Latency.Max != 100 {
+		t.Fatalf("quantiles %+v", rep.Latency)
+	}
+	ep := rep.Endpoints["search"]
+	if ep == nil || ep.Requests != 100 || ep.Latency.P99 != 99 {
+		t.Fatalf("endpoint report %+v", ep)
+	}
+}
+
+// TestAnalyzeCapacity: the capacity estimate is the highest offered rate
+// whose step stayed clean — errors, a blown p99 SLO, or an achieved rate
+// far under offered all disqualify a step.
+func TestAnalyzeCapacity(t *testing.T) {
+	var envs []Envelope
+	envs = append(envs, synthStep(0, 100, 200, 10, 0)...) // clean
+	envs = append(envs, synthStep(1, 200, 400, 20, 0)...) // clean, higher rate
+	envs = append(envs, synthStep(2, 400, 800, 10, 5)...) // 5xx → not sustained
+	rep := Analyze(envs, AnalyzeOptions{})
+	if len(rep.Steps) != 3 {
+		t.Fatalf("%d steps", len(rep.Steps))
+	}
+	if !rep.Steps[0].Sustained || !rep.Steps[1].Sustained || rep.Steps[2].Sustained {
+		t.Fatalf("sustained flags: %v %v %v",
+			rep.Steps[0].Sustained, rep.Steps[1].Sustained, rep.Steps[2].Sustained)
+	}
+	if rep.CapacityQPS != 200 {
+		t.Fatalf("capacity %v, want 200", rep.CapacityQPS)
+	}
+	if rep.Errors5xx != 5 {
+		t.Fatalf("5xx %d", rep.Errors5xx)
+	}
+
+	// A blown p99 SLO disqualifies even an error-free step.
+	envs = append(envs[:0:0], synthStep(0, 100, 200, 5000, 0)...)
+	rep = Analyze(envs, AnalyzeOptions{P99SLOMS: 1000})
+	if rep.Steps[0].Sustained || rep.CapacityQPS != 0 {
+		t.Fatalf("slow step sustained: %+v", rep.Steps[0])
+	}
+
+	// A step that only completed half its offered arrivals in its span is
+	// not sustaining the rate, whatever its latencies say.
+	half := synthStep(0, 100, 100, 10, 0)
+	for i := range half {
+		half[i].SchedMS *= 2 // stretch the span: achieved ≈ offered/2
+	}
+	rep = Analyze(half, AnalyzeOptions{})
+	if rep.Steps[0].Sustained {
+		t.Fatalf("under-achieving step sustained: %+v", rep.Steps[0])
+	}
+}
+
+// TestAnalyzeCounters: stalls, degraded, transport errors, 4xx and cache
+// dispositions are tallied where they belong.
+func TestAnalyzeCounters(t *testing.T) {
+	envs := []Envelope{
+		{Endpoint: "search", Status: 200, Cache: "miss", IssueDelayMS: 50},
+		{Endpoint: "search", Status: 200, Cache: "coalesced", Degraded: true},
+		{Endpoint: "search", Status: 0, Error: "connection refused"},
+		{Endpoint: "enrich", Status: 422},
+		{Endpoint: "heatmap", Status: 200, Cache: "hit"},
+	}
+	rep := Analyze(envs, AnalyzeOptions{StallMS: 5})
+	if rep.Stalls != 1 || rep.Degraded != 1 || rep.Transport != 1 || rep.Errors4xx != 1 || rep.Errors5xx != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.DegradedRate != 0.2 {
+		t.Fatalf("degraded rate %v", rep.DegradedRate)
+	}
+	s := rep.Endpoints["search"]
+	if s.Misses != 1 || s.Coalesced != 1 || s.Hits != 0 || s.Transport != 1 || s.Degraded != 1 {
+		t.Fatalf("search endpoint %+v", s)
+	}
+	if h := rep.Endpoints["heatmap"]; h.Hits != 1 {
+		t.Fatalf("heatmap endpoint %+v", h)
+	}
+}
+
+// TestReportWriteText smoke-checks the terminal rendering.
+func TestReportWriteText(t *testing.T) {
+	envs := append(synthStep(0, 100, 50, 10, 0), synthStep(1, 200, 50, 10, 1)...)
+	var buf bytes.Buffer
+	Analyze(envs, AnalyzeOptions{}).WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"requests:", "search", "max sustainable rate: 100.0 req/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip: JSONL write/read is lossless.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := synthStep(2, 50, 5, 1.5, 1)
+	in[0].Degraded = true
+	in[0].ShardsOK = 1
+	in[0].ShardsTotal = 2
+	var buf bytes.Buffer
+	if err := WriteEnvelopes(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEnvelopes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d envelopes, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("envelope %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RunOptions configures one open-loop run of a plan.
+type RunOptions struct {
+	// BaseURL is the target daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests (default: a client with a generous
+	// timeout and unlimited idle connections to BaseURL's host).
+	Client *http.Client
+	// Out receives one JSON envelope per line. Required.
+	Out io.Writer
+	// Step and Rate tag every envelope (rate defaults to the plan's).
+	Step int
+	Rate float64
+}
+
+// Run replays plan against BaseURL open-loop: every op is issued at its
+// scheduled offset regardless of how earlier requests are faring, each on
+// its own goroutine, so a slow server bends latency — never the offered
+// load. One envelope per op is written to opt.Out (ordered by completion,
+// not by schedule). Run returns the number of envelopes written; a
+// canceled context stops issuing new requests but still drains in-flight
+// ones.
+func Run(ctx context.Context, plan *Plan, opt RunOptions) (int, error) {
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rate := opt.Rate
+	if rate == 0 {
+		rate = plan.Spec.Rate
+	}
+
+	var (
+		mu    sync.Mutex
+		enc   = json.NewEncoder(opt.Out)
+		wrErr error
+		count int
+		wg    sync.WaitGroup
+	)
+	emit := func(e *Envelope) {
+		mu.Lock()
+		defer mu.Unlock()
+		if wrErr == nil {
+			if wrErr = enc.Encode(e); wrErr == nil {
+				count++
+			}
+		}
+	}
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+issue:
+	for seq := range plan.Ops {
+		op := &plan.Ops[seq]
+		if wait := op.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				break issue
+			}
+		} else if ctx.Err() != nil {
+			break issue
+		}
+		issuedAt := time.Since(start)
+		wg.Add(1)
+		go func(seq int, op *Op, issuedAt time.Duration) {
+			defer wg.Done()
+			e := measure(ctx, client, opt.BaseURL, op, start)
+			e.Step = opt.Step
+			e.Rate = rate
+			e.Seq = seq
+			e.IssueDelayMS = ms(issuedAt - op.At)
+			emit(e)
+		}(seq, op, issuedAt)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return count, wrErr
+}
+
+// measure issues one request and fills the measurement fields of its
+// envelope.
+func measure(ctx context.Context, client *http.Client, base string, op *Op, start time.Time) *Envelope {
+	e := &Envelope{
+		Endpoint: op.Endpoint,
+		Path:     op.Path,
+		SchedMS:  ms(op.At),
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+op.Path, nil)
+	if err != nil {
+		e.Error = err.Error()
+		e.LatencyMS = ms(time.Since(start) - op.At)
+		return e
+	}
+	sent := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		e.Error = err.Error()
+	} else {
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		e.Status = resp.StatusCode
+		e.Bytes = n
+		e.Cache = resp.Header.Get("X-Forestview-Cache")
+		e.ShardsOK = atoiHeader(resp.Header, "X-Forestview-Shards-Ok")
+		e.ShardsTotal = atoiHeader(resp.Header, "X-Forestview-Shards-Total")
+		e.Degraded = resp.Header.Get("X-Forestview-Degraded") == "true"
+	}
+	done := time.Now()
+	e.ServiceMS = ms(done.Sub(sent))
+	e.LatencyMS = ms(done.Sub(start) - op.At)
+	return e
+}
+
+func atoiHeader(h http.Header, key string) int {
+	n, _ := strconv.Atoi(h.Get(key))
+	return n
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

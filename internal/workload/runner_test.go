@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunOpenLoop replays a short plan against a trivial server and checks
+// the open-loop contract: one envelope per op, issue times tracking the
+// schedule (not the server), and header fields relayed into envelopes.
+func TestRunOpenLoop(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/api/search"):
+			w.Header().Set("X-Forestview-Cache", "hit")
+			w.Header().Set("X-Forestview-Shards-Ok", "1")
+			w.Header().Set("X-Forestview-Shards-Total", "2")
+			w.Header().Set("X-Forestview-Degraded", "true")
+		case strings.HasPrefix(r.URL.Path, "/api/enrich"):
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	spec := Spec{
+		Rate:     200,
+		Duration: time.Second,
+		Seed:     7,
+		Mix:      Mix{Search: 2, Enrich: 1, Stats: 1},
+		Genes:    testGenes(50),
+	}
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Run(context.Background(), plan, RunOptions{BaseURL: srv.URL, Out: &buf, Step: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(plan.Ops) {
+		t.Fatalf("wrote %d envelopes for %d ops", n, len(plan.Ops))
+	}
+	envs, err := ReadEnvelopes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != len(plan.Ops) {
+		t.Fatalf("read %d envelopes for %d ops", len(envs), len(plan.Ops))
+	}
+	seen := map[int]bool{}
+	for _, e := range envs {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d duplicated", e.Seq)
+		}
+		seen[e.Seq] = true
+		op := plan.Ops[e.Seq]
+		if e.Endpoint != op.Endpoint || e.Path != op.Path || e.Step != 3 || e.Rate != 200 {
+			t.Fatalf("envelope %+v does not match op %+v", e, op)
+		}
+		if e.SchedMS != ms(op.At) {
+			t.Fatalf("seq %d sched %v, want %v", e.Seq, e.SchedMS, ms(op.At))
+		}
+		// Open-loop: against an instant server the generator must track its
+		// own schedule closely. 250ms of slack absorbs CI scheduling noise.
+		if e.IssueDelayMS < 0 || e.IssueDelayMS > 250 {
+			t.Fatalf("seq %d issue delay %vms", e.Seq, e.IssueDelayMS)
+		}
+		if e.LatencyMS < 0 || e.ServiceMS < 0 {
+			t.Fatalf("seq %d negative timing: %+v", e.Seq, e)
+		}
+		switch e.Endpoint {
+		case "search":
+			if e.Status != 200 || e.Cache != "hit" || e.ShardsOK != 1 || e.ShardsTotal != 2 || !e.Degraded {
+				t.Fatalf("search envelope missing relayed headers: %+v", e)
+			}
+		case "enrich":
+			if e.Status != http.StatusServiceUnavailable {
+				t.Fatalf("enrich status %d", e.Status)
+			}
+		case "stats":
+			if e.Status != 200 || e.Cache != "" || e.Degraded {
+				t.Fatalf("stats envelope: %+v", e)
+			}
+		}
+	}
+}
+
+// TestRunTransportError: an unreachable target yields envelopes with
+// status 0 and an error string, not a Run failure.
+func TestRunTransportError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing listens anymore
+
+	plan, err := NewPlan(Spec{Rate: 100, Duration: 100 * time.Millisecond, Seed: 1, Mix: Mix{Stats: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Run(context.Background(), plan, RunOptions{BaseURL: srv.URL, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs, err := ReadEnvelopes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || len(envs) != n {
+		t.Fatalf("n=%d envelopes=%d", n, len(envs))
+	}
+	for _, e := range envs {
+		if e.Status != 0 || e.Error == "" {
+			t.Fatalf("expected transport error envelope, got %+v", e)
+		}
+	}
+}
+
+// TestRunCanceled: canceling the context stops issuing but the call still
+// returns cleanly with the envelopes already earned.
+func TestRunCanceled(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	plan, err := NewPlan(Spec{Rate: 50, Duration: 10 * time.Second, Seed: 1, Mix: Mix{Stats: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var buf bytes.Buffer
+	n, err := Run(ctx, plan, RunOptions{BaseURL: srv.URL, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n >= len(plan.Ops) {
+		t.Fatalf("canceled run wrote %d of %d envelopes", n, len(plan.Ops))
+	}
+}

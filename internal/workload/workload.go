@@ -1,0 +1,190 @@
+// Package workload generates and drives open-loop request workloads
+// against a forestviewd daemon, and folds the recorded per-request
+// envelopes into latency/capacity reports.
+//
+// The generator is *open-loop*: arrival times come from a Poisson process
+// at a configured rate, fixed before the first request is sent, so a slow
+// server cannot slow the offered load down. Closed-loop drivers (a fixed
+// worker pool of request-response loops) understate tail latency under
+// saturation — every stalled worker silently withholds the requests it
+// would have issued, the classic coordinated-omission trap. Here a
+// request's latency is measured from its *scheduled* arrival, so queueing
+// delay the server caused is charged to the server.
+//
+// Sessions are realistic mixes of the daemon's three workloads:
+//
+//   - SPELL searches drawn Zipf-style from a popular-query pool, so hot
+//     queries repeat (exercising the cache/coalescing path) while a long
+//     tail stays cold;
+//   - heatmap tile walks that pan and zoom over adjacent row windows of a
+//     pane, the access pattern of an interactive viewer;
+//   - GOLEM enrich bursts: a selection is analyzed several times in close
+//     succession with small mutations, the way a user refines a gene list.
+//
+// A Plan is fully materialized by NewPlan and deterministic under its
+// seed: the same Spec always produces the same ops at the same offsets,
+// so runs are reproducible and replayable across topologies.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Mix weights the session types; entries are relative (only ratios
+// matter). A zero weight disables that op type entirely.
+type Mix struct {
+	Search  int `json:"search"`
+	Heatmap int `json:"heatmap"`
+	Enrich  int `json:"enrich"`
+	Stats   int `json:"stats"`
+}
+
+// DefaultMix approximates an interactive exploration session: searching
+// dominates, tile pulls follow the viewer around, enrichment punctuates.
+func DefaultMix() Mix { return Mix{Search: 5, Heatmap: 3, Enrich: 2, Stats: 0} }
+
+// Spec configures a Plan.
+type Spec struct {
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64
+	// Duration bounds the arrival schedule.
+	Duration time.Duration
+	// Seed makes the plan deterministic.
+	Seed int64
+	// Mix weights the op types (zero value = DefaultMix).
+	Mix Mix
+
+	// Genes is the queryable gene universe (required when Mix.Search or
+	// Mix.Enrich is positive).
+	Genes []string
+	// QueryGenes is the genes per search query (default 3, min 2 — the
+	// daemon rejects single-gene searches).
+	QueryGenes int
+	// QueryPool is the number of distinct candidate queries the Zipf draw
+	// ranks over (default 64).
+	QueryPool int
+	// ZipfS is the Zipf skew (> 1; default 1.2 — a few queries dominate,
+	// the tail stays long).
+	ZipfS float64
+
+	// PaneRows lists the row count of each heatmap pane; index is the
+	// dataset reference (required when Mix.Heatmap is positive).
+	PaneRows []int
+	// TileRows is the walker's initial row-window size (default 64).
+	TileRows int
+	// TileSize is the requested tile width and height in pixels
+	// (default 128).
+	TileSize int
+
+	// EnrichBurst is the ops per enrichment burst (default 4).
+	EnrichBurst int
+	// EnrichGenes is the genes per enrichment selection (default 20).
+	EnrichGenes int
+}
+
+// Op is one scheduled request.
+type Op struct {
+	// At is the scheduled arrival offset from run start.
+	At time.Duration `json:"at"`
+	// Endpoint labels the op for per-endpoint analysis ("search",
+	// "heatmap", "enrich", "stats").
+	Endpoint string `json:"endpoint"`
+	// Path is the request path and query string.
+	Path string `json:"path"`
+}
+
+// Plan is a fully materialized open-loop schedule.
+type Plan struct {
+	Spec Spec
+	Ops  []Op
+}
+
+// withDefaults fills the zero-valued knobs.
+func (s Spec) withDefaults() Spec {
+	if s.Mix == (Mix{}) {
+		s.Mix = DefaultMix()
+	}
+	if s.QueryGenes < 2 {
+		s.QueryGenes = 3
+	}
+	if s.QueryPool <= 0 {
+		s.QueryPool = 64
+	}
+	if s.ZipfS <= 1 {
+		s.ZipfS = 1.2
+	}
+	if s.TileRows <= 0 {
+		s.TileRows = 64
+	}
+	if s.TileSize <= 0 {
+		s.TileSize = 128
+	}
+	if s.EnrichBurst <= 0 {
+		s.EnrichBurst = 4
+	}
+	if s.EnrichGenes <= 0 {
+		s.EnrichGenes = 20
+	}
+	return s
+}
+
+// NewPlan materializes the open-loop schedule for spec. The result is a
+// pure function of the spec (including its seed).
+func NewPlan(spec Spec) (*Plan, error) {
+	spec = spec.withDefaults()
+	if spec.Rate <= 0 {
+		return nil, fmt.Errorf("workload: rate must be positive, got %g", spec.Rate)
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration must be positive, got %v", spec.Duration)
+	}
+	m := spec.Mix
+	if m.Search < 0 || m.Heatmap < 0 || m.Enrich < 0 || m.Stats < 0 {
+		return nil, fmt.Errorf("workload: negative mix weight %+v", m)
+	}
+	total := m.Search + m.Heatmap + m.Enrich + m.Stats
+	if total == 0 {
+		return nil, fmt.Errorf("workload: empty mix")
+	}
+	if m.Search > 0 && len(spec.Genes) < spec.QueryGenes {
+		return nil, fmt.Errorf("workload: search mix needs >= %d genes, have %d", spec.QueryGenes, len(spec.Genes))
+	}
+	if m.Enrich > 0 && len(spec.Genes) == 0 {
+		return nil, fmt.Errorf("workload: enrich mix needs a gene universe")
+	}
+	if m.Heatmap > 0 {
+		if len(spec.PaneRows) == 0 {
+			return nil, fmt.Errorf("workload: heatmap mix needs pane row counts")
+		}
+		for i, n := range spec.PaneRows {
+			if n <= 0 {
+				return nil, fmt.Errorf("workload: pane %d has %d rows", i, n)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := &planGen{spec: spec, rng: rng}
+	g.init()
+
+	plan := &Plan{Spec: spec}
+	for t := time.Duration(float64(time.Second) * rng.ExpFloat64() / spec.Rate); t < spec.Duration; t += time.Duration(float64(time.Second) * rng.ExpFloat64() / spec.Rate) {
+		r := rng.Intn(total)
+		var op Op
+		switch {
+		case r < m.Search:
+			op = g.searchOp()
+		case r < m.Search+m.Heatmap:
+			op = g.heatmapOp()
+		case r < m.Search+m.Heatmap+m.Enrich:
+			op = g.enrichOp()
+		default:
+			op = Op{Endpoint: "stats", Path: "/api/stats"}
+		}
+		op.At = t
+		plan.Ops = append(plan.Ops, op)
+	}
+	return plan, nil
+}

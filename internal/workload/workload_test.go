@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testGenes(n int) []string {
+	g := make([]string, n)
+	for i := range g {
+		g[i] = fmt.Sprintf("G%03d", i)
+	}
+	return g
+}
+
+func testSpec() Spec {
+	return Spec{
+		Rate:     500,
+		Duration: 2 * time.Second,
+		Seed:     42,
+		Genes:    testGenes(200),
+		PaneRows: []int{250, 120, 40},
+	}
+}
+
+// TestPlanDeterministic: a plan is a pure function of its spec — the same
+// seed reproduces every op byte for byte, a different seed does not.
+func TestPlanDeterministic(t *testing.T) {
+	a, err := NewPlan(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different plans")
+	}
+	spec := testSpec()
+	spec.Seed = 43
+	c, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestPlanArrivalRate: the schedule is genuinely open-loop Poisson at the
+// configured rate — op count within 5 sigma of rate*duration, arrivals
+// sorted and inside the duration.
+func TestPlanArrivalRate(t *testing.T) {
+	spec := testSpec()
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Rate * spec.Duration.Seconds()
+	sigma := math.Sqrt(want)
+	if got := float64(len(plan.Ops)); math.Abs(got-want) > 5*sigma {
+		t.Fatalf("op count %v, want %v ± %v", got, want, 5*sigma)
+	}
+	var prev time.Duration
+	for i, op := range plan.Ops {
+		if op.At < prev {
+			t.Fatalf("op %d scheduled at %v before predecessor %v", i, op.At, prev)
+		}
+		if op.At >= spec.Duration {
+			t.Fatalf("op %d scheduled at %v, beyond duration %v", i, op.At, spec.Duration)
+		}
+		prev = op.At
+	}
+}
+
+// TestPlanMix: generated endpoints roughly follow the mix weights.
+func TestPlanMix(t *testing.T) {
+	spec := testSpec()
+	spec.Rate = 2000
+	spec.Mix = Mix{Search: 6, Heatmap: 2, Enrich: 1, Stats: 1}
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, op := range plan.Ops {
+		counts[op.Endpoint]++
+	}
+	n := float64(len(plan.Ops))
+	for ep, weight := range map[string]float64{"search": 6, "heatmap": 2, "enrich": 1, "stats": 1} {
+		want := n * weight / 10
+		if got := float64(counts[ep]); math.Abs(got-want) > 5*math.Sqrt(want) {
+			t.Errorf("%s: %v ops, want ~%v", ep, got, want)
+		}
+	}
+}
+
+// TestTileWalkInBounds: every heatmap op's row window lies inside its
+// pane, whatever the walk did, and requests the configured tile size.
+func TestTileWalkInBounds(t *testing.T) {
+	spec := testSpec()
+	spec.Mix = Mix{Heatmap: 1}
+	spec.Rate = 2000
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Ops) == 0 {
+		t.Fatal("no ops")
+	}
+	for _, op := range plan.Ops {
+		u, err := url.Parse(op.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := u.Query()
+		var ds, from, to int
+		if _, err := fmt.Sscanf(q.Get("dataset"), "%d", &ds); err != nil {
+			t.Fatalf("bad dataset in %q", op.Path)
+		}
+		if _, err := fmt.Sscanf(q.Get("rows"), "%d:%d", &from, &to); err != nil {
+			t.Fatalf("bad rows in %q", op.Path)
+		}
+		if ds < 0 || ds >= len(spec.PaneRows) {
+			t.Fatalf("dataset %d out of range in %q", ds, op.Path)
+		}
+		if from < 0 || to <= from || to > spec.PaneRows[ds] {
+			t.Fatalf("window %d:%d out of bounds for pane %d (%d rows)", from, to, ds, spec.PaneRows[ds])
+		}
+		if q.Get("w") != "128" || q.Get("h") != "128" {
+			t.Fatalf("tile size %s×%s, want 128×128", q.Get("w"), q.Get("h"))
+		}
+	}
+}
+
+// TestSearchOpsZipfPool: search queries come from a bounded pool (so hot
+// queries repeat exactly, exercising the cache) with a skewed popularity —
+// and each query has the configured number of distinct genes.
+func TestSearchOpsZipfPool(t *testing.T) {
+	spec := testSpec()
+	spec.Mix = Mix{Search: 1}
+	spec.Rate = 5000
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	best := 0
+	for _, op := range plan.Ops {
+		u, _ := url.Parse(op.Path)
+		q := u.Query().Get("q")
+		counts[q]++
+		if counts[q] > best {
+			best = counts[q]
+		}
+		genes := strings.Split(q, ",")
+		if len(genes) != 3 {
+			t.Fatalf("query %q has %d genes, want 3", q, len(genes))
+		}
+		seen := map[string]bool{}
+		for _, g := range genes {
+			if seen[g] {
+				t.Fatalf("query %q repeats gene %s", q, g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(counts) > 64 {
+		t.Fatalf("%d distinct queries, want <= pool size 64", len(counts))
+	}
+	// Zipf skew: the most popular query dominates a uniform draw's share.
+	if uniform := len(plan.Ops) / 64; best < 3*uniform {
+		t.Fatalf("hottest query seen %d times; uniform share is %d — no Zipf skew?", best, uniform)
+	}
+}
+
+// TestNewPlanValidation: impossible specs are rejected up front.
+func TestNewPlanValidation(t *testing.T) {
+	bad := []Spec{
+		{Rate: 0, Duration: time.Second, Genes: testGenes(10), PaneRows: []int{10}},
+		{Rate: 10, Duration: 0, Genes: testGenes(10), PaneRows: []int{10}},
+		{Rate: 10, Duration: time.Second, Mix: Mix{Search: 1}, Genes: testGenes(2)},
+		{Rate: 10, Duration: time.Second, Mix: Mix{Heatmap: 1}},
+		{Rate: 10, Duration: time.Second, Mix: Mix{Heatmap: 1}, PaneRows: []int{0}},
+		{Rate: 10, Duration: time.Second, Mix: Mix{Enrich: 1}},
+		{Rate: 10, Duration: time.Second, Mix: Mix{Search: -1, Stats: 2}, Genes: testGenes(10)},
+	}
+	for i, spec := range bad {
+		if _, err := NewPlan(spec); err == nil {
+			t.Errorf("spec %d: expected error", i)
+		}
+	}
+}
