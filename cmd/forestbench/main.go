@@ -17,10 +17,12 @@
 //	forestbench run -target http://127.0.0.1:8080 -sweep 50,100,200,400 -step-duration 10s -out sweep.jsonl
 //
 //	# fold envelopes into p50/p95/p99 per endpoint, error/degraded rates
-//	# and the max sustainable rate; gate CI on the result
-//	forestbench analyze -in sweep.jsonl -fail-on-5xx -max-p99 2000
+//	# and the max sustainable rate; gate CI on the result and keep the
+//	# latency-vs-rate curve for plotting
+//	forestbench analyze -in sweep.jsonl -fail-on-5xx -max-p99 2000 -csv sweep.csv
 //
 //	# seconds-scale self-contained proof against in-process topologies
+//	# (-topology all adds the replicated 4-shard fleet)
 //	forestbench -profile=smoke -topology both
 //
 // run generates queries for the daemon's -demo compendium by regenerating
@@ -63,7 +65,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		profile  = fs.String("profile", "", `"smoke": seconds-scale run against in-process topologies (the only profile)`)
-		topo     = fs.String("topology", "both", `smoke topology: "single", "shard2" (coordinator + 2 shards) or "both"`)
+		topo     = fs.String("topology", "both", `smoke topology: "single", "shard2" (coordinator + 2 shards, R=1), "shard4" (coordinator + 4 shards, R=2), "both" (single+shard2) or "all"`)
 		rate     = fs.Float64("rate", 40, "smoke base rate, req/s (the sweep steps are 1x and 2x)")
 		stepDur  = fs.Duration("step-duration", 1200*time.Millisecond, "smoke duration per sweep step")
 		seed     = fs.Int64("seed", 1, "workload seed")
@@ -78,8 +80,13 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	topos := []string{"single", "shard2"}
-	if *topo != "both" {
+	var topos []string
+	switch *topo {
+	case "both":
+		topos = []string{"single", "shard2"}
+	case "all":
+		topos = []string{"single", "shard2", "shard4"}
+	default:
 		topos = []string{*topo}
 	}
 	code := 0
@@ -137,14 +144,21 @@ func smokeOne(name string, rate float64, stepDur time.Duration, seed int64, outP
 	fmt.Fprintf(stdout, "== smoke %s: %d requests against %s ==\n", name, rep.Requests, tp.url)
 	rep.WriteText(stdout)
 	fmt.Fprintln(stdout)
-	if reportPath := fmt.Sprintf("%s-%s-report.txt", outPrefix, name); reportPath != "" {
-		rf, err := os.Create(reportPath)
-		if err != nil {
-			return err
-		}
-		rep.WriteText(rf)
-		rf.Close()
+	rf, err := os.Create(fmt.Sprintf("%s-%s-report.txt", outPrefix, name))
+	if err != nil {
+		return err
 	}
+	rep.WriteText(rf)
+	rf.Close()
+	cf, err := os.Create(fmt.Sprintf("%s-%s-sweep.csv", outPrefix, name))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	cf.Close()
 	return gate(rep, maxP99MS)
 }
 
@@ -281,6 +295,7 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) int {
 	var (
 		in        = fs.String("in", "-", `JSONL envelope path ("-" = stdin)`)
 		asJSON    = fs.Bool("json", false, "emit the report as JSON instead of text")
+		csvOut    = fs.String("csv", "", `write the per-step latency-vs-rate sweep as CSV to this path ("-" = stdout)`)
 		stallMS   = fs.Float64("stall-ms", 5, "issue-delay threshold counted as a generator stall")
 		sloP99    = fs.Float64("slo-p99", 1000, "per-step p99 bound for the capacity model, ms")
 		failOn5xx = fs.Bool("fail-on-5xx", false, "exit nonzero if any 5xx or transport error was recorded")
@@ -314,6 +329,22 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		rep.WriteText(stdout)
+	}
+	if *csvOut != "" {
+		var cw io.Writer = stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "forestbench analyze:", err)
+				return 1
+			}
+			defer f.Close()
+			cw = f
+		}
+		if err := rep.WriteCSV(cw); err != nil {
+			fmt.Fprintln(stderr, "forestbench analyze:", err)
+			return 1
+		}
 	}
 	if *failOn5xx {
 		if rep.Errors5xx > 0 || rep.Transport > 0 {

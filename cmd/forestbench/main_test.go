@@ -77,6 +77,17 @@ func TestSmokeProfileShard2Fleet(t *testing.T) {
 			t.Fatalf("report artifact missing %q:\n%s", want, rep)
 		}
 	}
+	csv, err := os.ReadFile(prefix + "-shard2-sweep.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if !strings.HasPrefix(lines[0], "step,offered_qps,achieved_qps,") {
+		t.Fatalf("sweep CSV header: %q", lines[0])
+	}
+	if len(lines) != 3 { // header + the two sweep steps
+		t.Fatalf("sweep CSV has %d lines, want 3:\n%s", len(lines), csv)
+	}
 }
 
 // TestSmokeProfileSingle: the single-daemon smoke exercises all four
@@ -185,6 +196,65 @@ func TestShardKillMidRun(t *testing.T) {
 	}
 }
 
+// TestReplicatedFleetKillMidRun is the replication acceptance proof: a
+// 3-shard fleet at replication 2 loses one shard mid-run, and because
+// every dataset still has a live owner, the coordinator keeps answering
+// full merges — zero 5xx, zero transport errors, zero degraded envelopes,
+// before and after the kill. The tiny coordinator cache forces every
+// post-kill search to genuinely re-scatter through replica failover.
+func TestReplicatedFleetKillMidRun(t *testing.T) {
+	tp, err := newFleetTopology("fleet3r2", 3, 2, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.close()
+
+	const killAt = 1200 * time.Millisecond
+	plan, err := workload.NewPlan(workload.Spec{
+		Rate:     50,
+		Duration: 3 * time.Second,
+		Seed:     9,
+		Mix:      workload.Mix{Search: 1},
+		Genes:    tp.genes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := time.AfterFunc(killAt, tp.shardServers[1].Close)
+	defer timer.Stop()
+	var buf bytes.Buffer
+	n, err := workload.Run(context.Background(), plan, workload.RunOptions{BaseURL: tp.url, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(plan.Ops) {
+		t.Fatalf("wrote %d envelopes for %d ops", n, len(plan.Ops))
+	}
+	envs, err := workload.ReadEnvelopes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killMS := float64(killAt / time.Millisecond)
+	var postKill int
+	for _, e := range envs {
+		if e.Status != 200 {
+			t.Fatalf("non-200 under replicated shard kill: %+v", e)
+		}
+		if e.Degraded {
+			t.Fatalf("degraded merge despite replication: %+v", e)
+		}
+		if e.ShardsTotal != 3 {
+			t.Fatalf("shard tally total %d, want 3: %+v", e.ShardsTotal, e)
+		}
+		if e.SchedMS > killMS {
+			postKill++
+		}
+	}
+	if postKill == 0 {
+		t.Fatalf("kill not straddled: no envelopes scheduled after %v of %d", killAt, len(envs))
+	}
+}
+
 // TestRunAndAnalyzeSubcommands: the two CLI subcommands against a live
 // topology — run writes JSONL, analyze folds and gates it.
 func TestRunAndAnalyzeSubcommands(t *testing.T) {
@@ -229,5 +299,23 @@ func TestRunAndAnalyzeSubcommands(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), `"capacity_qps"`) {
 		t.Fatalf("JSON report missing capacity_qps:\n%s", stdout.String())
+	}
+
+	// -csv writes the per-step latency-vs-rate curve.
+	csvPath := filepath.Join(t.TempDir(), "sweep.csv")
+	stdout.Reset()
+	if code := runMain([]string{"analyze", "-in", out, "-csv", csvPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("analyze -csv exited %d: %s", code, stderr.String())
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if !strings.HasPrefix(lines[0], "step,offered_qps,") || len(lines) != 2 {
+		t.Fatalf("analyze CSV:\n%s", csv)
+	}
+	if !strings.HasSuffix(lines[1], ",true") && !strings.HasSuffix(lines[1], ",false") {
+		t.Fatalf("analyze CSV row missing sustained column: %q", lines[1])
 	}
 }

@@ -19,8 +19,8 @@ import (
 // This file builds the in-process topologies behind -profile=smoke: real
 // server.Server instances behind httptest listeners, so CI can push a
 // seconds-scale open-loop load through the exact fleet wiring — including
-// a coordinator scattering over two shard daemons — without sockets to
-// provision or processes to babysit. The E2E tests reuse these builders.
+// a coordinator scattering over replicated shard daemons — without sockets
+// to provision or processes to babysit. The E2E tests reuse these builders.
 
 // smokeUniverse are the demo-compendium parameters every smoke topology
 // shares; kept small so a full smoke run stays seconds-scale.
@@ -28,7 +28,7 @@ const (
 	smokeGenes    = 300
 	smokeModules  = 10
 	smokeSeed     = 1
-	smokeDatasets = 4 // single-role compendium; the shard pair splits 6
+	smokeDatasets = 4 // single-role compendium; fleet topologies pick their own depth
 )
 
 // topology is one in-process deployment under test.
@@ -114,29 +114,37 @@ func newSingleTopology() (*topology, error) {
 	return tp, nil
 }
 
-// newShard2Topology builds the fleet: two shard-role daemons owning a
-// rendezvous split of a 6-dataset compendium, and a coordinator scattering
-// /api/search over them. The coordinator serves no heatmap or enrichment,
-// so the mix is search plus stats. coordCacheBytes sizes the coordinator's
-// merged-result cache — pass something tiny (e.g. 16) to force every
-// search to re-scatter, which is what a shard-kill test needs: cached full
-// merges would keep answering non-degraded after the shard died.
-func newShard2Topology(coordCacheBytes int64) (*topology, error) {
-	u, dss := smokeCompendium(6)
+// newFleetTopology builds the general fleet: n shard-role daemons, each
+// loading every dataset of an nDatasets-deep compendium that ranks it in
+// the top-repl rendezvous owners, and a coordinator scattering /api/search
+// over the fleet with that replication factor. Shard identities are the
+// logical strings "shard-0".."shard-N" resolved to httptest URLs through
+// the coordinator's Resolve hook — the same identity/dial split a real
+// deployment gets from -shards plus DNS. The coordinator serves no heatmap
+// or enrichment, so the mix is search plus stats. coordCacheBytes sizes
+// the coordinator's merged-result cache — pass something tiny (e.g. 16) to
+// force every search to re-scatter, which is what a shard-kill test needs:
+// cached full merges would keep answering non-degraded after a shard died.
+func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes int64) (*topology, error) {
+	u, dss := smokeCompendium(nDatasets)
 	names := make([]string, len(dss))
 	for i, ds := range dss {
 		names[i] = ds.Name
 	}
-	shardNames := []string{"shard-0", "shard-1"}
-	tp := &topology{name: "shard2"}
+	identities := make([]string, nShards)
+	for i := range identities {
+		identities[i] = fmt.Sprintf("shard-%d", i)
+	}
+	urls := make(map[string]string, nShards)
+	tp := &topology{name: name}
 	ok := false
 	defer func() {
 		if !ok {
 			tp.close()
 		}
 	}()
-	for _, self := range shardNames {
-		owned := shard.OwnedIndexes(names, shardNames, self)
+	for _, self := range identities {
+		owned := shard.OwnedIndexesR(names, identities, self, repl)
 		if len(owned) == 0 {
 			return nil, fmt.Errorf("shard %s owns no datasets at this fixture seed", self)
 		}
@@ -148,19 +156,23 @@ func newShard2Topology(coordCacheBytes int64) (*topology, error) {
 		if err != nil {
 			return nil, err
 		}
-		ss, err := server.New(server.Config{Engine: se, ShardIndexes: owned, CacheBytes: 8 << 20})
+		ss, err := server.New(server.Config{
+			Engine: se, ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 8 << 20,
+		})
 		if err != nil {
 			return nil, err
 		}
 		hs := httptest.NewServer(ss)
 		tp.closers = append(tp.closers, ss.Close, hs.Close)
 		tp.shardServers = append(tp.shardServers, hs)
+		urls[self] = hs.URL
 	}
-	cfg := shard.Config{Retry: true}
-	for _, hs := range tp.shardServers {
-		cfg.Shards = append(cfg.Shards, hs.URL)
-	}
-	coordr, err := shard.NewCoordinator(cfg)
+	coordr, err := shard.NewCoordinator(shard.Config{
+		Shards:      identities,
+		Replication: repl,
+		Retry:       true,
+		Resolve:     func(id string) string { return urls[id] },
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -177,13 +189,28 @@ func newShard2Topology(coordCacheBytes int64) (*topology, error) {
 	return tp, nil
 }
 
+// newShard2Topology is the unreplicated two-shard fleet: each of the 6
+// datasets lives on exactly one shard, so killing a shard must degrade.
+func newShard2Topology(coordCacheBytes int64) (*topology, error) {
+	return newFleetTopology("shard2", 2, 1, 6, coordCacheBytes)
+}
+
+// newShard4Topology is the replicated fleet: 4 shards holding an
+// 8-dataset compendium at replication 2, so any single shard is
+// redundant.
+func newShard4Topology(coordCacheBytes int64) (*topology, error) {
+	return newFleetTopology("shard4", 4, 2, 8, coordCacheBytes)
+}
+
 func newTopology(name string, coordCacheBytes int64) (*topology, error) {
 	switch name {
 	case "single":
 		return newSingleTopology()
 	case "shard2":
 		return newShard2Topology(coordCacheBytes)
+	case "shard4":
+		return newShard4Topology(coordCacheBytes)
 	default:
-		return nil, fmt.Errorf("unknown topology %q (single or shard2)", name)
+		return nil, fmt.Errorf("unknown topology %q (single, shard2 or shard4)", name)
 	}
 }

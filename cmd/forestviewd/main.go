@@ -24,11 +24,19 @@
 //	curl 'localhost:8080/api/enrich?genes=YAL001C,YAL002W&maxp=0.05'
 //	curl 'localhost:8080/api/heatmap?dataset=0&w=512&h=512' -o tile.png
 //
-// A two-shard topology on one machine (see README for the walkthrough):
+// A two-shard topology on one machine (see README for the walkthrough).
+// Every daemon gets the SAME -shards list — the entries are the fleet's
+// shard identities, hashed for dataset ownership by shards and
+// coordinator alike, so they must match byte for byte:
 //
-//	forestviewd -demo -role=shard -shards :9001,:9002 -self :9001 -addr 127.0.0.1:9001
-//	forestviewd -demo -role=shard -shards :9001,:9002 -self :9002 -addr 127.0.0.1:9002
+//	forestviewd -demo -role=shard -shards 127.0.0.1:9001,127.0.0.1:9002 -self 127.0.0.1:9001 -addr 127.0.0.1:9001
+//	forestviewd -demo -role=shard -shards 127.0.0.1:9001,127.0.0.1:9002 -self 127.0.0.1:9002 -addr 127.0.0.1:9002
 //	forestviewd -role=coordinator -shards 127.0.0.1:9001,127.0.0.1:9002 -addr 127.0.0.1:8080
+//
+// With -replication=2 every dataset is held by its top-2 rendezvous
+// shards and any single shard can die without degrading results; the
+// coordinator's -fleet-token enables POST /api/admin/fleet for runtime
+// joins and leaves (see DESIGN.md §5).
 package main
 
 import (
@@ -75,11 +83,13 @@ func main() {
 		searchPar  = flag.Int("search-parallelism", 0, "workers per SPELL scan (0 = GOMAXPROCS; bound it on colocated shard daemons)")
 
 		role         = flag.String("role", "single", `daemon role: "single" (whole compendium in-process), "shard" (serve partials for this daemon's slice), "coordinator" (scatter searches over -shards and merge)`)
-		shardsFlag   = flag.String("shards", "", "comma-separated shard identities; the full shard set for -role=shard (slice assignment), the backend addresses for -role=coordinator")
+		shardsFlag   = flag.String("shards", "", "comma-separated shard identities — the same list on every fleet member (shards and coordinator hash these strings for dataset ownership)")
 		selfFlag     = flag.String("self", "", "this daemon's entry in -shards (required with -role=shard)")
+		replication  = flag.Int("replication", 1, "ownership replication factor R: each dataset is held by its top-R rendezvous shards (same value on every fleet member)")
+		fleetToken   = flag.String("fleet-token", "", "coordinator: bearer token authorizing POST /api/admin/fleet membership changes (empty disables the endpoint)")
 		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "coordinator: per-shard attempt deadline")
-		shardRetry   = flag.Bool("shard-retry", true, "coordinator: retry a failed shard once per query")
-		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow shard request after this delay (0 disables hedging)")
+		shardRetry   = flag.Bool("shard-retry", true, "coordinator: grant each ownership group one extra attempt after every replica failed")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow group request after this delay, onto the next untried replica (0 disables hedging)")
 		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -91,6 +101,7 @@ func main() {
 		cacheMB: *cacheMB, workers: *workers, queue: *queue,
 		maxGenes: *maxGenes, maxTileDim: *maxTileDim, searchPar: *searchPar,
 		role: *role, shards: splitList(*shardsFlag), self: *selfFlag,
+		replication: *replication, fleetToken: *fleetToken,
 		shardDeadline: *shardTimeout, shardRetry: *shardRetry, hedgeAfter: *hedgeAfter,
 		log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
@@ -168,6 +179,8 @@ type buildConfig struct {
 	role          string // "", "single", "shard", "coordinator"
 	shards        []string
 	self          string
+	replication   int
+	fleetToken    string
 	shardDeadline time.Duration
 	shardRetry    bool
 	hedgeAfter    time.Duration
@@ -191,6 +204,16 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 	default:
 		return nil, fmt.Errorf("unknown -role %q (single, shard or coordinator)", role)
 	}
+	repl := cfg.replication
+	if repl == 0 {
+		repl = 1
+	}
+	if repl < 1 {
+		return nil, fmt.Errorf("-replication %d < 1", repl)
+	}
+	if role != "single" && len(cfg.shards) > 0 && repl > len(cfg.shards) {
+		return nil, fmt.Errorf("-replication %d exceeds the %d-shard fleet", repl, len(cfg.shards))
+	}
 	t0 := time.Now()
 
 	if role == "coordinator" {
@@ -205,16 +228,18 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 			return nil, fmt.Errorf("-obo is not supported with -role=coordinator (enrichment needs a local compendium)")
 		}
 		coord, err := shard.NewCoordinator(shard.Config{
-			Shards:     cfg.shards,
-			Deadline:   cfg.shardDeadline,
-			Retry:      cfg.shardRetry,
-			HedgeAfter: cfg.hedgeAfter,
+			Shards:      cfg.shards,
+			Replication: repl,
+			Deadline:    cfg.shardDeadline,
+			Retry:       cfg.shardRetry,
+			HedgeAfter:  cfg.hedgeAfter,
 		})
 		if err != nil {
 			return nil, err
 		}
 		srv, err := server.New(server.Config{
 			Scatter:       coord,
+			FleetToken:    cfg.fleetToken,
 			CacheBytes:    cfg.cacheMB << 20,
 			RenderWorkers: cfg.workers,
 			RenderQueue:   cfg.queue,
@@ -224,14 +249,16 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg.log("coordinator over %d shards (generation %016x), retry=%t hedge=%v",
-			len(coord.Shards()), coord.Generation(), cfg.shardRetry, cfg.hedgeAfter)
+		cfg.log("coordinator over %d shards (generation %016x), replication=%d retry=%t hedge=%v fleet-admin=%t",
+			len(coord.Shards()), coord.Generation(), repl, cfg.shardRetry, cfg.hedgeAfter, cfg.fleetToken != "")
 		return srv, nil
 	}
 
 	// shardIndexes maps engine dataset position -> global compendium index;
-	// nil for the single role.
+	// shardCatalog is the full dataset list every fleet member agrees on.
+	// Both stay nil for the single role.
 	var shardIndexes []int
+	var shardCatalog []string
 	ownedOnly := func(names []string) (map[int]bool, error) {
 		if role != "shard" {
 			return nil, nil
@@ -249,13 +276,17 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		if !selfListed {
 			return nil, fmt.Errorf("-self %q is not in -shards (assignment hashes the literal strings)", cfg.self)
 		}
+		// Top-repl ownership: this shard loads every dataset that ranks it
+		// among the top-repl rendezvous owners, so any repl-1 other shards
+		// can die without losing a dataset.
 		owned := make(map[int]bool)
-		for _, gi := range shard.OwnedIndexes(names, cfg.shards, cfg.self) {
+		for _, gi := range shard.OwnedIndexesR(names, cfg.shards, cfg.self, repl) {
 			owned[gi] = true
 		}
 		if len(owned) == 0 {
 			return nil, fmt.Errorf("shard %q owns none of the %d datasets; add datasets or shrink the shard set", cfg.self, len(names))
 		}
+		shardCatalog = names
 		return owned, nil
 	}
 
@@ -379,6 +410,7 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 	srv, err := server.New(server.Config{
 		Engine:            engine,
 		ShardIndexes:      shardIndexes,
+		ShardDatasetIDs:   shardCatalog,
 		Enricher:          enricher,
 		RawDatasets:       datasets,
 		TreeMetric:        cluster.PearsonDist,
@@ -394,7 +426,8 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		return nil, err
 	}
 	if role == "shard" {
-		cfg.log("shard %q serving %d datasets at %s", cfg.self, len(datasets), shard.SearchPath)
+		cfg.log("shard %q serving %d/%d datasets (replication=%d) at %s",
+			cfg.self, len(datasets), len(shardCatalog), repl, shard.SearchPath)
 	}
 	if cfg.precluster {
 		if err := srv.WarmTrees(context.Background()); err != nil {

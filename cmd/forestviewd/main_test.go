@@ -292,30 +292,113 @@ func TestGracefulShutdownDrainTimeout(t *testing.T) {
 	}
 }
 
+// startDaemonFleet boots n -role=shard builds of the same demo compendium
+// behind pre-bound loopback listeners, so the literal "127.0.0.1:port"
+// strings serve as both the rendezvous identities and the dial addresses —
+// exactly what a real deployment passes in -shards on every fleet member.
+// Because the ports (and hence the rendezvous placement) are random, an
+// unlucky draw can leave a shard with no datasets, which buildServer
+// rejects by design; such draws are retried with fresh ports. Returns the
+// identity list and the running HTTP servers (index-aligned).
+func startDaemonFleet(t *testing.T, n, repl, datasets int) ([]string, []*httptest.Server) {
+	t.Helper()
+attempt:
+	for try := 0; try < 25; try++ {
+		identities := make([]string, n)
+		listeners := make([]net.Listener, n)
+		for i := range identities {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			listeners[i] = ln
+			identities[i] = ln.Addr().String()
+		}
+		servers := make([]*httptest.Server, 0, n)
+		abort := func() {
+			for _, hs := range servers {
+				hs.Close()
+			}
+			for _, ln := range listeners {
+				ln.Close() // double close of consumed listeners is harmless
+			}
+		}
+		for i, self := range identities {
+			srv, err := buildServer(buildConfig{
+				demo: true, genes: 200, modules: 8, datasets: datasets, seed: 7,
+				cacheMB: 4, workers: 1,
+				role: "shard", shards: identities, self: self, replication: repl,
+			})
+			if err != nil {
+				if strings.Contains(err.Error(), "owns none") {
+					abort()
+					continue attempt
+				}
+				t.Fatalf("shard %s: %v", self, err)
+			}
+			t.Cleanup(srv.Close)
+			hs := httptest.NewUnstartedServer(srv)
+			hs.Listener.Close()
+			hs.Listener = listeners[i]
+			hs.Start()
+			servers = append(servers, hs)
+		}
+		for _, hs := range servers {
+			t.Cleanup(hs.Close)
+		}
+		return identities, servers
+	}
+	t.Fatalf("no port draw in 25 tries gave all %d shards work over %d datasets", n, datasets)
+	return nil, nil
+}
+
+type rankedSearch struct {
+	Genes []struct {
+		ID    string
+		Score float64
+	}
+	Degraded bool `json:"degraded"`
+}
+
+// searchParity runs the same query through the coordinator and the
+// single-process daemon and requires identical gene rankings and a
+// non-degraded merge.
+func searchParity(t *testing.T, coord, single *server.Server, q string) {
+	t.Helper()
+	recC := get(t, coord, "/api/search?q="+q+"&top=25")
+	recS := get(t, single, "/api/search?q="+q+"&top=25")
+	if recC.Code != http.StatusOK || recS.Code != http.StatusOK {
+		t.Fatalf("coordinator = %d (%s), single = %d", recC.Code, recC.Body.String(), recS.Code)
+	}
+	if h := recC.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q", h)
+	}
+	var gotC, gotS rankedSearch
+	if err := json.Unmarshal(recC.Body.Bytes(), &gotC); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recS.Body.Bytes(), &gotS); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotC.Genes) == 0 || len(gotC.Genes) != len(gotS.Genes) {
+		t.Fatalf("gene counts: %d vs %d", len(gotC.Genes), len(gotS.Genes))
+	}
+	for i := range gotS.Genes {
+		if gotC.Genes[i].ID != gotS.Genes[i].ID {
+			t.Fatalf("rank %d: %s vs %s", i, gotC.Genes[i].ID, gotS.Genes[i].ID)
+		}
+	}
+}
+
 // TestShardCoordinatorTopologyE2E boots the daemon's real roles — two
 // -role=shard builds over rendezvous-assigned slices of the same demo
-// compendium and a -role=coordinator build over their listeners — and
-// checks /api/search through the coordinator against the single-process
-// daemon, plus the scatter bookkeeping the roles expose.
+// compendium and a -role=coordinator build over the same identity list —
+// and checks /api/search through the coordinator against the
+// single-process daemon, plus the scatter bookkeeping the roles expose.
 func TestShardCoordinatorTopologyE2E(t *testing.T) {
-	logical := []string{"shard-a", "shard-b"}
-	var urls []string
-	for _, self := range logical {
-		srv, err := buildServer(buildConfig{
-			demo: true, genes: 200, modules: 8, datasets: 4, seed: 7,
-			cacheMB: 4, workers: 1,
-			role: "shard", shards: logical, self: self,
-		})
-		if err != nil {
-			t.Fatalf("shard %s: %v", self, err)
-		}
-		t.Cleanup(srv.Close)
-		hs := httptest.NewServer(srv)
-		t.Cleanup(hs.Close)
-		urls = append(urls, hs.URL)
-	}
+	identities, _ := startDaemonFleet(t, 2, 1, 4)
 	coord, err := buildServer(buildConfig{
-		role: "coordinator", shards: urls,
+		role: "coordinator", shards: identities,
 		cacheMB: 4, workers: 1, shardDeadline: 5 * time.Second, shardRetry: true,
 	})
 	if err != nil {
@@ -333,36 +416,7 @@ func TestShardCoordinatorTopologyE2E(t *testing.T) {
 
 	u := synth.NewUniverse(200, 8, 7)
 	q := strings.Join(u.ModuleGeneIDs(3)[:4], ",")
-	recC := get(t, coord, "/api/search?q="+q+"&top=25")
-	recS := get(t, single, "/api/search?q="+q+"&top=25")
-	if recC.Code != http.StatusOK || recS.Code != http.StatusOK {
-		t.Fatalf("coordinator = %d (%s), single = %d", recC.Code, recC.Body.String(), recS.Code)
-	}
-	if h := recC.Header().Get("X-Forestview-Degraded"); h != "false" {
-		t.Fatalf("degraded header = %q", h)
-	}
-	type ranked struct {
-		Genes []struct {
-			ID    string
-			Score float64
-		}
-		Degraded bool `json:"degraded"`
-	}
-	var gotC, gotS ranked
-	if err := json.Unmarshal(recC.Body.Bytes(), &gotC); err != nil {
-		t.Fatal(err)
-	}
-	if err := json.Unmarshal(recS.Body.Bytes(), &gotS); err != nil {
-		t.Fatal(err)
-	}
-	if len(gotC.Genes) == 0 || len(gotC.Genes) != len(gotS.Genes) {
-		t.Fatalf("gene counts: %d vs %d", len(gotC.Genes), len(gotS.Genes))
-	}
-	for i := range gotS.Genes {
-		if gotC.Genes[i].ID != gotS.Genes[i].ID {
-			t.Fatalf("rank %d: %s vs %s", i, gotC.Genes[i].ID, gotS.Genes[i].ID)
-		}
-	}
+	searchParity(t, coord, single, q)
 
 	var snap server.StatsSnapshot
 	if err := json.Unmarshal(get(t, coord, "/api/stats").Body.Bytes(), &snap); err != nil {
@@ -373,6 +427,72 @@ func TestShardCoordinatorTopologyE2E(t *testing.T) {
 	}
 	if snap.Compendium.Datasets != 4 {
 		t.Fatalf("coordinator compendium: %+v", snap.Compendium)
+	}
+}
+
+// TestShardCoordinatorReplicatedE2E is the daemon-level replication proof:
+// three -replication=2 shards, one killed outright, and the coordinator
+// still answers every query bit-identically to the single-process build
+// with no degraded merges. Also exercises the runtime fleet-admin endpoint
+// end to end: removing the dead member keeps the fleet healthy.
+func TestShardCoordinatorReplicatedE2E(t *testing.T) {
+	identities, servers := startDaemonFleet(t, 3, 2, 6)
+	coord, err := buildServer(buildConfig{
+		role: "coordinator", shards: identities, replication: 2,
+		fleetToken: "sesame",
+		cacheMB:    4, workers: 1, shardDeadline: 5 * time.Second, shardRetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	single, err := buildServer(buildConfig{
+		demo: true, genes: 200, modules: 8, datasets: 6, seed: 7,
+		cacheMB: 4, workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(single.Close)
+
+	u := synth.NewUniverse(200, 8, 7)
+	q := strings.Join(u.ModuleGeneIDs(3)[:4], ",")
+	searchParity(t, coord, single, q)
+
+	// Kill one replica. Every dataset still has a live owner, so merges
+	// must stay complete (queries vary to dodge the coordinator cache).
+	servers[1].Close()
+	for _, m := range []int{1, 2, 4, 5} {
+		searchParity(t, coord, single, strings.Join(u.ModuleGeneIDs(m)[:3], ","))
+	}
+
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(get(t, coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter == nil || snap.Scatter.Replication != 2 || snap.Scatter.Degraded != 0 {
+		t.Fatalf("scatter stats after kill: %+v", snap.Scatter)
+	}
+
+	// Retire the dead member through the admin endpoint. Surviving shards
+	// keep their boot-time holdings, but service stays whole: a dataset's
+	// best-scoring survivor was already in the old top-2, so every
+	// re-derived group's first-ranked owner holds the entire group and
+	// failover reaches it even when the probed primary comes up short.
+	body := strings.NewReader(`{"action":"remove","shard":"` + identities[1] + `"}`)
+	req := httptest.NewRequest(http.MethodPost, "/api/admin/fleet", body)
+	req.Header.Set("Authorization", "Bearer sesame")
+	rec := httptest.NewRecorder()
+	coord.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fleet remove = %d: %s", rec.Code, rec.Body.String())
+	}
+	searchParity(t, coord, single, strings.Join(u.ModuleGeneIDs(7)[:3], ","))
+	if err := json.Unmarshal(get(t, coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter.ShardsTotal != 2 || snap.Scatter.MembershipBumps != 1 {
+		t.Fatalf("scatter stats after remove: %+v", snap.Scatter)
 	}
 }
 
@@ -395,5 +515,16 @@ func TestBuildServerRoleValidation(t *testing.T) {
 		role: "shard", shards: []string{"a:1", "b:1"}, self: "c:1",
 	}); err == nil {
 		t.Fatal("-self outside -shards accepted")
+	}
+	if _, err := buildServer(buildConfig{
+		demo: true, genes: 50, modules: 4, datasets: 2,
+		role: "shard", shards: []string{"a:1", "b:1"}, self: "a:1", replication: -1,
+	}); err == nil {
+		t.Fatal("negative -replication accepted")
+	}
+	if _, err := buildServer(buildConfig{
+		role: "coordinator", shards: []string{"a:1", "b:1"}, replication: 3,
+	}); err == nil {
+		t.Fatal("-replication beyond fleet size accepted")
 	}
 }

@@ -57,10 +57,20 @@ type Config struct {
 	Scatter *shard.Coordinator
 	// ShardIndexes, when non-nil, makes the daemon a shard backend: entry
 	// i is the global compendium index of the engine's dataset i (the
-	// slice selected by shard.OwnedIndexes), and /api/shard/search +
+	// slice selected by shard.OwnedIndexesR), and /api/shard/search +
 	// /api/shard/info come up, serving partials with globally remapped
 	// dataset indexes. Requires Engine; length must match its compendium.
 	ShardIndexes []int
+	// ShardDatasetIDs is the full compendium dataset list in global order
+	// — the boot catalog every fleet member agrees on. Required with
+	// ShardIndexes (whose entries index into it): the shard recomputes
+	// ownership groups from it for replicated requests and serves it at
+	// /api/shard/info so coordinators stay dataset-stateless.
+	ShardDatasetIDs []string
+	// FleetToken authorizes POST /api/admin/fleet on a coordinator
+	// (runtime shard joins and leaves). Empty disables the admin
+	// endpoint: every request is refused.
+	FleetToken string
 	// Enricher is the prepared GOLEM context behind /api/enrich.
 	Enricher *golem.Enricher
 	// Datasets are pre-clustered panes behind /api/heatmap, indexable by
@@ -122,6 +132,11 @@ type Server struct {
 	statHTML    endpointStats
 	statStats   endpointStats
 	statShard   endpointStats // /api/shard/* (shard role only)
+	statFleet   endpointStats // /api/admin/fleet (coordinator role only)
+
+	// shardLocal maps a global dataset index to the engine's local index
+	// (the inverse of ShardIndexes), for ownership-group requests.
+	shardLocal map[int]int
 
 	// enrichKernel tracks actual golem kernel executions (cache misses that
 	// computed), reported as the enrich_cache stats section.
@@ -143,6 +158,15 @@ func New(cfg Config) (*Server, error) {
 		if len(cfg.ShardIndexes) != cfg.Engine.NumDatasets() {
 			return nil, fmt.Errorf("server: %d shard indexes for %d datasets",
 				len(cfg.ShardIndexes), cfg.Engine.NumDatasets())
+		}
+		if len(cfg.ShardDatasetIDs) == 0 {
+			return nil, fmt.Errorf("server: shard role requires the global dataset catalog (ShardDatasetIDs)")
+		}
+		for i, gi := range cfg.ShardIndexes {
+			if gi < 0 || gi >= len(cfg.ShardDatasetIDs) {
+				return nil, fmt.Errorf("server: shard index %d of dataset %d outside the %d-dataset catalog",
+					gi, i, len(cfg.ShardDatasetIDs))
+			}
 		}
 	}
 	if cfg.RenderWorkers <= 0 {
@@ -197,8 +221,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/api/heatmap", s.instrument(&s.statHeatmap, s.handleHeatmap))
 	s.mux.HandleFunc("/api/stats", s.instrument(&s.statStats, s.handleStats))
 	if cfg.ShardIndexes != nil {
+		s.shardLocal = make(map[int]int, len(cfg.ShardIndexes))
+		for li, gi := range cfg.ShardIndexes {
+			s.shardLocal[gi] = li
+		}
 		s.mux.HandleFunc(shard.SearchPath, s.instrument(&s.statShard, s.handleShardSearch))
 		s.mux.HandleFunc(shard.InfoPath, s.instrument(&s.statShard, s.handleShardInfo))
+	}
+	if cfg.Scatter != nil {
+		s.mux.HandleFunc("/api/admin/fleet", s.instrument(&s.statFleet, s.handleFleet))
 	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -572,6 +603,7 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.Endpoints["shard"] = s.statShard.snapshot()
 	}
 	if s.cfg.Scatter != nil {
+		snap.Endpoints["fleet"] = s.statFleet.snapshot()
 		sc := s.cfg.Scatter.Stats()
 		snap.Scatter = &sc
 	}

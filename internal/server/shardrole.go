@@ -3,10 +3,13 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"forestview/internal/shard"
 	"forestview/internal/spell"
@@ -39,7 +42,13 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, "empty query")
 		return
 	}
-	body, err := s.partialSearch(r.Context(), ids)
+	var body []byte
+	var err error
+	if len(req.Owners) > 0 {
+		body, err = s.partialGroupSearch(r.Context(), ids, &req)
+	} else {
+		body, err = s.partialSearch(r.Context(), ids)
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		if r.Context().Err() != nil {
 			// The coordinator gave up on us (deadline, hedge won elsewhere,
@@ -97,13 +106,58 @@ func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, error
 	return v.([]byte), nil
 }
 
-// handleShardInfo serves GET /api/shard/info: this shard's slice size and
-// gene IDs (gob), which coordinators union into compendium totals.
+// partialGroupSearch is partialSearch scoped to one ownership group of a
+// replicated fleet (DESIGN.md §5): the shard recomputes the group from
+// the request's (shards, replication, owners) — the same pure function
+// the coordinator derived it from — and scores only the datasets it holds
+// from that group, so no two replicas can both claim a dataset in one
+// merge. The cache key carries the topology generation, the replication
+// factor and the owner tuple: a membership change re-derives groups, and
+// stale group partials become unreachable rather than wrong.
+func (s *Server) partialGroupSearch(ctx context.Context, ids []string, req *shard.SearchRequest) ([]byte, error) {
+	key := fmt.Sprintf("partial\x1f%016x\x1f%d\x1f%s\x1f%s",
+		shard.Generation(req.Shards), req.Replication, joinIDs(req.Owners), joinIDs(ids))
+	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
+	v, _, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+		subset := []int{} // non-nil: an empty intersection is a valid empty partial
+		for _, gi := range shard.GroupIndexes(s.cfg.ShardDatasetIDs, req.Shards, req.Replication, req.Owners) {
+			if li, ok := s.shardLocal[gi]; ok {
+				subset = append(subset, li)
+			}
+		}
+		p, perr := s.cfg.Engine.PartialSearchSubsetCtx(ctx, ids, subset, spell.Options{Parallelism: s.cfg.SearchParallelism})
+		if perr != nil {
+			return nil, perr
+		}
+		for i := range p.Datasets {
+			p.Datasets[i].Index = s.cfg.ShardIndexes[p.Datasets[i].Index]
+		}
+		var buf bytes.Buffer
+		if eerr := gob.NewEncoder(&buf).Encode(p); eerr != nil {
+			return nil, fmt.Errorf("%w: %v", errPartialEncode, eerr)
+		}
+		return buf.Bytes(), nil
+	}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// handleShardInfo serves GET /api/shard/info: this shard's slice (size,
+// gene IDs, held dataset names) plus the full boot catalog coordinators
+// derive ownership groups from.
 func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	held := make([]string, len(s.cfg.ShardIndexes))
+	for li, gi := range s.cfg.ShardIndexes {
+		held[li] = s.cfg.ShardDatasetIDs[gi]
+	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(shard.Info{
-		Datasets: s.cfg.Engine.NumDatasets(),
-		GeneIDs:  s.cfg.Engine.GeneIDs(),
+		Datasets:      s.cfg.Engine.NumDatasets(),
+		GeneIDs:       s.cfg.Engine.GeneIDs(),
+		DatasetIDs:    held,
+		AllDatasetIDs: s.cfg.ShardDatasetIDs,
 	})
 	if err != nil {
 		s.encodeFailures.Add(1)
@@ -155,4 +209,87 @@ func (s *Server) scatterSearch(ctx context.Context, ep *endpointStats, ids []str
 type scatterSearchResponse struct {
 	*spell.Result
 	shard.Meta
+}
+
+// fleetState is the /api/admin/fleet body: the live membership and the
+// topology identity a client needs to reason about it.
+type fleetState struct {
+	Shards      []string `json:"shards"`
+	Generation  string   `json:"generation"`
+	Replication int      `json:"replication"`
+	Bumps       int64    `json:"membership_bumps"`
+}
+
+// fleetRequest is the POST /api/admin/fleet body.
+type fleetRequest struct {
+	Action string `json:"action"` // "add" or "remove"
+	Shard  string `json:"shard"`
+}
+
+// fleetAuthorized checks the fleet admin token (Authorization: Bearer or
+// X-Fleet-Token) in constant time. An empty configured token refuses
+// everything: membership mutation is opt-in, never open by default.
+func (s *Server) fleetAuthorized(r *http.Request) bool {
+	if s.cfg.FleetToken == "" {
+		return false
+	}
+	tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if tok == "" || tok == r.Header.Get("Authorization") {
+		tok = r.Header.Get("X-Fleet-Token")
+	}
+	return subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.FleetToken)) == 1
+}
+
+// handleFleet serves /api/admin/fleet on a coordinator: GET reports the
+// live membership, POST {"action":"add"|"remove","shard":"..."} mutates
+// it at runtime. A successful mutation bumps the membership generation,
+// which re-derives ownership groups on the next scatter and invalidates
+// every topology-keyed cache entry; a removed shard stops receiving
+// scatters immediately and can drain out through its SIGTERM handler.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetAuthorized(r) {
+		s.writeJSONError(w, http.StatusForbidden, "fleet admin token required")
+		return
+	}
+	m := s.cfg.Scatter.Membership()
+	state := func(shards []string, gen uint64) fleetState {
+		return fleetState{
+			Shards:      shards,
+			Generation:  fmt.Sprintf("%016x", gen),
+			Replication: s.cfg.Scatter.Replication(),
+			Bumps:       m.Bumps(),
+		}
+	}
+	switch r.Method {
+	case http.MethodGet:
+		shards, gen := m.Snapshot()
+		s.writeJSON(w, http.StatusOK, state(shards, gen))
+	case http.MethodPost:
+		var req fleetRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			s.writeJSONError(w, http.StatusBadRequest, "bad fleet request: "+err.Error())
+			return
+		}
+		var (
+			shards []string
+			gen    uint64
+			err    error
+		)
+		switch req.Action {
+		case "add":
+			shards, gen, err = m.Add(req.Shard)
+		case "remove":
+			shards, gen, err = m.Remove(req.Shard)
+		default:
+			s.writeJSONError(w, http.StatusBadRequest, `action must be "add" or "remove"`)
+			return
+		}
+		if err != nil {
+			s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		s.writeJSON(w, http.StatusOK, state(shards, gen))
+	default:
+		s.writeJSONError(w, http.StatusMethodNotAllowed, "GET the fleet state or POST a membership change")
+	}
 }

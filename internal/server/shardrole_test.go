@@ -46,14 +46,20 @@ func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopolog
 	}
 
 	// Shard identities must be known before listeners exist (the daemon
-	// flags work the same way), so name them logically and route by index.
+	// flags work the same way), so name them logically; the coordinator
+	// dials them through a resolver over the listener URLs.
 	var shardNames []string
 	for i := 0; i < nShards; i++ {
 		shardNames = append(shardNames, fmt.Sprintf("shard-%d", i))
 	}
+	r := cfg.Replication
+	if r < 1 {
+		r = 1
+	}
 	top := &shardTopology{dss: dss, full: full, query: u.ModuleGeneIDs(2)[:4]}
-	for _, self := range shardNames {
-		owned := shard.OwnedIndexes(names, shardNames, self)
+	urls := make(map[string]string, nShards)
+	for si, self := range shardNames {
+		owned := shard.OwnedIndexesR(names, shardNames, self, r)
 		if len(owned) == 0 {
 			// A shard with an empty slice cannot build an engine; serve
 			// nothing (rendezvous makes this rare but possible at tiny
@@ -68,7 +74,7 @@ func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopolog
 		if err != nil {
 			t.Fatal(err)
 		}
-		ss, err := New(Config{Engine: se, ShardIndexes: owned, CacheBytes: 4 << 20})
+		ss, err := New(Config{Engine: se, ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 4 << 20})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,27 +82,21 @@ func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopolog
 		hs := httptest.NewServer(ss)
 		t.Cleanup(hs.Close)
 		top.servers = append(top.servers, hs)
+		urls[shardNames[si]] = hs.URL
 	}
-	// The coordinator scatters to the listener URLs (ownership used the
-	// logical names; the mapping is by position, as with daemon flags).
-	for _, hs := range top.servers {
-		cfg.Shards = append(cfg.Shards, hs.URL)
-	}
+	cfg.Shards = shardNames
+	cfg.Resolve = func(identity string) string { return urls[identity] }
 	coordr, err := shard.NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	top.coord, err = New(Config{Scatter: coordr, CacheBytes: 4 << 20})
+	top.coord, err = New(Config{Scatter: coordr, CacheBytes: 4 << 20, FleetToken: "sesame"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(top.coord.Close)
 	return top
 }
-
-// Ownership in newShardTopology hashes logical shard names, while the
-// coordinator dials listener URLs positionally — the same split the
-// daemon's -shards/-self flags produce.
 
 func searchURL(query []string) string {
 	return "/api/search?q=" + strings.Join(query, ",") + "&top=40"
@@ -372,7 +372,11 @@ func fixtureShard(t *testing.T) (*Server, *synth.Universe) {
 	for i := range indexes {
 		indexes[i] = i
 	}
-	s, err := New(Config{Engine: base.cfg.Engine, ShardIndexes: indexes, CacheBytes: 4 << 20})
+	catalog := make([]string, len(indexes))
+	for i := range catalog {
+		catalog[i] = fmt.Sprintf("ds-%d", i)
+	}
+	s, err := New(Config{Engine: base.cfg.Engine, ShardIndexes: indexes, ShardDatasetIDs: catalog, CacheBytes: 4 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,11 +386,186 @@ func fixtureShard(t *testing.T) (*Server, *synth.Universe) {
 
 func TestServerShardConfigValidation(t *testing.T) {
 	s, _ := fixture(t)
-	if _, err := New(Config{Engine: s.cfg.Engine, ShardIndexes: []int{0}}); err == nil {
+	n := s.cfg.Engine.NumDatasets()
+	indexes := make([]int, n)
+	catalog := make([]string, n)
+	for i := range indexes {
+		indexes[i] = i
+		catalog[i] = fmt.Sprintf("ds-%d", i)
+	}
+	if _, err := New(Config{Engine: s.cfg.Engine, ShardIndexes: []int{0}, ShardDatasetIDs: catalog}); err == nil {
 		t.Fatal("mismatched shard index length accepted")
 	}
-	if _, err := New(Config{ShardIndexes: []int{0}}); err == nil {
+	if _, err := New(Config{ShardIndexes: []int{0}, ShardDatasetIDs: catalog}); err == nil {
 		t.Fatal("shard role without engine accepted")
+	}
+	if _, err := New(Config{Engine: s.cfg.Engine, ShardIndexes: indexes}); err == nil {
+		t.Fatal("shard role without the global catalog accepted")
+	}
+	bad := append([]int(nil), indexes...)
+	bad[0] = n + 7
+	if _, err := New(Config{Engine: s.cfg.Engine, ShardIndexes: bad, ShardDatasetIDs: catalog}); err == nil {
+		t.Fatal("shard index outside the catalog accepted")
+	}
+}
+
+// TestCoordinatorReplicatedFailover: with replication 2 over three
+// shards, killing one shard outright keeps /api/search serving 200,
+// non-degraded, at golden parity with the single-process engine — the
+// surviving replica of every ownership group answers.
+func TestCoordinatorReplicatedFailover(t *testing.T) {
+	top := newShardTopology(t, 3, shard.Config{Deadline: 2 * time.Second, Replication: 2})
+	top.servers[1].Close()
+	rec := get(t, top.coord, searchURL(top.query))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replicated search = %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q (replica failover should hide the dead shard)", h)
+	}
+	var body scatterBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	want, err := top.full.Search(top.query, spell.Options{MaxGenes: 40, IncludeQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Genes) != len(want.Genes) {
+		t.Fatalf("%d genes, want %d", len(body.Genes), len(want.Genes))
+	}
+	for i := range want.Genes {
+		if body.Genes[i].ID != want.Genes[i].ID ||
+			math.Abs(body.Genes[i].Score-want.Genes[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: %+v vs %+v", i, body.Genes[i], want.Genes[i])
+		}
+	}
+	if len(body.Datasets) != len(top.dss) {
+		t.Fatalf("%d datasets, want the full %d", len(body.Datasets), len(top.dss))
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter.Replication != 2 || snap.Scatter.Degraded != 0 {
+		t.Fatalf("scatter stats: %+v", snap.Scatter)
+	}
+}
+
+// fleetDo drives /api/admin/fleet with an optional token and body.
+func fleetDo(t *testing.T, s *Server, method, token, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, "/api/admin/fleet", rd)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestFleetAdminEndpoint pins the runtime-membership API: token-gated,
+// GET reports the fleet, POST add/remove bumps the generation, domain
+// errors surface as 422.
+func TestFleetAdminEndpoint(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: time.Second})
+
+	if rec := fleetDo(t, top.coord, http.MethodGet, "", ""); rec.Code != http.StatusForbidden {
+		t.Fatalf("no token = %d", rec.Code)
+	}
+	if rec := fleetDo(t, top.coord, http.MethodGet, "wrong", ""); rec.Code != http.StatusForbidden {
+		t.Fatalf("wrong token = %d", rec.Code)
+	}
+
+	var state struct {
+		Shards      []string `json:"shards"`
+		Generation  string   `json:"generation"`
+		Replication int      `json:"replication"`
+		Bumps       int64    `json:"membership_bumps"`
+	}
+	rec := fleetDo(t, top.coord, http.MethodGet, "sesame", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET = %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Shards) != 2 || state.Replication != 1 || state.Generation == "" || state.Bumps != 0 {
+		t.Fatalf("fleet state: %+v", state)
+	}
+	gen0 := state.Generation
+
+	if rec := fleetDo(t, top.coord, http.MethodPost, "sesame", `{"action":"explode","shard":"x"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad action = %d", rec.Code)
+	}
+	if rec := fleetDo(t, top.coord, http.MethodPost, "sesame", `{"action":"remove","shard":"nope"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("remove unknown = %d", rec.Code)
+	}
+
+	rec = fleetDo(t, top.coord, http.MethodPost, "sesame", `{"action":"remove","shard":"shard-1"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove = %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Shards) != 1 || state.Bumps != 1 || state.Generation == gen0 {
+		t.Fatalf("post-remove state: %+v", state)
+	}
+	// The last member is protected: an empty fleet serves nothing.
+	if rec := fleetDo(t, top.coord, http.MethodPost, "sesame", `{"action":"remove","shard":"shard-0"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("remove last = %d", rec.Code)
+	}
+
+	rec = fleetDo(t, top.coord, http.MethodPost, "sesame", `{"action":"add","shard":"shard-1"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("add = %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Shards) != 2 || state.Bumps != 2 || state.Generation != gen0 {
+		t.Fatalf("post-add state: %+v (generation must return with the same membership)", state)
+	}
+
+	// After the round trip the fleet serves full-coverage searches again.
+	rec = get(t, top.coord, searchURL(top.query))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Forestview-Degraded") != "true" && rec.Header().Get("X-Forestview-Degraded") != "false" {
+		t.Fatalf("post-roundtrip search = %d", rec.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scatter.MembershipBumps != 2 {
+		t.Fatalf("membership bumps in stats = %d", snap.Scatter.MembershipBumps)
+	}
+	if _, ok := snap.Endpoints["fleet"]; !ok {
+		t.Fatal("fleet endpoint missing from stats")
+	}
+}
+
+// TestFleetAdminDisabled: without a configured token the endpoint refuses
+// everything, and non-coordinators don't mount it at all.
+func TestFleetAdminDisabled(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: time.Second})
+	bare, err := New(Config{Scatter: top.coord.cfg.Scatter, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bare.Close)
+	if rec := fleetDo(t, bare, http.MethodPost, "sesame", `{"action":"remove","shard":"shard-1"}`); rec.Code != http.StatusForbidden {
+		t.Fatalf("tokenless coordinator = %d, want 403 always", rec.Code)
+	}
+	single, _ := fixture(t)
+	if rec := fleetDo(t, single, http.MethodGet, "sesame", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("single role fleet endpoint = %d, want 404", rec.Code)
 	}
 }
 

@@ -16,9 +16,10 @@ import (
 	"forestview/internal/spell"
 )
 
-// ErrAllShardsFailed reports a scatter in which no shard answered: there
-// is nothing to merge and nothing to degrade to. The daemon maps it to
-// 503 (retryable full outage), distinct from a query error (422).
+// ErrAllShardsFailed reports a scatter in which no ownership group could
+// be served: there is nothing to merge and nothing to degrade to. The
+// daemon maps it to 503 (retryable full outage), distinct from a query
+// error (422).
 var ErrAllShardsFailed = errors.New("shard: every shard failed")
 
 // ErrDegradedUnresolved reports a degraded scatter whose *surviving*
@@ -30,48 +31,84 @@ var ErrDegradedUnresolved = errors.New("shard: query genes unresolved — unreac
 
 // Config assembles a Coordinator.
 type Config struct {
-	// Shards are the backend base addresses (host:port or full URLs).
+	// Shards are the initial fleet members, by identity — the exact
+	// strings the shard daemons were booted with in their -shards lists
+	// (rendezvous ownership hashes these, so both sides must agree
+	// byte-for-byte). Runtime membership changes go through Membership.
 	Shards []string
+	// Replication is the ownership factor R: every dataset is owned by its
+	// top-R rendezvous shards and any R-1 failures lose nothing (default
+	// 1, the single-owner fleet). Shard daemons must be booted with the
+	// same factor, or coverage gaps surface as degraded merges.
+	Replication int
+	// Resolve turns a shard identity into a dial URL (default: trim, and
+	// prefix "http://" unless a scheme is present — identities that are
+	// themselves addresses). In-process tests resolve logical names to
+	// httptest listeners with it.
+	Resolve func(identity string) string
 	// Client issues the scatter requests (default: a plain http.Client;
 	// deadlines come from per-attempt contexts, not a client timeout).
 	Client *http.Client
 	// Deadline bounds each shard attempt (default 10s). A shard that
 	// cannot answer within it is treated as failed for this query — the
-	// merge degrades rather than waiting.
+	// attempt fails over to the next replica rather than waiting.
 	Deadline time.Duration
-	// Retry gives each failed shard one extra attempt with a fresh
-	// deadline before the merge degrades around it.
+	// Retry gives each ownership group one extra attempt (against its
+	// primary replica, with a fresh deadline) after every replica failed.
 	Retry bool
-	// HedgeAfter, when positive, fires a duplicate request to a shard
-	// whose first attempt has not answered after this delay, taking
-	// whichever returns first. With single-owner slices the hedge lands on
-	// the same backend: it covers tail latency (GC pauses, a lost packet,
-	// a stalled connection), not host death — that is what Retry and
-	// degraded merges are for.
+	// HedgeAfter, when positive, fires a duplicate request for a group
+	// whose in-flight attempt has not answered after this delay, taking
+	// whichever returns first. Under replication the hedge goes to the
+	// next *untried* replica — true failover for tail latency and host
+	// death alike; with a single owner it duplicates to the same backend,
+	// covering tail latency only (GC pauses, a lost packet), as before.
 	HedgeAfter time.Duration
 }
 
-// Coordinator scatters SPELL queries over shard backends and merges the
-// partials with global weight renormalization. It is stateless about
-// datasets — ownership is a pure function of the shard set (see Owner) —
-// so it boots instantly and never holds expression data. Safe for
-// concurrent use.
+// NormalizeAddr is the default identity resolver: an address-like
+// identity ("host:port", with or without a scheme) becomes a base URL.
+func NormalizeAddr(identity string) string {
+	s := strings.TrimRight(strings.TrimSpace(identity), "/")
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
+// Coordinator scatters SPELL queries over a replicated shard fleet and
+// merges the partials with global weight renormalization. It stays
+// stateless about datasets — ownership is a pure function of the live
+// shard list (see Owners), and the dataset catalog it partitions into
+// ownership groups is fetched from any one shard and cached per
+// membership generation. Safe for concurrent use.
 type Coordinator struct {
-	cfg      Config
-	client   *http.Client
-	gen      uint64
-	counters []shardCounters
+	cfg        Config
+	client     *http.Client
+	resolve    func(string) string
+	membership *Membership
+
+	counters sync.Map // shard identity -> *shardCounters
+	rr       atomic.Uint64
 	degraded atomic.Int64
 	outages  atomic.Int64
-	info     atomic.Pointer[CompendiumInfo]
+
+	// catalog caches the ownership-group derivation per membership
+	// generation; catalogMu serializes the fetch that fills it.
+	catalog   atomic.Pointer[catalogState]
+	catalogMu sync.Mutex
+
+	info atomic.Pointer[infoState]
 
 	// infoMu serializes info probes (at most one fan-out in flight);
 	// infoFailedAt/infoErr remember the last failed round so that, during
 	// an outage, /api/stats and page renders get the cached error
 	// immediately instead of stacking shard probes behind the deadline.
+	// A membership bump clears the cooldown: removing the dead member is
+	// exactly what should make info answerable again.
 	infoMu       sync.Mutex
 	infoFailedAt time.Time
 	infoErr      error
+	infoErrGen   uint64
 }
 
 // shardCounters is one backend's cumulative scatter accounting.
@@ -80,6 +117,9 @@ type shardCounters struct {
 	errors    atomic.Int64
 	retries   atomic.Int64
 	hedges    atomic.Int64
+	failovers atomic.Int64 // attempts landed here after another replica failed or fell short
+	hedgeWins atomic.Int64 // hedged attempts whose answer was the one used
+	inflight  atomic.Int64
 	latencyUS atomic.Int64
 	maxUS     atomic.Int64
 }
@@ -101,26 +141,20 @@ func (s *shardCounters) observe(d time.Duration, failed bool) {
 
 // NewCoordinator validates the config and prepares the scatter state.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, errors.New("shard: no shard backends configured")
+	m, err := NewMembership(cfg.Shards)
+	if err != nil {
+		return nil, err
 	}
-	normalized := make([]string, len(cfg.Shards))
-	seen := make(map[string]bool, len(cfg.Shards))
-	for i, s := range cfg.Shards {
-		s = strings.TrimRight(strings.TrimSpace(s), "/")
-		if s == "" {
-			return nil, errors.New("shard: empty shard address")
-		}
-		if !strings.Contains(s, "://") {
-			s = "http://" + s
-		}
-		if seen[s] {
-			return nil, fmt.Errorf("shard: duplicate shard address %s", s)
-		}
-		seen[s] = true
-		normalized[i] = s
+	shards, _ := m.Snapshot()
+	if cfg.Replication == 0 {
+		cfg.Replication = 1
 	}
-	cfg.Shards = normalized
+	if cfg.Replication < 1 {
+		return nil, fmt.Errorf("shard: replication factor %d < 1", cfg.Replication)
+	}
+	if cfg.Replication > len(shards) {
+		return nil, fmt.Errorf("shard: replication factor %d exceeds the %d-shard fleet", cfg.Replication, len(shards))
+	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 10 * time.Second
 	}
@@ -128,84 +162,249 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	resolve := cfg.Resolve
+	if resolve == nil {
+		resolve = NormalizeAddr
+	}
 	return &Coordinator{
-		cfg:      cfg,
-		client:   client,
-		gen:      Generation(cfg.Shards),
-		counters: make([]shardCounters, len(cfg.Shards)),
+		cfg:        cfg,
+		client:     client,
+		resolve:    resolve,
+		membership: m,
 	}, nil
 }
 
-// Shards returns the normalized backend list.
+// Membership exposes the live shard list for runtime joins and leaves
+// (the daemon's /api/admin/fleet endpoint drives it). Every bump
+// re-derives ownership on the next scatter and invalidates the cached
+// catalog and compendium info.
+func (c *Coordinator) Membership() *Membership { return c.membership }
+
+// Shards returns the live shard identities.
 func (c *Coordinator) Shards() []string {
-	return append([]string(nil), c.cfg.Shards...)
+	shards, _ := c.membership.Snapshot()
+	return shards
 }
 
-// Generation fingerprints the shard topology; see the package function.
-func (c *Coordinator) Generation() uint64 { return c.gen }
+// Generation fingerprints the live shard topology; see the package
+// function. The daemon bakes it into merged-result cache keys, so results
+// merged over a previous membership are unreachable after a bump.
+func (c *Coordinator) Generation() uint64 { return c.membership.Generation() }
 
-// Meta describes how a scatter went: how many shards answered, and
-// whether the merged result is degraded (renormalized over a survivor
-// subset instead of the full compendium).
+// Replication returns the configured ownership factor R.
+func (c *Coordinator) Replication() int { return c.cfg.Replication }
+
+// replicationFor clamps the configured factor to the live fleet size (a
+// fleet shrunk below R still serves, with as many replicas as exist).
+func (c *Coordinator) replicationFor(nShards int) int {
+	r := c.cfg.Replication
+	if r > nShards {
+		r = nShards
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+func (c *Coordinator) counterFor(shard string) *shardCounters {
+	if v, ok := c.counters.Load(shard); ok {
+		return v.(*shardCounters)
+	}
+	v, _ := c.counters.LoadOrStore(shard, &shardCounters{})
+	return v.(*shardCounters)
+}
+
+// Meta describes how a scatter went: the fleet it ran against, how many
+// ownership groups (and distinct shards) contributed, and whether the
+// merged result is degraded — renormalized over less than the full
+// compendium because some group could not be served completely.
 type Meta struct {
 	ShardsOK    int  `json:"shards_ok"`
 	ShardsTotal int  `json:"shards_total"`
 	Degraded    bool `json:"degraded"`
+	Replication int  `json:"replication,omitempty"`
+	GroupsOK    int  `json:"groups_ok,omitempty"`
+	GroupsTotal int  `json:"groups_total,omitempty"`
 }
 
-// SearchCtx scatters one query over every shard, collects partials under
-// the per-shard deadline, and merges with global renormalization. Shard
-// failures degrade the result (Meta.Degraded true, weights renormalized
-// over the survivors) instead of failing the query; only a full outage —
-// no shard answered — returns ErrAllShardsFailed. A canceled caller
-// context aborts the scatter with the context error.
+// catalogState is the per-generation ownership derivation: the global
+// dataset list (from any shard's boot catalog) partitioned into ownership
+// groups — the distinct ordered top-R owner tuples.
+type catalogState struct {
+	gen    uint64
+	ids    []string
+	groups []ownerGroup
+}
+
+// ownerGroup is one ownership group: the ordered replica tuple and how
+// many datasets it covers.
+type ownerGroup struct {
+	owners []string
+	count  int
+}
+
+func deriveCatalog(gen uint64, ids []string, shards []string, r int) *catalogState {
+	cat := &catalogState{gen: gen, ids: ids}
+	index := make(map[string]int)
+	for _, id := range ids {
+		owners := Owners(id, shards, r)
+		key := strings.Join(owners, "\x00")
+		gi, ok := index[key]
+		if !ok {
+			gi = len(cat.groups)
+			index[key] = gi
+			cat.groups = append(cat.groups, ownerGroup{owners: owners})
+		}
+		cat.groups[gi].count++
+	}
+	return cat
+}
+
+// catalogFor returns the ownership groups for the given membership
+// snapshot, fetching the dataset catalog from any one live shard on the
+// first scatter of a generation.
+func (c *Coordinator) catalogFor(ctx context.Context, shards []string, gen uint64) (*catalogState, error) {
+	if cat := c.catalog.Load(); cat != nil && cat.gen == gen {
+		return cat, nil
+	}
+	c.catalogMu.Lock()
+	defer c.catalogMu.Unlock()
+	if cat := c.catalog.Load(); cat != nil && cat.gen == gen {
+		return cat, nil
+	}
+	ids, err := c.fetchAnyCatalog(ctx, shards)
+	if err != nil {
+		return nil, err
+	}
+	cat := deriveCatalog(gen, ids, shards, c.replicationFor(len(shards)))
+	c.catalog.Store(cat)
+	return cat, nil
+}
+
+// fetchAnyCatalog asks every live shard for its boot catalog concurrently
+// and takes the first complete answer — any one shard suffices, so a
+// partly dead fleet can still be partitioned.
+func (c *Coordinator) fetchAnyCatalog(ctx context.Context, shards []string) ([]string, error) {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type fetch struct {
+		ids []string
+		err error
+	}
+	ch := make(chan fetch, len(shards))
+	for _, s := range shards {
+		go func(s string) {
+			info, err := c.fetchOneInfo(fctx, s)
+			if err != nil {
+				ch <- fetch{err: fmt.Errorf("%s: %w", s, err)}
+				return
+			}
+			if len(info.AllDatasetIDs) == 0 {
+				ch <- fetch{err: fmt.Errorf("%s: shard reported no dataset catalog", s)}
+				return
+			}
+			ch <- fetch{ids: info.AllDatasetIDs}
+		}(s)
+	}
+	var firstErr error
+	for range shards {
+		f := <-ch
+		if f.err == nil {
+			return f.ids, nil
+		}
+		if firstErr == nil {
+			firstErr = f.err
+		}
+	}
+	return nil, firstErr
+}
+
+// SearchCtx scatters one query over the fleet's ownership groups: each
+// group is served by one of its R replicas (picked by
+// power-of-two-choices over in-flight counts), failing over to the
+// remaining replicas on error or incomplete coverage. The partials merge
+// with global renormalization. The merge is degraded only when some
+// group could not be fully served — under replication that takes all R
+// of its replicas failing; only a scatter in which no group was served at
+// all returns ErrAllShardsFailed. A canceled caller context aborts the
+// scatter with the context error.
 func (c *Coordinator) SearchCtx(ctx context.Context, query []string, opt spell.Options) (*spell.Result, Meta, error) {
-	meta := Meta{ShardsTotal: len(c.cfg.Shards)}
+	shards, gen := c.membership.Snapshot()
+	r := c.replicationFor(len(shards))
+	meta := Meta{ShardsTotal: len(shards), Replication: r}
 	query = spell.CanonicalQuery(query)
 	if len(query) == 0 {
 		return nil, meta, errors.New("spell: empty query")
 	}
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(SearchRequest{Query: query}); err != nil {
-		return nil, meta, err
+	cat, err := c.catalogFor(ctx, shards, gen)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, meta, cerr
+		}
+		c.outages.Add(1)
+		return nil, meta, fmt.Errorf("%w (catalog: %v)", ErrAllShardsFailed, err)
 	}
-	reqBody := body.Bytes()
+	meta.GroupsTotal = len(cat.groups)
 
-	partials := make([]*spell.Partial, len(c.cfg.Shards))
-	errs := make([]error, len(c.cfg.Shards))
+	// One request body per group: same query, different ownership scope.
+	bodies := make([][]byte, len(cat.groups))
+	for gi, g := range cat.groups {
+		var body bytes.Buffer
+		if err := gob.NewEncoder(&body).Encode(SearchRequest{
+			Query:       query,
+			Shards:      shards,
+			Replication: r,
+			Owners:      g.owners,
+		}); err != nil {
+			return nil, meta, err
+		}
+		bodies[gi] = body.Bytes()
+	}
+
+	results := make([]groupResult, len(cat.groups))
 	var wg sync.WaitGroup
-	for si := range c.cfg.Shards {
+	for gi := range cat.groups {
 		wg.Add(1)
-		go func(si int) {
+		go func(gi int) {
 			defer wg.Done()
-			t0 := time.Now()
-			p, err := c.fetchPartial(ctx, si, reqBody)
-			c.counters[si].observe(time.Since(t0), err != nil)
-			partials[si], errs[si] = p, err
-		}(si)
+			results[gi] = c.fetchGroup(ctx, shards, cat.groups[gi], bodies[gi])
+		}(gi)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		// The caller hung up or timed out: report that, not a fabricated
-		// outage — per-shard errors here are all descendants of it.
+		// outage — per-group errors here are all descendants of it.
 		return nil, meta, err
 	}
 
-	parts := make([]spell.Partial, 0, len(partials))
+	parts := make([]spell.Partial, 0, len(results))
+	contributors := make(map[string]bool)
 	var firstErr error
-	for si, p := range partials {
-		if p != nil {
-			parts = append(parts, *p)
-			meta.ShardsOK++
-		} else if firstErr == nil {
-			firstErr = fmt.Errorf("%s: %w", c.cfg.Shards[si], errs[si])
+	for gi, gr := range results {
+		if gr.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("group %v: %w", cat.groups[gi].owners, gr.err)
+		}
+		if gr.p == nil {
+			continue
+		}
+		if gr.missing == 0 {
+			meta.GroupsOK++
+		}
+		// A best response with zero datasets (the serving shard held
+		// nothing of the group — membership drift) adds nothing to the
+		// merge and does not make its shard a contributor.
+		if len(gr.p.Datasets) > 0 {
+			parts = append(parts, *gr.p)
+			contributors[gr.shard] = true
 		}
 	}
-	if meta.ShardsOK == 0 {
+	meta.ShardsOK = len(contributors)
+	if len(parts) == 0 {
 		c.outages.Add(1)
 		return nil, meta, fmt.Errorf("%w (first: %v)", ErrAllShardsFailed, firstErr)
 	}
-	meta.Degraded = meta.ShardsOK < meta.ShardsTotal
+	meta.Degraded = meta.GroupsOK < meta.GroupsTotal
 	if meta.Degraded {
 		c.degraded.Add(1)
 	}
@@ -213,84 +412,220 @@ func (c *Coordinator) SearchCtx(ctx context.Context, query []string, opt spell.O
 	if err != nil {
 		if meta.Degraded && errors.Is(err, spell.ErrNoQueryGenes) {
 			// The survivors can't rule the genes in OR out.
-			err = fmt.Errorf("%w (%d of %d shards answered: %v)",
-				ErrDegradedUnresolved, meta.ShardsOK, meta.ShardsTotal, firstErr)
+			err = fmt.Errorf("%w (%d of %d groups served: %v)",
+				ErrDegradedUnresolved, meta.GroupsOK, meta.GroupsTotal, firstErr)
 		}
 		return nil, meta, err
 	}
 	return res, meta, nil
 }
 
-type attemptResult struct {
-	p   *spell.Partial
-	err error
+// groupResult is one ownership group's scatter outcome: the best partial
+// obtained (fewest missing datasets), which shard served it, and the
+// first error met along the way.
+type groupResult struct {
+	p       *spell.Partial
+	shard   string
+	missing int
+	err     error
 }
 
-// fetchPartial runs the per-shard attempt discipline: a deadline-bounded
-// request, an optional hedge fired if the first attempt is slow, and an
-// optional single retry once all in-flight attempts have failed.
-func (c *Coordinator) fetchPartial(ctx context.Context, si int, reqBody []byte) (*spell.Partial, error) {
-	addr := c.cfg.Shards[si]
-	resCh := make(chan attemptResult, 2) // buffered: a late loser must not leak its goroutine
+// orderReplicas orders a group's replica tuple for attempts: the primary
+// is picked by power-of-two-choices over the replicas' in-flight counts
+// (two rotating probes, least loaded wins), the rest follow in rank
+// order. With R=1 the tuple is returned as-is.
+func (c *Coordinator) orderReplicas(owners []string) []string {
+	out := append([]string(nil), owners...)
+	if len(out) < 2 {
+		return out
+	}
+	n := c.rr.Add(1)
+	l := uint64(len(out))
+	i := int(n % l)
+	j := int((n / l) % l)
+	if i == j {
+		j = (j + 1) % len(out)
+	}
+	pick := i
+	if c.counterFor(out[j]).inflight.Load() < c.counterFor(out[pick]).inflight.Load() {
+		pick = j
+	}
+	picked := out[pick]
+	out = append(out[:pick], out[pick+1:]...)
+	return append([]string{picked}, out...)
+}
+
+type attemptOutcome struct {
+	shard string
+	hedge bool
+	p     *spell.Partial
+	err   error
+}
+
+// fetchGroup runs one ownership group's attempt discipline. Phase 1 walks
+// the replica tuple: an error or an incomplete answer fails over to the
+// next untried replica; a hedge (if configured) duplicates onto the next
+// untried replica too, or onto the primary itself when none remain (the
+// legacy single-owner hedge). If every replica failed outright, Retry
+// grants the primary one extra attempt. Phase 2 — only when coverage is
+// still incomplete, which consistent placement never triggers — scavenges
+// the non-owner shards sequentially, because after a membership change
+// without a data re-sync they may still hold the group's datasets from
+// their boot-time assignment. The best answer wins; missing counts any
+// coverage gap.
+func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGroup, reqBody []byte) groupResult {
+	replicas := c.orderReplicas(g.owners)
+	inGroup := make(map[string]bool, len(replicas))
+	for _, s := range replicas {
+		inGroup[s] = true
+	}
+
+	best := groupResult{missing: g.count}
+	resCh := make(chan attemptOutcome, len(replicas)+2)
 	var cancels []context.CancelFunc
 	defer func() {
 		for _, cancel := range cancels {
 			cancel()
 		}
 	}()
-	launch := func() {
+	launch := func(shard string, hedge bool) {
 		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
 		cancels = append(cancels, cancel)
 		go func() {
-			p, err := c.doSearch(actx, addr, reqBody)
-			resCh <- attemptResult{p: p, err: err}
+			sc := c.counterFor(shard)
+			sc.inflight.Add(1)
+			t0 := time.Now()
+			p, err := c.doSearch(actx, shard, reqBody)
+			sc.inflight.Add(-1)
+			sc.observe(time.Since(t0), err != nil)
+			resCh <- attemptOutcome{shard: shard, hedge: hedge, p: p, err: err}
 		}()
 	}
 
-	launch()
+	next := 0
+	launchNext := func(hedge, failover bool) bool {
+		if next >= len(replicas) || ctx.Err() != nil {
+			return false
+		}
+		s := replicas[next]
+		next++
+		if failover {
+			c.counterFor(s).failovers.Add(1)
+		}
+		if hedge {
+			c.counterFor(s).hedges.Add(1)
+		}
+		launch(s, hedge)
+		return true
+	}
+	launchNext(false, false) // the p2c primary
 	outstanding := 1
+
 	var hedgeC <-chan time.Time
 	if c.cfg.HedgeAfter > 0 {
 		timer := time.NewTimer(c.cfg.HedgeAfter)
 		defer timer.Stop()
 		hedgeC = timer.C
 	}
-	var firstErr error
 	for outstanding > 0 {
 		select {
-		case r := <-resCh:
+		case o := <-resCh:
 			outstanding--
-			if r.err == nil {
-				return r.p, nil
+			if o.err != nil {
+				if best.err == nil {
+					best.err = fmt.Errorf("%s: %w", o.shard, o.err)
+				}
+				if launchNext(false, true) {
+					outstanding++
+				}
+				continue
 			}
-			if firstErr == nil {
-				firstErr = r.err
+			missing := g.count - len(o.p.Datasets)
+			if o.hedge {
+				c.counterFor(o.shard).hedgeWins.Add(1)
+			}
+			if best.p == nil || missing < best.missing {
+				best.p, best.shard, best.missing = o.p, o.shard, missing
+			}
+			if best.missing == 0 {
+				return best // deferred cancels stop any stragglers
+			}
+			// Incomplete coverage (membership drift): try the next replica.
+			if launchNext(false, true) {
+				outstanding++
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if ctx.Err() == nil {
-				c.counters[si].hedges.Add(1)
-				launch()
+			if ctx.Err() != nil {
+				continue
+			}
+			if launchNext(true, false) {
+				outstanding++
+			} else if len(replicas) > 0 && next >= len(replicas) && outstanding > 0 {
+				// Every replica already tried or in flight: duplicate the
+				// primary, the legacy tail-latency hedge.
+				s := replicas[0]
+				c.counterFor(s).hedges.Add(1)
+				launch(s, true)
 				outstanding++
 			}
 		}
 	}
-	if c.cfg.Retry && ctx.Err() == nil {
-		c.counters[si].retries.Add(1)
+
+	if best.p == nil && c.cfg.Retry && ctx.Err() == nil && len(replicas) > 0 {
+		s := replicas[0]
+		sc := c.counterFor(s)
+		sc.retries.Add(1)
 		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
 		defer cancel()
-		p, err := c.doSearch(actx, addr, reqBody)
+		sc.inflight.Add(1)
+		t0 := time.Now()
+		p, err := c.doSearch(actx, s, reqBody)
+		sc.inflight.Add(-1)
+		sc.observe(time.Since(t0), err != nil)
 		if err == nil {
-			return p, nil
+			best.p, best.shard, best.missing = p, s, g.count-len(p.Datasets)
+		} else if best.err == nil {
+			best.err = fmt.Errorf("%s: %w", s, err)
 		}
-		firstErr = err
 	}
-	return nil, firstErr
+
+	// Scavenge pass: the owners couldn't fully serve the group. After a
+	// membership change the data may still sit on shards outside the new
+	// tuple (boot-time placement), so ask the rest of the fleet — cheap,
+	// cached empty answers in the common case — and keep the best.
+	for _, s := range shards {
+		if best.missing == 0 || ctx.Err() != nil {
+			break
+		}
+		if inGroup[s] {
+			continue
+		}
+		sc := c.counterFor(s)
+		sc.failovers.Add(1)
+		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
+		sc.inflight.Add(1)
+		t0 := time.Now()
+		p, err := c.doSearch(actx, s, reqBody)
+		sc.inflight.Add(-1)
+		sc.observe(time.Since(t0), err != nil)
+		cancel()
+		if err != nil {
+			if best.err == nil {
+				best.err = fmt.Errorf("%s: %w", s, err)
+			}
+			continue
+		}
+		if missing := g.count - len(p.Datasets); best.p == nil || missing < best.missing {
+			best.p, best.shard, best.missing = p, s, missing
+		}
+	}
+	return best
 }
 
 // doSearch performs one HTTP attempt against a shard's SearchPath.
-func (c *Coordinator) doSearch(ctx context.Context, addr string, reqBody []byte) (*spell.Partial, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+SearchPath, bytes.NewReader(reqBody))
+func (c *Coordinator) doSearch(ctx context.Context, shard string, reqBody []byte) (*spell.Partial, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.resolve(shard)+SearchPath, bytes.NewReader(reqBody))
 	if err != nil {
 		return nil, err
 	}
@@ -317,86 +652,113 @@ type CompendiumInfo struct {
 	Genes    int // distinct gene IDs across the union of slices
 }
 
+// infoState pairs a cached compendium union with the membership
+// generation it was probed under.
+type infoState struct {
+	gen  uint64
+	info CompendiumInfo
+}
+
 // infoFailureCooldown bounds how often a failing info probe is retried:
 // during an outage, at most one caller per window pays the probe deadline
 // while everyone else (stats pollers, page renders) gets the cached error
 // immediately.
 const infoFailureCooldown = 15 * time.Second
 
-// Info returns the union compendium description, fetching each shard's
-// InfoPath on the first call and caching a fully successful answer (the
-// slice composition of a fixed topology never changes at runtime). While
-// any shard is unreachable the info stays uncached and the error is
-// returned, so callers degrade to "unknown" rather than a wrong total;
-// probes are serialized, and after a failed round further callers get
-// that error for a cooldown instead of re-probing a known-sick fleet.
+// Info returns the union compendium description, fetching each live
+// shard's InfoPath and caching a fully successful answer under the
+// membership generation — a join or leave invalidates it, so dataset
+// counts and the gene universe refresh with the fleet. While any live
+// shard is unreachable the info stays uncached and the error is returned,
+// so callers degrade to "unknown" rather than a wrong total; probes are
+// serialized, and after a failed round further callers get that error for
+// a cooldown (cleared by a membership bump) instead of re-probing a
+// known-sick fleet.
 func (c *Coordinator) Info(ctx context.Context) (CompendiumInfo, error) {
-	if cached := c.info.Load(); cached != nil {
-		return *cached, nil
+	shards, gen := c.membership.Snapshot()
+	if cached := c.info.Load(); cached != nil && cached.gen == gen {
+		return cached.info, nil
 	}
 	c.infoMu.Lock()
 	defer c.infoMu.Unlock()
-	if cached := c.info.Load(); cached != nil {
-		return *cached, nil // filled while we waited on the lock
+	if cached := c.info.Load(); cached != nil && cached.gen == gen {
+		return cached.info, nil // filled while we waited on the lock
 	}
-	if c.infoErr != nil && time.Since(c.infoFailedAt) < infoFailureCooldown {
+	if c.infoErr != nil && c.infoErrGen == gen && time.Since(c.infoFailedAt) < infoFailureCooldown {
 		return CompendiumInfo{}, c.infoErr
 	}
-	info, err := c.fetchInfo(ctx)
+	info, err := c.fetchInfo(ctx, shards)
 	if err != nil {
-		c.infoFailedAt, c.infoErr = time.Now(), err
+		c.infoFailedAt, c.infoErr, c.infoErrGen = time.Now(), err, gen
 		return CompendiumInfo{}, err
 	}
 	c.infoErr = nil
-	c.info.Store(&info)
+	c.info.Store(&infoState{gen: gen, info: info})
 	return info, nil
 }
 
-// fetchInfo runs one probe round over every shard.
-func (c *Coordinator) fetchInfo(ctx context.Context) (CompendiumInfo, error) {
-	infos := make([]*Info, len(c.cfg.Shards))
-	errs := make([]error, len(c.cfg.Shards))
+// fetchOneInfo fetches one shard's InfoPath under the attempt deadline.
+func (c *Coordinator) fetchOneInfo(ctx context.Context, shard string) (*Info, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.resolve(shard)+InfoPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard status %d", resp.StatusCode)
+	}
+	var info Info
+	if err := gob.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// fetchInfo runs one probe round over every live shard. Dataset counts
+// come from the union of reported dataset names (replicated slices
+// overlap); shards predating DatasetIDs fall back to summed counts.
+func (c *Coordinator) fetchInfo(ctx context.Context, shards []string) (CompendiumInfo, error) {
+	infos := make([]*Info, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for si := range c.cfg.Shards {
+	for si := range shards {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
-			defer cancel()
-			req, err := http.NewRequestWithContext(actx, http.MethodGet, c.cfg.Shards[si]+InfoPath, nil)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			resp, err := c.client.Do(req)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				errs[si] = fmt.Errorf("shard status %d", resp.StatusCode)
-				return
-			}
-			var info Info
-			if err := gob.NewDecoder(resp.Body).Decode(&info); err != nil {
-				errs[si] = err
-				return
-			}
-			infos[si] = &info
+			infos[si], errs[si] = c.fetchOneInfo(ctx, shards[si])
 		}(si)
 	}
 	wg.Wait()
 	out := CompendiumInfo{}
 	genes := make(map[string]bool)
+	names := make(map[string]bool)
+	sum := 0
+	allNamed := true
 	for si, info := range infos {
 		if info == nil {
-			return CompendiumInfo{}, fmt.Errorf("%s: %w", c.cfg.Shards[si], errs[si])
+			return CompendiumInfo{}, fmt.Errorf("%s: %w", shards[si], errs[si])
 		}
-		out.Datasets += info.Datasets
+		sum += info.Datasets
+		if info.Datasets > 0 && len(info.DatasetIDs) == 0 {
+			allNamed = false
+		}
+		for _, n := range info.DatasetIDs {
+			names[n] = true
+		}
 		for _, g := range info.GeneIDs {
 			genes[g] = true
 		}
+	}
+	if allNamed {
+		out.Datasets = len(names)
+	} else {
+		out.Datasets = sum
 	}
 	out.Genes = len(genes)
 	return out, nil
@@ -404,12 +766,19 @@ func (c *Coordinator) fetchInfo(ctx context.Context) (CompendiumInfo, error) {
 
 // StatsSnapshot is the scatter section of /api/stats.
 type StatsSnapshot struct {
-	// Generation is the shard-set fingerprint baked into merged-result
-	// cache keys, in hex.
-	Generation  string          `json:"generation"`
-	ShardsTotal int             `json:"shards_total"`
-	Degraded    int64           `json:"degraded"`     // queries merged over a survivor subset
-	FullOutages int64           `json:"full_outages"` // scatters in which no shard answered
+	// Generation is the live-membership fingerprint baked into
+	// merged-result cache keys, in hex.
+	Generation  string `json:"generation"`
+	ShardsTotal int    `json:"shards_total"`
+	// Replication is the configured ownership factor R.
+	Replication int `json:"replication"`
+	// MembershipBumps counts runtime joins and leaves since boot.
+	MembershipBumps int64 `json:"membership_bumps"`
+	// Groups is the number of ownership groups in the current catalog (0
+	// until the first scatter of this generation derives it).
+	Groups      int             `json:"groups"`
+	Degraded    int64           `json:"degraded"`     // queries merged over less than full coverage
+	FullOutages int64           `json:"full_outages"` // scatters in which no group was served
 	Shards      []ShardSnapshot `json:"shards"`
 }
 
@@ -420,26 +789,38 @@ type ShardSnapshot struct {
 	Errors        int64  `json:"errors"`
 	Retries       int64  `json:"retries"`
 	Hedges        int64  `json:"hedges"`
+	Failovers     int64  `json:"failovers"`
+	HedgeWins     int64  `json:"hedge_wins"`
+	InFlight      int64  `json:"in_flight"`
 	MeanLatencyUS int64  `json:"mean_latency_us"`
 	MaxLatencyUS  int64  `json:"max_latency_us"`
 }
 
-// Stats snapshots the scatter counters.
+// Stats snapshots the scatter counters for the live membership.
 func (c *Coordinator) Stats() StatsSnapshot {
+	shards, gen := c.membership.Snapshot()
 	snap := StatsSnapshot{
-		Generation:  fmt.Sprintf("%016x", c.gen),
-		ShardsTotal: len(c.cfg.Shards),
-		Degraded:    c.degraded.Load(),
-		FullOutages: c.outages.Load(),
+		Generation:      fmt.Sprintf("%016x", gen),
+		ShardsTotal:     len(shards),
+		Replication:     c.cfg.Replication,
+		MembershipBumps: c.membership.Bumps(),
+		Degraded:        c.degraded.Load(),
+		FullOutages:     c.outages.Load(),
 	}
-	for si := range c.counters {
-		sc := &c.counters[si]
+	if cat := c.catalog.Load(); cat != nil && cat.gen == gen {
+		snap.Groups = len(cat.groups)
+	}
+	for _, addr := range shards {
+		sc := c.counterFor(addr)
 		s := ShardSnapshot{
-			Addr:         c.cfg.Shards[si],
+			Addr:         addr,
 			Requests:     sc.requests.Load(),
 			Errors:       sc.errors.Load(),
 			Retries:      sc.retries.Load(),
 			Hedges:       sc.hedges.Load(),
+			Failovers:    sc.failovers.Load(),
+			HedgeWins:    sc.hedgeWins.Load(),
+			InFlight:     sc.inflight.Load(),
 			MaxLatencyUS: sc.maxUS.Load(),
 		}
 		if s.Requests > 0 {

@@ -19,14 +19,16 @@ import (
 	"forestview/internal/synth"
 )
 
-// testShard is one in-process shard backend: an engine over a slice of
-// the compendium with its global-index remap, plus a per-request behavior
-// hook for failure injection.
+// testShard is one in-process shard backend: an engine over its owned
+// slice of the compendium with global-index remapping and the ownership
+// group protocol, plus a per-request behavior hook for failure injection.
 type testShard struct {
 	engine *spell.Engine
-	global []int
-	// behave, when non-nil, may hijack a request before the real handler
-	// runs; return true when it wrote the response.
+	global []int       // local index -> global index
+	g2l    map[int]int // global index -> local index
+	allIDs []string    // the full boot catalog, global order
+	// behave, when non-nil, may hijack a search request before the real
+	// handler runs; return true when it wrote the response.
 	behave func(n int64, w http.ResponseWriter, r *http.Request) bool
 	calls  atomic.Int64
 }
@@ -41,7 +43,16 @@ func (s *testShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	p, err := s.engine.PartialSearchCtx(r.Context(), req.Query, spell.Options{})
+	var subset []int
+	if len(req.Owners) > 0 {
+		subset = []int{} // non-nil: an empty group intersection is an empty partial
+		for _, gi := range GroupIndexes(s.allIDs, req.Shards, req.Replication, req.Owners) {
+			if li, ok := s.g2l[gi]; ok {
+				subset = append(subset, li)
+			}
+		}
+	}
+	p, err := s.engine.PartialSearchSubsetCtx(r.Context(), req.Query, subset, spell.Options{})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -53,20 +64,41 @@ func (s *testShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	_ = gob.NewEncoder(w).Encode(p)
 }
 
-type scatterFixture struct {
-	dss    []*microarray.Dataset
-	full   *spell.Engine
-	shards []*testShard
-	query  []string
+// infoHandler serves the shard's InfoPath: held slice plus boot catalog.
+func (s *testShard) infoHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		held := make([]string, len(s.global))
+		for i, gi := range s.global {
+			held[i] = s.allIDs[gi]
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_ = gob.NewEncoder(w).Encode(Info{
+			Datasets:      s.engine.NumDatasets(),
+			GeneIDs:       s.engine.GeneIDs(),
+			DatasetIDs:    held,
+			AllDatasetIDs: s.allIDs,
+		})
+	}
 }
 
-// newScatterFixture splits a synthetic compendium round-robin over
-// nShards in-process backends.
-func newScatterFixture(t testing.TB, nShards int) *scatterFixture {
+type scatterFixture struct {
+	dss        []*microarray.Dataset
+	ids        []string // dataset names, global order
+	identities []string // logical shard identities (the rendezvous participants)
+	full       *spell.Engine
+	shards     []*testShard
+	query      []string
+}
+
+// newScatterFixtureR places a synthetic compendium over nShards
+// in-process backends by top-r rendezvous ownership — the same placement
+// the daemons derive from -shards/-self — using logical identities
+// resolved to httptest listeners at start.
+func newScatterFixtureR(t testing.TB, nShards, repl int) *scatterFixture {
 	t.Helper()
 	u := synth.NewUniverse(150, 6, 31)
 	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
-		NumDatasets: 6, MinExperiments: 8, MaxExperiments: 14,
+		NumDatasets: 8, MinExperiments: 8, MaxExperiments: 14,
 		ActiveFraction: 0.5, Noise: 0.3, Seed: 32,
 	})
 	full, err := spell.NewEngine(dss)
@@ -74,40 +106,85 @@ func newScatterFixture(t testing.TB, nShards int) *scatterFixture {
 		t.Fatal(err)
 	}
 	f := &scatterFixture{dss: dss, full: full, query: u.ModuleGeneIDs(2)[:4]}
+	for _, ds := range dss {
+		f.ids = append(f.ids, ds.Name)
+	}
 	for s := 0; s < nShards; s++ {
+		f.identities = append(f.identities, fmt.Sprintf("shard-%d", s))
+	}
+	for _, self := range f.identities {
+		owned := OwnedIndexesR(f.ids, f.identities, self, repl)
+		if len(owned) == 0 {
+			t.Fatalf("fixture: %s owns no datasets at r=%d; tune the compendium seed", self, repl)
+		}
 		var slice []*microarray.Dataset
-		var global []int
-		for di, ds := range dss {
-			if di%nShards == s {
-				slice = append(slice, ds)
-				global = append(global, di)
-			}
+		g2l := make(map[int]int, len(owned))
+		for li, gi := range owned {
+			slice = append(slice, dss[gi])
+			g2l[gi] = li
 		}
 		se, err := spell.NewEngine(slice)
 		if err != nil {
 			t.Fatal(err)
 		}
-		f.shards = append(f.shards, &testShard{engine: se, global: global})
+		f.shards = append(f.shards, &testShard{engine: se, global: owned, g2l: g2l, allIDs: f.ids})
 	}
 	return f
 }
 
-// start launches httptest servers for every shard and a coordinator over
-// them.
+func newScatterFixture(t testing.TB, nShards int) *scatterFixture {
+	return newScatterFixtureR(t, nShards, 1)
+}
+
+// start launches httptest servers for every fixture shard and a
+// coordinator whose membership defaults to all of them (set cfg.Shards to
+// boot with a subset — the rest stay resolvable for later joins).
 func (f *scatterFixture) start(t testing.TB, cfg Config) (*Coordinator, []*httptest.Server) {
 	t.Helper()
+	urls := make(map[string]string, len(f.shards))
 	var servers []*httptest.Server
-	for _, sh := range f.shards {
-		srv := httptest.NewServer(sh)
+	for si, sh := range f.shards {
+		mux := http.NewServeMux()
+		mux.Handle(SearchPath, sh)
+		mux.HandleFunc(InfoPath, sh.infoHandler())
+		srv := httptest.NewServer(mux)
 		t.Cleanup(srv.Close)
 		servers = append(servers, srv)
-		cfg.Shards = append(cfg.Shards, srv.URL)
+		urls[f.identities[si]] = srv.URL
 	}
+	if cfg.Shards == nil {
+		cfg.Shards = f.identities
+	}
+	cfg.Resolve = func(identity string) string { return urls[identity] }
 	c, err := NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return c, servers
+}
+
+// assertParity requires got to match the single-process result gene by
+// gene and dataset by dataset at 1e-12.
+func assertParity(t testing.TB, got, want *spell.Result) {
+	t.Helper()
+	if len(got.Genes) != len(want.Genes) {
+		t.Fatalf("%d genes, want %d", len(got.Genes), len(want.Genes))
+	}
+	for i := range want.Genes {
+		if got.Genes[i].ID != want.Genes[i].ID ||
+			math.Abs(got.Genes[i].Score-want.Genes[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: %+v vs %+v", i, got.Genes[i], want.Genes[i])
+		}
+	}
+	if len(got.Datasets) != len(want.Datasets) {
+		t.Fatalf("%d datasets, want %d", len(got.Datasets), len(want.Datasets))
+	}
+	for i := range want.Datasets {
+		if got.Datasets[i].Index != want.Datasets[i].Index ||
+			math.Abs(got.Datasets[i].Weight-want.Datasets[i].Weight) > 1e-12 {
+			t.Fatalf("dataset rank %d: %+v vs %+v", i, got.Datasets[i], want.Datasets[i])
+		}
+	}
 }
 
 func TestScatterMatchesSingleProcess(t *testing.T) {
@@ -121,24 +198,131 @@ func TestScatterMatchesSingleProcess(t *testing.T) {
 	if meta.Degraded || meta.ShardsOK != 3 || meta.ShardsTotal != 3 {
 		t.Fatalf("meta: %+v", meta)
 	}
+	if meta.GroupsTotal == 0 || meta.GroupsOK != meta.GroupsTotal {
+		t.Fatalf("groups: %+v", meta)
+	}
 	want, err := f.full.Search(f.query, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Genes) != len(want.Genes) {
-		t.Fatalf("%d genes, want %d", len(got.Genes), len(want.Genes))
+	assertParity(t, got, want)
+}
+
+// TestScatterReplicatedParity is the golden-parity guarantee across
+// replication factors: the merged scatter result over a healthy fleet is
+// bit-identical (1e-12) to the single-process Search at r=1, 2 and 3 —
+// replication changes who serves, never what is computed.
+func TestScatterReplicatedParity(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("r=%d", r), func(t *testing.T) {
+			f := newScatterFixtureR(t, 3, r)
+			c, _ := f.start(t, Config{Deadline: 5 * time.Second, Replication: r})
+			opt := spell.Options{IncludeQuery: true, MaxGenes: 30}
+			got, meta, err := c.SearchCtx(context.Background(), f.query, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meta.Degraded || meta.Replication != r || meta.GroupsOK != meta.GroupsTotal || meta.GroupsTotal == 0 {
+				t.Fatalf("meta: %+v", meta)
+			}
+			want, err := f.full.Search(f.query, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertParity(t, got, want)
+		})
 	}
-	for i := range want.Genes {
-		if got.Genes[i].ID != want.Genes[i].ID ||
-			math.Abs(got.Genes[i].Score-want.Genes[i].Score) > 1e-12 {
-			t.Fatalf("rank %d: %+v vs %+v", i, got.Genes[i], want.Genes[i])
-		}
+}
+
+// TestScatterReplicaFailover: with r=2, killing one shard outright loses
+// nothing — every ownership group still has a live replica, so repeated
+// queries stay non-degraded and at golden parity, and the stats record
+// the failovers that made it so.
+func TestScatterReplicaFailover(t *testing.T) {
+	f := newScatterFixtureR(t, 3, 2)
+	c, servers := f.start(t, Config{Deadline: 2 * time.Second, Replication: 2})
+	servers[1].Close()
+	opt := spell.Options{IncludeQuery: true}
+	want, err := f.full.Search(f.query, opt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range want.Datasets {
-		if got.Datasets[i].Index != want.Datasets[i].Index ||
-			math.Abs(got.Datasets[i].Weight-want.Datasets[i].Weight) > 1e-12 {
-			t.Fatalf("dataset rank %d: %+v vs %+v", i, got.Datasets[i], want.Datasets[i])
+	for i := 0; i < 4; i++ {
+		got, meta, err := c.SearchCtx(context.Background(), f.query, opt)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
 		}
+		if meta.Degraded || meta.GroupsOK != meta.GroupsTotal {
+			t.Fatalf("query %d meta: %+v", i, meta)
+		}
+		assertParity(t, got, want)
+	}
+	snap := c.Stats()
+	if snap.Degraded != 0 {
+		t.Fatalf("degraded counter = %d, want 0", snap.Degraded)
+	}
+	var failovers int64
+	for _, s := range snap.Shards {
+		failovers += s.Failovers
+	}
+	if snap.Shards[1].Errors == 0 || failovers == 0 {
+		t.Fatalf("failover not exercised: dead errors=%d failovers=%d", snap.Shards[1].Errors, failovers)
+	}
+}
+
+// TestScatterMembershipElasticity drives the runtime join/leave path:
+// a fleet booted short of one member serves degraded (the missing
+// member's datasets are unreachable), a Membership.Add restores golden
+// parity on the very next scatter (catalog and ownership re-derived under
+// the bumped generation), and a Remove degrades honestly again.
+func TestScatterMembershipElasticity(t *testing.T) {
+	f := newScatterFixtureR(t, 3, 1) // placement as booted for the full trio
+	c, _ := f.start(t, Config{Deadline: 2 * time.Second, Shards: f.identities[:2]})
+	opt := spell.Options{IncludeQuery: true}
+
+	_, meta, err := c.SearchCtx(context.Background(), f.query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Degraded || meta.ShardsTotal != 2 {
+		t.Fatalf("short fleet meta: %+v", meta)
+	}
+	gen0 := c.Generation()
+
+	if _, _, err := c.Membership().Add(f.identities[2]); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := c.SearchCtx(context.Background(), f.query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Degraded || meta.ShardsTotal != 3 || meta.ShardsOK != 3 {
+		t.Fatalf("post-join meta: %+v", meta)
+	}
+	want, err := f.full.Search(f.query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, got, want)
+	if c.Generation() == gen0 {
+		t.Fatal("join did not change the generation")
+	}
+	if snap := c.Stats(); snap.MembershipBumps != 1 || snap.ShardsTotal != 3 {
+		t.Fatalf("post-join stats: %+v", snap)
+	}
+
+	if _, _, err := c.Membership().Remove(f.identities[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err = c.SearchCtx(context.Background(), f.query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Degraded || meta.ShardsTotal != 2 {
+		t.Fatalf("post-leave meta: %+v", meta)
+	}
+	if snap := c.Stats(); snap.MembershipBumps != 2 {
+		t.Fatalf("post-leave stats: %+v", snap)
 	}
 }
 
@@ -291,9 +475,10 @@ func TestScatterRetryRecovers(t *testing.T) {
 	}
 }
 
-// TestScatterHedgeWins: a shard whose first attempt stalls answers
-// through the hedged duplicate fired after HedgeAfter, well inside the
-// deadline — tail latency hidden without degrading.
+// TestScatterHedgeWins: a single-owner shard whose first attempt stalls
+// answers through the hedged duplicate fired after HedgeAfter, well
+// inside the deadline — tail latency hidden without degrading — and the
+// win is attributed.
 func TestScatterHedgeWins(t *testing.T) {
 	f := newScatterFixture(t, 2)
 	f.shards[0].behave = func(n int64, w http.ResponseWriter, r *http.Request) bool {
@@ -316,8 +501,48 @@ func TestScatterHedgeWins(t *testing.T) {
 	if elapsed := time.Since(t0); elapsed > 5*time.Second {
 		t.Fatalf("hedge did not rescue the stalled attempt (took %v)", elapsed)
 	}
-	if h := c.Stats().Shards[0].Hedges; h != 1 {
-		t.Fatalf("hedges = %d, want 1", h)
+	snap := c.Stats()
+	if snap.Shards[0].Hedges != 1 || snap.Shards[0].HedgeWins != 1 {
+		t.Fatalf("hedges = %d, wins = %d, want 1/1", snap.Shards[0].Hedges, snap.Shards[0].HedgeWins)
+	}
+}
+
+// TestScatterHedgeFailsOver: under replication the hedge is a true
+// failover — the duplicate goes to the next untried replica, so a stalled
+// primary is rescued by a different machine.
+func TestScatterHedgeFailsOver(t *testing.T) {
+	f := newScatterFixtureR(t, 2, 2)
+	// Shard 0 black-holes every search request; shard 1 is healthy. With
+	// r=2 every group is owned by both, so any group whose p2c primary
+	// lands on shard 0 is rescued only by the hedge failing over to
+	// shard 1 — a few queries rotate the primary over both shards.
+	f.shards[0].behave = func(n int64, w http.ResponseWriter, r *http.Request) bool {
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		return true
+	}
+	c, _ := f.start(t, Config{Deadline: 10 * time.Second, Replication: 2, HedgeAfter: 50 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		t0 := time.Now()
+		_, meta, err := c.SearchCtx(context.Background(), f.query, spell.Options{})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if meta.Degraded {
+			t.Fatalf("query %d meta: %+v", i, meta)
+		}
+		if elapsed := time.Since(t0); elapsed > 5*time.Second {
+			t.Fatalf("replica hedge did not rescue the stalled primary (took %v)", elapsed)
+		}
+	}
+	snap := c.Stats()
+	var hedges, wins int64
+	for _, s := range snap.Shards {
+		hedges += s.Hedges
+		wins += s.HedgeWins
+	}
+	if hedges == 0 || wins == 0 {
+		t.Fatalf("hedges = %d, wins = %d, want both > 0", hedges, wins)
 	}
 }
 
@@ -345,34 +570,55 @@ func TestScatterCallerCancellation(t *testing.T) {
 	}
 }
 
-func TestCoordinatorInfoUnion(t *testing.T) {
-	f := newScatterFixture(t, 3)
-	var cfg Config
-	for _, sh := range f.shards {
-		mux := http.NewServeMux()
-		engine := sh.engine
-		mux.Handle(SearchPath, sh)
-		mux.HandleFunc(InfoPath, func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", ContentType)
-			_ = gob.NewEncoder(w).Encode(Info{Datasets: engine.NumDatasets(), GeneIDs: engine.GeneIDs()})
-		})
-		srv := httptest.NewServer(mux)
-		t.Cleanup(srv.Close)
-		cfg.Shards = append(cfg.Shards, srv.URL)
-	}
-	c, err := NewCoordinator(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestCoordinatorInfoGenerations covers the union info and its
+// generation-keyed cache: counts are unioned over held slices, a
+// membership bump invalidates the cached answer (it used to be cached
+// once forever), and the per-generation cache means a dead member never
+// consulted under the current generation costs nothing.
+func TestCoordinatorInfoGenerations(t *testing.T) {
+	f := newScatterFixtureR(t, 3, 1)
+	c, servers := f.start(t, Config{Deadline: 1 * time.Second, Shards: f.identities[:2]})
+
 	info, err := c.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantShort := len(f.dss) - len(f.shards[2].global)
+	if info.Datasets != wantShort {
+		t.Fatalf("short-fleet datasets = %d, want %d", info.Datasets, wantShort)
+	}
+
+	if _, _, err := c.Membership().Add(f.identities[2]); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if info.Datasets != len(f.dss) {
-		t.Fatalf("datasets = %d, want %d", info.Datasets, len(f.dss))
+		t.Fatalf("post-join datasets = %d, want %d (stale cached info?)", info.Datasets, len(f.dss))
 	}
 	if info.Genes != f.full.NumGenes() {
 		t.Fatalf("genes = %d, want union %d (per-shard slices overlap)", info.Genes, f.full.NumGenes())
+	}
+
+	// Cached under this generation: killing a member does not break Info
+	// until the membership changes...
+	servers[2].Close()
+	if info2, err := c.Info(context.Background()); err != nil || info2.Datasets != len(f.dss) {
+		t.Fatalf("cached info after member death: %+v, %v", info2, err)
+	}
+	// ...and removing the dead member re-probes the survivors immediately
+	// (the bump clears any failure cooldown too).
+	if _, _, err := c.Membership().Remove(f.identities[2]); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Datasets != wantShort {
+		t.Fatalf("post-leave datasets = %d, want %d", info.Datasets, wantShort)
 	}
 }
 
@@ -383,13 +629,22 @@ func TestNewCoordinatorValidation(t *testing.T) {
 	if _, err := NewCoordinator(Config{Shards: []string{"a:1", "a:1"}}); err == nil {
 		t.Fatal("duplicate shard accepted")
 	}
-	c, err := NewCoordinator(Config{Shards: []string{"host:9001/", "http://other:9002"}})
+	if _, err := NewCoordinator(Config{Shards: []string{"a:1", "b:1"}, Replication: 3}); err == nil {
+		t.Fatal("replication beyond fleet size accepted")
+	}
+	c, err := NewCoordinator(Config{Shards: []string{" host:9001/ ", "http://other:9002"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Identities are canonicalized but NOT rewritten into URLs: they must
+	// stay byte-identical to the shard daemons' -shards entries for the
+	// rendezvous hash. Dialing is the resolver's concern.
 	got := c.Shards()
-	if got[0] != "http://host:9001" || got[1] != "http://other:9002" {
-		t.Fatalf("normalization: %v", got)
+	if got[0] != "host:9001" || got[1] != "http://other:9002" {
+		t.Fatalf("identities: %v", got)
+	}
+	if c.Replication() != 1 {
+		t.Fatalf("default replication = %d, want 1", c.Replication())
 	}
 }
 
@@ -398,18 +653,31 @@ func TestNewCoordinatorValidation(t *testing.T) {
 // genes don't exist — the coordinator converts spell's "none occur" into
 // ErrDegradedUnresolved, which the daemon maps to a retryable 503.
 func TestScatterDegradedUnresolved(t *testing.T) {
+	identities := []string{"s0", "s1"}
+	// pin renames a dataset until rendezvous assigns it to the wanted
+	// shard, so the test controls placement without touching the hash.
+	pin := func(name, want string) string {
+		for i := 0; ; i++ {
+			cand := fmt.Sprintf("%s#%d", name, i)
+			if Owner(cand, identities) == want {
+				return cand
+			}
+		}
+	}
 	u := synth.NewUniverse(100, 5, 83)
 	real, _ := u.GenerateCompendium(synth.CompendiumSpec{
 		NumDatasets: 2, MinExperiments: 8, MaxExperiments: 10, Seed: 84,
 	})
+	real[0].Name = pin(real[0].Name, "s1")
+	real[1].Name = pin(real[1].Name, "s1")
 	realEng, err := spell.NewEngine(real)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Shard 0 holds only gene-disjoint data; shard 1 holds everything the
-	// query can resolve against.
+	// Shard s0 holds only gene-disjoint data; shard s1 holds everything
+	// the query can resolve against.
 	rng := rand.New(rand.NewSource(9))
-	lone := &microarray.Dataset{Name: "lone", Experiments: make([]string, 8)}
+	lone := &microarray.Dataset{Name: pin("lone", "s0"), Experiments: make([]string, 8)}
 	for g := 0; g < 20; g++ {
 		id := fmt.Sprintf("LONE-%02d", g)
 		row := make([]float64, 8)
@@ -423,20 +691,27 @@ func TestScatterDegradedUnresolved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	allIDs := []string{real[0].Name, real[1].Name, lone.Name}
 	shards := []*testShard{
-		{engine: loneEng, global: []int{2}},
-		{engine: realEng, global: []int{0, 1}},
+		{engine: loneEng, global: []int{2}, g2l: map[int]int{2: 0}, allIDs: allIDs},
+		{engine: realEng, global: []int{0, 1}, g2l: map[int]int{0: 0, 1: 1}, allIDs: allIDs},
 	}
-	var cfg Config
-	cfg.Deadline = 300 * time.Millisecond
+	urls := make(map[string]string)
 	var servers []*httptest.Server
-	for _, sh := range shards {
-		srv := httptest.NewServer(sh)
+	for si, sh := range shards {
+		mux := http.NewServeMux()
+		mux.Handle(SearchPath, sh)
+		mux.HandleFunc(InfoPath, sh.infoHandler())
+		srv := httptest.NewServer(mux)
 		t.Cleanup(srv.Close)
 		servers = append(servers, srv)
-		cfg.Shards = append(cfg.Shards, srv.URL)
+		urls[identities[si]] = srv.URL
 	}
-	c, err := NewCoordinator(cfg)
+	c, err := NewCoordinator(Config{
+		Shards:   identities,
+		Deadline: 300 * time.Millisecond,
+		Resolve:  func(id string) string { return urls[id] },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,17 +33,50 @@ import (
 // not change the assignment, renaming a shard does (it is a new
 // participant).
 func Owner(datasetID string, shards []string) string {
-	best := ""
-	var bestScore uint64
-	for _, s := range shards {
-		score := rendezvousScore(s, datasetID)
-		// Deterministic tie-break on the address keeps the assignment a
-		// pure function of the (shard set, dataset) pair.
-		if best == "" || score > bestScore || (score == bestScore && s < best) {
-			best, bestScore = s, score
-		}
+	owners := Owners(datasetID, shards, 1)
+	if len(owners) == 0 {
+		return ""
 	}
-	return best
+	return owners[0]
+}
+
+// Owners returns the top-r shards of datasetID's rendezvous ranking, in
+// rank order: Owners(id, shards, 1)[0] is Owner(id, shards), entry 1 the
+// first replica, and so on. Replication factor r gives each dataset r
+// distinct owners out of the same per-(shard, dataset) scores single
+// ownership uses, so raising r only *adds* replicas — the rank-k owner
+// under r is the rank-k owner under any r' > k — and a membership change
+// still moves only ~1/len(shards) of the assignments at each rank
+// independently (the minimal-disruption property, now per rank). r is
+// clamped to len(shards).
+func Owners(datasetID string, shards []string, r int) []string {
+	if r > len(shards) {
+		r = len(shards)
+	}
+	if r <= 0 {
+		return nil
+	}
+	type scored struct {
+		shard string
+		score uint64
+	}
+	ranked := make([]scored, 0, len(shards))
+	for _, s := range shards {
+		ranked = append(ranked, scored{shard: s, score: rendezvousScore(s, datasetID)})
+	}
+	// Deterministic tie-break on the address keeps the assignment a pure
+	// function of the (shard set, dataset) pair, as in single ownership.
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score > ranked[b].score
+		}
+		return ranked[a].shard < ranked[b].shard
+	})
+	out := make([]string, r)
+	for i := 0; i < r; i++ {
+		out[i] = ranked[i].shard
+	}
+	return out
 }
 
 // rendezvousScore hashes one (shard, dataset) pair. FNV-1a over
@@ -62,13 +95,53 @@ func rendezvousScore(shard, datasetID string) uint64 {
 // the full compendium list to select its slice while retaining each
 // dataset's global index for partial remapping.
 func OwnedIndexes(datasetIDs []string, shards []string, self string) []int {
+	return OwnedIndexesR(datasetIDs, shards, self, 1)
+}
+
+// OwnedIndexesR is OwnedIndexes under replication factor r: the positions
+// of every dataset that lists self among its top-r owners at *any* rank.
+// A shard loads all of them, so losing any r-1 other shards loses no
+// dataset.
+func OwnedIndexesR(datasetIDs []string, shards []string, self string, r int) []int {
 	var owned []int
 	for i, id := range datasetIDs {
-		if Owner(id, shards) == self {
-			owned = append(owned, i)
+		for _, o := range Owners(id, shards, r) {
+			if o == self {
+				owned = append(owned, i)
+				break
+			}
 		}
 	}
 	return owned
+}
+
+// GroupIndexes returns the positions of the datasets whose ordered top-r
+// owner tuple equals owners, under the given shard set. This is the shared
+// vocabulary of the replicated scatter: the coordinator partitions the
+// dataset list into ownership groups (distinct owner tuples) and asks one
+// replica per group; the shard recomputes the same set from the request's
+// (shards, r, owners) and serves exactly those datasets it holds — both
+// sides derive the group from the same pure function, so no dataset can be
+// claimed twice in one merge.
+func GroupIndexes(datasetIDs []string, shards []string, r int, owners []string) []int {
+	var idx []int
+	for i, id := range datasetIDs {
+		got := Owners(id, shards, r)
+		if len(got) != len(owners) {
+			continue
+		}
+		match := true
+		for k := range got {
+			if got[k] != owners[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			idx = append(idx, i)
+		}
+	}
+	return idx
 }
 
 // Generation fingerprints a shard set: a stable hash of the sorted

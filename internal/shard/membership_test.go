@@ -1,0 +1,67 @@
+package shard
+
+import "testing"
+
+func TestMembershipLifecycle(t *testing.T) {
+	m, err := NewMembership([]string{" a:1 ", "b:1/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, gen := m.Snapshot()
+	if len(shards) != 2 || shards[0] != "a:1" || shards[1] != "b:1" {
+		t.Fatalf("normalized identities: %v", shards)
+	}
+	if gen != Generation([]string{"a:1", "b:1"}) {
+		t.Fatal("generation does not fingerprint the normalized list")
+	}
+	if m.Bumps() != 0 {
+		t.Fatalf("bumps = %d at boot", m.Bumps())
+	}
+
+	// Add: list grows, generation changes, bump counted.
+	added, gen2, err := m.Add("c:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 3 || gen2 == gen || m.Bumps() != 1 {
+		t.Fatalf("add: %v gen %d->%d bumps %d", added, gen, gen2, m.Bumps())
+	}
+	if _, _, err := m.Add("c:1"); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if _, _, err := m.Add("  "); err == nil {
+		t.Fatal("blank add accepted")
+	}
+
+	// Remove: symmetric, and the identity is normalized before matching.
+	removed, gen3, err := m.Remove("c:1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || gen3 != gen || m.Bumps() != 2 {
+		t.Fatalf("remove: %v gen %d (boot %d) bumps %d", removed, gen3, gen, m.Bumps())
+	}
+	if _, _, err := m.Remove("nope:1"); err == nil {
+		t.Fatal("unknown remove accepted")
+	}
+
+	// The fleet can never be emptied.
+	if _, _, err := m.Remove("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Remove("b:1"); err == nil {
+		t.Fatal("last member removed")
+	}
+}
+
+func TestNewMembershipValidation(t *testing.T) {
+	if _, err := NewMembership(nil); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := NewMembership([]string{"a:1", "a:1/"}); err == nil {
+		t.Fatal("duplicate identities accepted")
+	}
+	if _, err := NewMembership([]string{" "}); err == nil {
+		t.Fatal("blank identity accepted")
+	}
+}

@@ -20,10 +20,23 @@ const ContentType = "application/x-gob"
 
 // SearchRequest asks a shard for its partial of one query. Result-shaping
 // options stay coordinator-side (spell.Merge applies them); the shard only
-// needs the gene list, so identical queries hit the shard's partial cache
-// regardless of which coordinator options rode in.
+// needs the gene list and the ownership group, so identical queries hit
+// the shard's partial cache regardless of which coordinator options rode
+// in.
 type SearchRequest struct {
 	Query []string
+
+	// Shards, Replication and Owners scope the request to one ownership
+	// group of the replicated fleet (DESIGN.md §5): the shard recomputes
+	// GroupIndexes(allDatasetIDs, Shards, Replication, Owners) and serves
+	// only the datasets it holds from that group, so the coordinator can
+	// ask different replicas for different groups without any dataset being
+	// claimed twice in one merge. Empty Owners is the legacy whole-slice
+	// request: the shard serves everything it holds (single-owner fleets
+	// and direct probes).
+	Shards      []string
+	Replication int
+	Owners      []string
 }
 
 // Info describes a shard's slice of the compendium, served at InfoPath.
@@ -34,4 +47,14 @@ type Info struct {
 	// The coordinator unions these across shards to report compendium
 	// totals (shards overlap in genes, so counts cannot simply be summed).
 	GeneIDs []string
+	// DatasetIDs lists the global dataset names the shard holds. Under
+	// replication slices overlap, so the coordinator counts the union of
+	// these rather than summing Datasets.
+	DatasetIDs []string
+	// AllDatasetIDs is the full compendium dataset list the shard booted
+	// with, in global order. The coordinator fetches it from any one live
+	// shard as the catalog it derives ownership groups from — the
+	// coordinator itself stays dataset-stateless across restarts and
+	// membership changes.
+	AllDatasetIDs []string
 }

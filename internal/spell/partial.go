@@ -144,9 +144,39 @@ func (e *Engine) PartialSearch(query []string, opt Options) (*Partial, error) {
 // per-dataset scan stops pulling work once ctx is done, so a coordinator
 // deadline or a hung-up client stops costing shard CPU mid-scan.
 func (e *Engine) PartialSearchCtx(ctx context.Context, query []string, opt Options) (*Partial, error) {
+	return e.PartialSearchSubsetCtx(ctx, query, nil, opt)
+}
+
+// PartialSearchSubsetCtx is PartialSearchCtx restricted to a subset of
+// this engine's datasets, given as local dataset indexes (nil means every
+// dataset — plain PartialSearchCtx). The replicated fleet needs this:
+// under top-R ownership a shard holds more datasets than any single
+// request should claim, and the coordinator asks each replica for exactly
+// one ownership group, so two replicas can never both count a dataset
+// into one merge. Entries must be in range and unique; only the subset's
+// datasets are scanned, scored, and listed in the Partial. An empty
+// (non-nil) subset is valid and yields the empty partial.
+func (e *Engine) PartialSearchSubsetCtx(ctx context.Context, query []string, subset []int, opt Options) (*Partial, error) {
 	query = CanonicalQuery(query)
 	if len(query) == 0 {
 		return nil, errors.New("spell: empty query")
+	}
+	if subset == nil {
+		subset = make([]int, len(e.slabs))
+		for di := range subset {
+			subset[di] = di
+		}
+	} else {
+		seen := make(map[int]bool, len(subset))
+		for _, di := range subset {
+			if di < 0 || di >= len(e.slabs) {
+				return nil, fmt.Errorf("spell: subset dataset index %d out of range [0,%d)", di, len(e.slabs))
+			}
+			if seen[di] {
+				return nil, fmt.Errorf("spell: duplicate subset dataset index %d", di)
+			}
+			seen[di] = true
+		}
 	}
 	qgids := make([]int, 0, len(query))
 	for _, q := range query {
@@ -156,14 +186,14 @@ func (e *Engine) PartialSearchCtx(ctx context.Context, query []string, opt Optio
 	}
 
 	par := e.searchPar(opt.Parallelism)
-	infos := e.queryInfos(ctx, qgids, par)
+	infos := e.queryInfosSubset(ctx, qgids, par, subset)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	p := &Partial{Query: query, Datasets: make([]PartialDataset, len(e.slabs))}
-	for di := range e.slabs {
-		p.Datasets[di] = PartialDataset{
+	p := &Partial{Query: query, Datasets: make([]PartialDataset, len(subset))}
+	for i, di := range subset {
+		p.Datasets[i] = PartialDataset{
 			Index:     di,
 			Name:      e.datasets[di].Name,
 			Coherence: infos[di].coherence,
@@ -200,7 +230,7 @@ func (e *Engine) PartialSearchCtx(ctx context.Context, query []string, opt Optio
 			accs[w] = acc
 		}(w)
 	}
-	for di := range e.slabs {
+	for _, di := range subset {
 		work <- di
 	}
 	close(work)

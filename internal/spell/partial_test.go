@@ -374,3 +374,104 @@ func TestPartialConcurrentHammer(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPartialSubsetMatchesSearch is the replication-era parity proof: a
+// shard that holds more datasets than one request should claim (top-R
+// ownership replicates slices) serves per-group *subsets* of its slice,
+// and merging those subset partials must still reproduce the
+// single-process Search. Here two "replica" engines hold overlapping
+// slices of the compendium while the subsets requested from them
+// partition the global dataset list exactly once — the coordinator's
+// single-coverage discipline — and the merge must match Search to 1e-12.
+func TestPartialSubsetMatchesSearch(t *testing.T) {
+	u := synth.NewUniverse(180, 8, 43)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 7, MinExperiments: 8, MaxExperiments: 16,
+		ActiveFraction: 0.5, Noise: 0.3, MissingRate: 0.03, Seed: 44,
+	})
+	dss = append(dss, disjointDataset("disjoint", 25, 9, 17))
+	full, err := NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := u.ModuleGeneIDs(2)[:5]
+
+	// Replica A holds globals {0..5}, replica B holds {3..7}: datasets 3-5
+	// exist on both, like any dataset with two rendezvous owners.
+	buildReplica := func(globals []int) (*Engine, []int) {
+		var slice []*microarray.Dataset
+		for _, gi := range globals {
+			slice = append(slice, dss[gi])
+		}
+		e, err := NewEngine(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, globals
+	}
+	engA, globA := buildReplica([]int{0, 1, 2, 3, 4, 5})
+	engB, globB := buildReplica([]int{3, 4, 5, 6, 7})
+
+	// The coordinator assigns each global dataset to exactly one replica:
+	// A serves {0,1,2,4}, B serves {3,5,6,7} — including datasets both
+	// hold, split across the two.
+	serveA := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	var subA, subB []int
+	for li, gi := range globA {
+		if serveA[gi] {
+			subA = append(subA, li)
+		}
+	}
+	for li, gi := range globB {
+		if !serveA[gi] {
+			subB = append(subB, li)
+		}
+	}
+
+	for _, opt := range []Options{
+		{},
+		{UniformWeights: true},
+		{MaxGenes: 25, IncludeQuery: true},
+	} {
+		want, err := full.Search(query, opt)
+		if err != nil {
+			t.Fatalf("search %+v: %v", opt, err)
+		}
+		pA, err := engA.PartialSearchSubsetCtx(context.Background(), query, subA, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pB, err := engB.PartialSearchSubsetCtx(context.Background(), query, subB, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pA.Datasets {
+			pA.Datasets[i].Index = globA[pA.Datasets[i].Index]
+		}
+		for i := range pB.Datasets {
+			pB.Datasets[i].Index = globB[pB.Datasets[i].Index]
+		}
+		got, err := Merge([]Partial{*pA, *pB}, opt)
+		if err != nil {
+			t.Fatalf("merge %+v: %v", opt, err)
+		}
+		assertResultsMatch(t, got, want, 1e-12)
+		for i := range want.Genes {
+			if got.Genes[i].ID != want.Genes[i].ID {
+				t.Fatalf("%+v: rank %d = %s, want %s", opt, i, got.Genes[i].ID, want.Genes[i].ID)
+			}
+		}
+	}
+
+	// A nil subset is the whole slice (PartialSearchCtx), an empty subset a
+	// valid empty partial, and malformed subsets are loud errors.
+	if p, err := engA.PartialSearchSubsetCtx(context.Background(), query, []int{}, Options{}); err != nil || len(p.Datasets) != 0 || len(p.Genes) != 0 {
+		t.Fatalf("empty subset: %+v, %v", p, err)
+	}
+	if _, err := engA.PartialSearchSubsetCtx(context.Background(), query, []int{0, 0}, Options{}); err == nil {
+		t.Fatal("duplicate subset index accepted")
+	}
+	if _, err := engA.PartialSearchSubsetCtx(context.Background(), query, []int{99}, Options{}); err == nil {
+		t.Fatal("out-of-range subset index accepted")
+	}
+}

@@ -228,6 +228,13 @@ func (e *Engine) searchPar(requested int) int {
 // mutable state. Workers stop pulling datasets once ctx is canceled; the
 // caller must check ctx.Err() before trusting the result.
 func (e *Engine) queryInfos(ctx context.Context, qgids []int, par int) []dsInfo {
+	return e.queryInfosSubset(ctx, qgids, par, nil)
+}
+
+// queryInfosSubset is queryInfos over a subset of dataset indexes (nil =
+// all). The result is still one slot per dataset of the engine; slots
+// outside the subset stay zero and must not be read.
+func (e *Engine) queryInfosSubset(ctx context.Context, qgids []int, par int, subset []int) []dsInfo {
 	infos := make([]dsInfo, len(e.slabs))
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -245,8 +252,14 @@ func (e *Engine) queryInfos(ctx context.Context, qgids []int, par int) []dsInfo 
 			}
 		}()
 	}
-	for di := range e.slabs {
-		work <- di
+	if subset == nil {
+		for di := range e.slabs {
+			work <- di
+		}
+	} else {
+		for _, di := range subset {
+			work <- di
+		}
 	}
 	close(work)
 	wg.Wait()

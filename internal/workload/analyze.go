@@ -228,6 +228,24 @@ func Analyze(envs []Envelope, opt AnalyzeOptions) *Report {
 	return rep
 }
 
+// WriteCSV renders the per-step sweep as a latency-vs-rate curve, one row
+// per step, for plotting the capacity knee without re-parsing the JSONL.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,offered_qps,achieved_qps,requests,errors_5xx,transport_errors,degraded,stalls,p50_ms,p95_ms,p99_ms,max_ms,sustained"); err != nil {
+		return err
+	}
+	for _, st := range r.Steps {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%t\n",
+			st.Step, st.OfferedQPS, st.AchievedQPS, st.Requests,
+			st.Errors5xx, st.Transport, st.Degraded, st.Stalls,
+			st.Latency.P50, st.Latency.P95, st.Latency.P99, st.Latency.Max,
+			st.Sustained); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteText renders the report for a terminal.
 func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "requests: %d  5xx: %d  4xx: %d  transport: %d  stalls: %d\n",

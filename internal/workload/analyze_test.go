@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -125,6 +126,41 @@ func TestReportWriteText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestReportWriteCSV: one row per sweep step under a fixed header, with
+// the counters and quantiles in their promised columns.
+func TestReportWriteCSV(t *testing.T) {
+	envs := append(synthStep(0, 100, 50, 10, 0), synthStep(1, 200, 50, 10, 2)...)
+	var buf bytes.Buffer
+	if err := Analyze(envs, AnalyzeOptions{}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 steps:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "step,offered_qps,achieved_qps,requests,errors_5xx,transport_errors,degraded,stalls,p50_ms,p95_ms,p99_ms,max_ms,sustained" {
+		t.Fatalf("header %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 13 {
+			t.Fatalf("row %d has %d columns: %q", i, len(cols), line)
+		}
+		if cols[0] != fmt.Sprint(i) {
+			t.Fatalf("row %d step column %q", i, cols[0])
+		}
+	}
+	if !strings.HasPrefix(lines[1], "0,100.000,") || !strings.HasSuffix(lines[1], ",true") {
+		t.Fatalf("clean step row: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1,200.000,") || !strings.HasSuffix(lines[2], ",false") {
+		t.Fatalf("failing step row: %q", lines[2])
+	}
+	if cols := strings.Split(lines[2], ","); cols[4] != "2" {
+		t.Fatalf("5xx column %q in %q", cols[4], lines[2])
 	}
 }
 
