@@ -1,7 +1,7 @@
 package forestview
 
 // One benchmark family per paper artifact (figure or quantified claim).
-// DESIGN.md Section 4 maps each to its experiment ID; EXPERIMENTS.md records
+// DESIGN.md §7 maps each to its experiment ID; EXPERIMENTS.md records
 // the measured series next to what the paper reports.
 
 import (
@@ -486,9 +486,10 @@ func BenchmarkF4_EnrichHTTP(b *testing.B) {
 // ---------------------------------------------------------------------------
 // F5a — the sharded compendium (DESIGN.md §4): scatter a SPELL query over
 // N loopback shard daemons and merge with global renormalization. One
-// fixed 24-dataset compendium is split round-robin over the shards, each
-// shard running the real server role (gob endpoint, global index remap)
-// with its scan bounded to ONE worker and its partial cache disabled —
+// fixed 24-dataset compendium is split over the shards by the same
+// rendezvous ownership the coordinator derives its scatter groups from,
+// each shard running the real server role (gob endpoint, global index
+// remap) with its scan bounded to ONE worker and its partial cache disabled —
 // loopback shards share this machine's cores, so an unbounded scan or a
 // cache hit would fake the distributed scaling being measured. With the
 // per-shard scan serialized, wall time per query approaches
@@ -512,22 +513,30 @@ func newScatterBench(b *testing.B, nShards int) *scatterBenchTop {
 		NumDatasets: 24, MinExperiments: 80, MaxExperiments: 120,
 		ActiveFraction: 0.4, Noise: 0.25, Seed: 74,
 	})
-	var addrs []string
-	for s := 0; s < nShards; s++ {
+	names := make([]string, len(dss))
+	for i, ds := range dss {
+		names[i] = ds.Name
+	}
+	identities := make([]string, nShards)
+	for i := range identities {
+		identities[i] = fmt.Sprintf("shard-%d", i)
+	}
+	urls := make(map[string]string, nShards)
+	for _, self := range identities {
+		owned := shard.OwnedIndexesR(names, identities, self, 1)
+		if len(owned) == 0 {
+			b.Fatalf("shard %s owns no datasets at this fixture seed", self)
+		}
 		var slice []*microarray.Dataset
-		var global []int
-		for gi, ds := range dss {
-			if gi%nShards == s {
-				slice = append(slice, ds)
-				global = append(global, gi)
-			}
+		for _, gi := range owned {
+			slice = append(slice, dss[gi])
 		}
 		engine, err := spell.NewEngine(slice)
 		if err != nil {
 			b.Fatal(err)
 		}
 		srv, err := server.New(server.Config{
-			Engine: engine, ShardIndexes: global,
+			Engine: engine, ShardIndexes: owned, ShardDatasetIDs: names,
 			// A 1-byte-per-shard budget caches nothing: every request pays
 			// the full dataset scan, which is the thing under test.
 			CacheBytes:        16,
@@ -539,9 +548,12 @@ func newScatterBench(b *testing.B, nShards int) *scatterBenchTop {
 		b.Cleanup(srv.Close)
 		hs := httptest.NewServer(srv)
 		b.Cleanup(hs.Close)
-		addrs = append(addrs, hs.URL)
+		urls[self] = hs.URL
 	}
-	coord, err := shard.NewCoordinator(shard.Config{Shards: addrs, Deadline: time.Minute})
+	coord, err := shard.NewCoordinator(shard.Config{
+		Shards: identities, Deadline: time.Minute,
+		Resolve: func(id string) string { return urls[id] },
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -566,6 +578,95 @@ func benchScatter(b *testing.B, nShards int) {
 func BenchmarkF5_Scatter1Shards(b *testing.B) { benchScatter(b, 1) }
 func BenchmarkF5_Scatter2Shards(b *testing.B) { benchScatter(b, 2) }
 func BenchmarkF5_Scatter4Shards(b *testing.B) { benchScatter(b, 4) }
+
+// ---------------------------------------------------------------------------
+// F8 — distributed GOLEM (DESIGN.md §6): scatter an exact enrichment over N
+// loopback shard daemons, each tallying its ownership-group word range of
+// the F4c fixture's 6k-gene arena, and merge the integer counts into the
+// full hypergeometric analysis. Unlike F5's dataset scan, the distributed
+// tally is cheap next to the fixed per-group overhead (HTTP + gob + the
+// centralized p-value math in MergeCounts), so sec/op across shard counts
+// tracks the scatter round-trip itself — this family gates regressions in
+// the fleet enrichment path, it is not a linear-scaling demonstration.
+// Shard partial caches are disabled (16-byte budget) so every iteration
+// pays the real tally; the coordinator's term-catalog fetch is cached per
+// membership generation, amortized across iterations as in production.
+
+func newEnrichScatterBench(b *testing.B, nShards int) *shard.Coordinator {
+	b.Helper()
+	f := getEnrichBench(b)
+	// A small compendium supplies the shard role's dataset catalog (and
+	// hence the ownership groups); the enrichment universe is the
+	// independent 6k-gene F4c fixture, shared by every shard so the slice
+	// fingerprints agree.
+	u := synth.NewUniverse(100, 5, 91)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 4 * nShards, MinExperiments: 4, MaxExperiments: 6, Seed: 92,
+	})
+	names := make([]string, len(dss))
+	for i, ds := range dss {
+		names[i] = ds.Name
+	}
+	identities := make([]string, nShards)
+	for i := range identities {
+		identities[i] = fmt.Sprintf("shard-%d", i)
+	}
+	urls := make(map[string]string, nShards)
+	for _, self := range identities {
+		owned := shard.OwnedIndexesR(names, identities, self, 1)
+		if len(owned) == 0 {
+			b.Fatalf("shard %s owns no datasets at this fixture seed", self)
+		}
+		var slice []*microarray.Dataset
+		for _, gi := range owned {
+			slice = append(slice, dss[gi])
+		}
+		engine, err := spell.NewEngine(slice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Engine: engine, Enricher: f.enricher,
+			ShardIndexes: owned, ShardDatasetIDs: names,
+			CacheBytes: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		hs := httptest.NewServer(srv)
+		b.Cleanup(hs.Close)
+		urls[self] = hs.URL
+	}
+	coord, err := shard.NewCoordinator(shard.Config{
+		Shards: identities, Deadline: time.Minute,
+		Resolve: func(id string) string { return urls[id] },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return coord
+}
+
+func benchEnrichScatter(b *testing.B, nShards int) {
+	coord := newEnrichScatterBench(b, nShards)
+	f := getEnrichBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, meta, err := coord.EnrichCtx(context.Background(), f.selection, golem.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meta.Degraded || meta.GroupsOK != meta.GroupsTotal || len(res.Results) == 0 {
+			b.Fatalf("bad enrich scatter: meta %+v, %d results", meta, len(res.Results))
+		}
+	}
+}
+
+func BenchmarkF8_EnrichScatter1Shards(b *testing.B) { benchEnrichScatter(b, 1) }
+func BenchmarkF8_EnrichScatter2Shards(b *testing.B) { benchEnrichScatter(b, 2) }
+func BenchmarkF8_EnrichScatter4Shards(b *testing.B) { benchEnrichScatter(b, 4) }
 
 // ---------------------------------------------------------------------------
 // F5 — Figure 5 (GOLEM): enrichment analysis and local-map layout.

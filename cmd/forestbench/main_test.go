@@ -38,7 +38,7 @@ func TestSmokeProfileShard2Fleet(t *testing.T) {
 	if len(envs) == 0 {
 		t.Fatal("smoke produced no envelopes")
 	}
-	searches := 0
+	searches, enriches := 0, 0
 	for _, e := range envs {
 		if e.Status >= 500 || e.Status == 0 {
 			t.Fatalf("envelope failed: %+v", e)
@@ -53,6 +53,17 @@ func TestSmokeProfileShard2Fleet(t *testing.T) {
 			if e.Cache == "" {
 				t.Fatalf("search envelope without cache disposition: %+v", e)
 			}
+		case "enrich":
+			// Both shards own datasets at R=1, so the enrich scatter has
+			// two single-owner groups and both shards contribute tallies.
+			enriches++
+			if e.ShardsOK != 2 || e.ShardsTotal != 2 || e.Degraded {
+				t.Fatalf("enrich envelope shard tally %d/%d degraded=%t, want 2/2 false: %+v",
+					e.ShardsOK, e.ShardsTotal, e.Degraded, e)
+			}
+			if e.Cache == "" {
+				t.Fatalf("enrich envelope without cache disposition: %+v", e)
+			}
 		case "stats":
 			if e.ShardsOK != 0 || e.ShardsTotal != 0 {
 				t.Fatalf("stats envelope has shard headers: %+v", e)
@@ -61,8 +72,8 @@ func TestSmokeProfileShard2Fleet(t *testing.T) {
 			t.Fatalf("unexpected endpoint %q in shard2 smoke", e.Endpoint)
 		}
 	}
-	if searches == 0 {
-		t.Fatal("no search envelopes")
+	if searches == 0 || enriches == 0 {
+		t.Fatalf("endpoint coverage: %d searches, %d enriches", searches, enriches)
 	}
 	// The analyze report made it to stdout and to the artifact file.
 	if !strings.Contains(stdout.String(), "max sustainable rate") {
@@ -200,8 +211,9 @@ func TestShardKillMidRun(t *testing.T) {
 // 3-shard fleet at replication 2 loses one shard mid-run, and because
 // every dataset still has a live owner, the coordinator keeps answering
 // full merges — zero 5xx, zero transport errors, zero degraded envelopes,
-// before and after the kill. The tiny coordinator cache forces every
-// post-kill search to genuinely re-scatter through replica failover.
+// before and after the kill, for searches and enrichments alike. The tiny
+// coordinator cache forces every post-kill request to genuinely
+// re-scatter through replica failover.
 func TestReplicatedFleetKillMidRun(t *testing.T) {
 	tp, err := newFleetTopology("fleet3r2", 3, 2, 6, 16)
 	if err != nil {
@@ -214,7 +226,7 @@ func TestReplicatedFleetKillMidRun(t *testing.T) {
 		Rate:     50,
 		Duration: 3 * time.Second,
 		Seed:     9,
-		Mix:      workload.Mix{Search: 1},
+		Mix:      workload.Mix{Search: 1, Enrich: 1},
 		Genes:    tp.genes,
 	})
 	if err != nil {
@@ -235,7 +247,7 @@ func TestReplicatedFleetKillMidRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	killMS := float64(killAt / time.Millisecond)
-	var postKill int
+	postKill := map[string]int{}
 	for _, e := range envs {
 		if e.Status != 200 {
 			t.Fatalf("non-200 under replicated shard kill: %+v", e)
@@ -247,11 +259,13 @@ func TestReplicatedFleetKillMidRun(t *testing.T) {
 			t.Fatalf("shard tally total %d, want 3: %+v", e.ShardsTotal, e)
 		}
 		if e.SchedMS > killMS {
-			postKill++
+			postKill[e.Endpoint]++
 		}
 	}
-	if postKill == 0 {
-		t.Fatalf("kill not straddled: no envelopes scheduled after %v of %d", killAt, len(envs))
+	// Both scattered endpoints must straddle the kill, or the zero-degraded
+	// claim proved nothing about failover.
+	if postKill["search"] == 0 || postKill["enrich"] == 0 {
+		t.Fatalf("kill not straddled per endpoint: %v of %d envelopes", postKill, len(envs))
 	}
 }
 

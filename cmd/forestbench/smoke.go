@@ -42,7 +42,7 @@ type topology struct {
 	genes    []string
 	paneRows []int
 	// mix is a workload mix every endpoint of which the target actually
-	// serves (a coordinator has no enrich or heatmap).
+	// serves (a coordinator scatters search and enrich but has no heatmap).
 	mix workload.Mix
 	// shardServers are the shard backends, exposed so fleet tests can
 	// kill one mid-run. Empty in single mode.
@@ -66,15 +66,11 @@ func smokeCompendium(nDatasets int) (*synth.Universe, []*microarray.Dataset) {
 	return u, dss
 }
 
-// newSingleTopology builds a single-role daemon: SPELL + GOLEM + heatmap
-// panes in one process, every endpoint live, generous render pool so the
-// smoke gate measures the server rather than deliberate load shedding.
-func newSingleTopology() (*topology, error) {
-	u, dss := smokeCompendium(smokeDatasets)
-	engine, err := spell.NewEngine(dss)
-	if err != nil {
-		return nil, err
-	}
+// smokeEnricher builds the synthetic-ontology GOLEM enricher over a smoke
+// universe. Every shard of a fleet calls this with the same universe, so
+// the enrichers share a background fingerprint and the coordinator can
+// merge their slice tallies exactly.
+func smokeEnricher(u *synth.Universe) (*golem.Enricher, error) {
 	var leafNames []string
 	for _, m := range u.Modules {
 		leafNames = append(leafNames, m.Name)
@@ -86,6 +82,22 @@ func newSingleTopology() (*topology, error) {
 	enricher, err := golem.NewEnricher(onto, ontology.AnnotateFromModules(u.Annotations(), leafOf), u.GeneIDs())
 	if err != nil {
 		return nil, fmt.Errorf("enricher: %w", err)
+	}
+	return enricher, nil
+}
+
+// newSingleTopology builds a single-role daemon: SPELL + GOLEM + heatmap
+// panes in one process, every endpoint live, generous render pool so the
+// smoke gate measures the server rather than deliberate load shedding.
+func newSingleTopology() (*topology, error) {
+	u, dss := smokeCompendium(smokeDatasets)
+	engine, err := spell.NewEngine(dss)
+	if err != nil {
+		return nil, err
+	}
+	enricher, err := smokeEnricher(u)
+	if err != nil {
+		return nil, err
 	}
 	srv, err := server.New(server.Config{
 		Engine:        engine,
@@ -120,8 +132,9 @@ func newSingleTopology() (*topology, error) {
 // over the fleet with that replication factor. Shard identities are the
 // logical strings "shard-0".."shard-N" resolved to httptest URLs through
 // the coordinator's Resolve hook — the same identity/dial split a real
-// deployment gets from -shards plus DNS. The coordinator serves no heatmap
-// or enrichment, so the mix is search plus stats. coordCacheBytes sizes
+// deployment gets from -shards plus DNS. Every shard carries the synthetic
+// ontology, so the coordinator scatters enrichment as well as search; only
+// heatmaps stay off the fleet mix. coordCacheBytes sizes
 // the coordinator's merged-result cache — pass something tiny (e.g. 16) to
 // force every search to re-scatter, which is what a shard-kill test needs:
 // cached full merges would keep answering non-degraded after a shard died.
@@ -156,8 +169,13 @@ func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes
 		if err != nil {
 			return nil, err
 		}
+		enricher, err := smokeEnricher(u)
+		if err != nil {
+			return nil, err
+		}
 		ss, err := server.New(server.Config{
-			Engine: se, ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 8 << 20,
+			Engine: se, Enricher: enricher,
+			ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 8 << 20,
 		})
 		if err != nil {
 			return nil, err
@@ -184,7 +202,7 @@ func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes
 	tp.closers = append(tp.closers, coord.Close, chs.Close)
 	tp.url = chs.URL
 	tp.genes = u.GeneIDs()
-	tp.mix = workload.Mix{Search: 4, Stats: 1}
+	tp.mix = workload.Mix{Search: 4, Enrich: 2, Stats: 1}
 	ok = true
 	return tp, nil
 }

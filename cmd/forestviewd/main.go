@@ -10,11 +10,14 @@
 //	/api/stats   per-endpoint latency / cache hit-rate counters (JSON)
 //	/healthz     liveness probe
 //
-// The daemon also scales horizontally (DESIGN.md §4): with -role=shard it
-// serves SPELL partials for its rendezvous-assigned slice of the
-// compendium at /api/shard/search, and with -role=coordinator it scatters
-// every search over the -shards backends and merges with global weight
-// renormalization, degrading gracefully when shards fail.
+// The daemon also scales horizontally (DESIGN.md §4–§6): with -role=shard
+// it serves SPELL partials for its rendezvous-assigned slice of the
+// compendium at /api/shard/v1/search — and, when booted with an ontology,
+// GOLEM slice tallies at /api/shard/v1/enrich — while -role=coordinator
+// scatters every search AND enrichment over the -shards backends, merging
+// search partials with global weight renormalization and enrichment
+// tallies exactly (golem.MergeCounts), degrading gracefully when shards
+// fail.
 //
 // Usage:
 //
@@ -217,15 +220,14 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 	t0 := time.Now()
 
 	if role == "coordinator" {
-		// A coordinator holds no expression data at all: ownership is a
-		// pure function of the shard set, so it scatters and merges with
-		// nothing to load. Enrichment needs a local background compendium,
-		// so it stays on single/shard daemons.
+		// A coordinator holds no expression data and no ontology at all:
+		// ownership is a pure function of the shard set, so it scatters and
+		// merges — searches and enrichments alike — with nothing to load.
 		if len(cfg.shards) == 0 {
 			return nil, fmt.Errorf("-role=coordinator requires -shards")
 		}
 		if cfg.obo != "" {
-			return nil, fmt.Errorf("-obo is not supported with -role=coordinator (enrichment needs a local compendium)")
+			return nil, fmt.Errorf("-obo belongs on shard daemons, not the coordinator (it scatters /api/enrich to ontology-bearing shards)")
 		}
 		coord, err := shard.NewCoordinator(shard.Config{
 			Shards:      cfg.shards,

@@ -390,6 +390,49 @@ func searchParity(t *testing.T, coord, single *server.Server, q string) {
 	}
 }
 
+// enrichParity runs the same selection through the coordinator's scatter
+// enrichment and the single-process daemon and requires identical term
+// rankings with a non-degraded merge — demo shards all carry the synthetic
+// ontology, so the coordinator must reconstruct GOLEM's answer exactly.
+func enrichParity(t *testing.T, coord, single *server.Server, q string) {
+	t.Helper()
+	recC := get(t, coord, "/api/enrich?genes="+q)
+	recS := get(t, single, "/api/enrich?genes="+q)
+	if recC.Code != http.StatusOK || recS.Code != http.StatusOK {
+		t.Fatalf("coordinator = %d (%s), single = %d", recC.Code, recC.Body.String(), recS.Code)
+	}
+	if h := recC.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q", h)
+	}
+	type enrichBody struct {
+		Results []struct {
+			TermID   string
+			Selected int
+			PValue   float64
+		} `json:"results"`
+		Degraded bool `json:"degraded"`
+	}
+	var gotC, gotS enrichBody
+	if err := json.Unmarshal(recC.Body.Bytes(), &gotC); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recS.Body.Bytes(), &gotS); err != nil {
+		t.Fatal(err)
+	}
+	if gotC.Degraded {
+		t.Fatal("coordinator enrich degraded")
+	}
+	if len(gotC.Results) == 0 || len(gotC.Results) != len(gotS.Results) {
+		t.Fatalf("result counts: %d vs %d", len(gotC.Results), len(gotS.Results))
+	}
+	for i := range gotS.Results {
+		c, s := gotC.Results[i], gotS.Results[i]
+		if c.TermID != s.TermID || c.Selected != s.Selected || c.PValue != s.PValue {
+			t.Fatalf("rank %d: %+v vs %+v", i, c, s)
+		}
+	}
+}
+
 // TestShardCoordinatorTopologyE2E boots the daemon's real roles — two
 // -role=shard builds over rendezvous-assigned slices of the same demo
 // compendium and a -role=coordinator build over the same identity list —
@@ -417,6 +460,7 @@ func TestShardCoordinatorTopologyE2E(t *testing.T) {
 	u := synth.NewUniverse(200, 8, 7)
 	q := strings.Join(u.ModuleGeneIDs(3)[:4], ",")
 	searchParity(t, coord, single, q)
+	enrichParity(t, coord, single, strings.Join(u.ModuleGeneIDs(3), ","))
 
 	var snap server.StatsSnapshot
 	if err := json.Unmarshal(get(t, coord, "/api/stats").Body.Bytes(), &snap); err != nil {
@@ -465,6 +509,9 @@ func TestShardCoordinatorReplicatedE2E(t *testing.T) {
 	for _, m := range []int{1, 2, 4, 5} {
 		searchParity(t, coord, single, strings.Join(u.ModuleGeneIDs(m)[:3], ","))
 	}
+	// Enrichment rides the same failover: any surviving replica of a
+	// slice's owner group can tally it, so the merge stays exact.
+	enrichParity(t, coord, single, strings.Join(u.ModuleGeneIDs(4), ","))
 
 	var snap server.StatsSnapshot
 	if err := json.Unmarshal(get(t, coord, "/api/stats").Body.Bytes(), &snap); err != nil {

@@ -17,7 +17,9 @@ package golem
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/fnv"
 	"math"
 	"math/bits"
 	"runtime"
@@ -27,6 +29,12 @@ import (
 	"forestview/internal/ontology"
 	"forestview/internal/stats"
 )
+
+// ErrNoSelection reports a selection with no gene in the background
+// universe. Callers merging a *subset* of the background slices (a degraded
+// scatter) should treat it as inconclusive when the full universe is known
+// to hold some of the genes — the unreachable slices may carry them.
+var ErrNoSelection = errors.New("golem: no selection genes in the background")
 
 // Enrichment is the test result for one term.
 type Enrichment struct {
@@ -80,6 +88,11 @@ type Enricher struct {
 	// benchmarks and the golem -reference flag ever walk it, so it is built
 	// lazily on the first ReferenceAnalyze instead of living on the serving
 	// path's memory for the process lifetime.
+	// fingerprint identifies the exact kernel layout (gene bit order, term
+	// rows, per-term K) so distributed partials from differently-built
+	// enrichers can never be merged into a silently wrong table.
+	fingerprint uint64
+
 	refOnce   sync.Once
 	termGenes map[string]map[string]bool
 }
@@ -101,12 +114,18 @@ func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background 
 		background: make(map[string]bool, len(background)),
 		geneIdx:    make(map[string]int32, len(background)),
 	}
+	fp := fnv.New64a()
 	for _, g := range background {
 		if !e.background[g] {
 			// First occurrence claims the bit; duplicate universe entries
 			// collapse, matching the map semantics of the reference path.
 			e.geneIdx[g] = int32(len(e.geneIdx))
 			e.background[g] = true
+			// The fingerprint covers the claimed gene order: two enrichers
+			// agree on it iff their background slices partition identically,
+			// which is exactly when their word-range partials compose.
+			fp.Write([]byte(g))
+			fp.Write([]byte{0})
 		}
 	}
 	// The propagated per-term gene sets are needed only transiently here:
@@ -137,6 +156,18 @@ func NewEnricher(o *ontology.Ontology, direct *ontology.Annotations, background 
 			tb[gi>>6] |= 1 << uint(gi&63)
 		}
 	}
+	// Fold the term layout into the fingerprint: row order, IDs and per-term
+	// K pin the arena shape a PartialCounts was computed against.
+	var buf [8]byte
+	for i := range e.terms {
+		fp.Write([]byte(e.terms[i].id))
+		fp.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.terms[i].k))
+		fp.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(N))
+	fp.Write(buf[:])
+	e.fingerprint = fp.Sum64()
 	// The universe size bounds every log-factorial the hypergeometric tests
 	// will ever need; growing the shared table here keeps Analyze pure
 	// lookups.
@@ -235,7 +266,7 @@ func (e *Enricher) AnalyzeCtx(ctx context.Context, selection []string, opt Optio
 		}
 	}
 	if n == 0 {
-		return nil, errors.New("golem: no selection genes in the background")
+		return nil, ErrNoSelection
 	}
 	N := len(e.geneIdx)
 

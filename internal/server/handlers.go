@@ -9,6 +9,7 @@ import (
 	"image/color"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -22,6 +23,38 @@ import (
 
 var errNoEnricher = errors.New("server: no ontology loaded; /api/enrich is unavailable")
 
+// Stable machine-readable error codes, carried in every /api/* error
+// envelope. Clients branch on the code; the message is for humans and may
+// change freely. Adding a code is fine, renaming one is a breaking change.
+const (
+	codeMissingParameter   = "missing_parameter"
+	codeBadParameter       = "bad_parameter"
+	codeSingleGeneQuery    = "single_gene_query"
+	codeNoSelectionGenes   = "no_selection_genes"
+	codeUnprocessable      = "unprocessable"
+	codeUnknownDataset     = "unknown_dataset"
+	codeNoOntology         = "no_ontology"
+	codeAllShardsFailed    = "all_shards_failed"
+	codeDegradedUnresolved = "degraded_unresolved"
+	codeInterrupted        = "interrupted"
+	codeSaturated          = "saturated"
+	codeForbidden          = "forbidden"
+	codeMethodNotAllowed   = "method_not_allowed"
+	codeInternal           = "internal"
+	codeEncodeFailed       = "encode_failed"
+)
+
+// errorEnvelope is the uniform error body of every /api/* endpoint:
+// {"error": {"code": "...", "message": "..."}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 // writeJSON encodes v with the right Content-Type. The body is encoded
 // before the status line is committed: an encode failure (a NaN float is
 // the classic) becomes a logged, counted 500 with an error body instead of
@@ -31,10 +64,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		s.encodeFailures.Add(1)
 		log.Printf("server: response encode failed (intended status %d): %v", status, err)
-		// Marshaling a string map cannot fail (unlike Go's %q quoting, whose
-		// \x escapes are not valid JSON), so the error body is always
-		// parseable.
-		body, _ := json.Marshal(map[string]string{"error": "internal: response encoding failed: " + err.Error()})
+		// Marshaling the envelope of string fields cannot fail (unlike Go's
+		// %q quoting, whose \x escapes are not valid JSON), so the error
+		// body is always parseable.
+		body, _ := json.Marshal(errorEnvelope{Error: errorBody{
+			Code:    codeEncodeFailed,
+			Message: "response encoding failed: " + err.Error(),
+		}})
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		_, _ = w.Write(body)
@@ -45,8 +81,8 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func (s *Server) writeJSONError(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) writeJSONError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
 }
 
 // handleSearch serves /api/search?q=GENE1,GENE2[&top=N]: the SPELL ranked
@@ -54,14 +90,14 @@ func (s *Server) writeJSONError(w http.ResponseWriter, status int, msg string) {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ids := spellweb.ParseQuery(r.URL.Query().Get("q"))
 	if len(ids) == 0 {
-		s.writeJSONError(w, http.StatusBadRequest, "missing q parameter (comma separated gene IDs)")
+		s.writeJSONError(w, http.StatusBadRequest, codeMissingParameter, "missing q parameter (comma separated gene IDs)")
 		return
 	}
 	top := 0
 	if t := r.URL.Query().Get("top"); t != "" {
 		v, err := strconv.Atoi(t)
 		if err != nil || v < 1 {
-			s.writeJSONError(w, http.StatusBadRequest, "top must be a positive integer")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "top must be a positive integer")
 			return
 		}
 		top = v
@@ -71,17 +107,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// is NaN — unencodable and meaningless. Reject up front rather than
 		// serve a weightless ranking (this used to escape as an empty 200
 		// when the NaN killed the JSON encoder silently).
-		s.writeJSONError(w, http.StatusUnprocessableEntity, spell.MsgSingleGeneQuery)
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeSingleGeneQuery, spell.MsgSingleGeneQuery)
 		return
 	}
 	res, meta, disp, err := s.searchWith(r.Context(), &s.statSearch, ids, spell.Options{MaxGenes: top, IncludeQuery: true})
 	switch {
-	case errors.Is(err, shard.ErrAllShardsFailed) || errors.Is(err, shard.ErrDegradedUnresolved):
-		// Full outage across the shard set — or a degraded scatter whose
-		// survivors can't resolve the query genes at all. Retryable, so
-		// 503 — a query error it is not.
+	case errors.Is(err, shard.ErrDegradedUnresolved):
+		// A degraded scatter whose survivors can't resolve the query genes
+		// at all. Retryable, so 503 — a query error it is not.
 		s.statSearch.rejected.Add(1)
-		s.writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeDegradedUnresolved, err.Error())
+		return
+	case errors.Is(err, shard.ErrAllShardsFailed):
+		// Full outage across the shard set; equally retryable.
+		s.statSearch.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeAllShardsFailed, err.Error())
 		return
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		if r.Context().Err() != nil {
@@ -89,10 +129,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.statSearch.rejected.Add(1)
-		s.writeJSONError(w, http.StatusServiceUnavailable, "search repeatedly interrupted, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeInterrupted, "search repeatedly interrupted, retry later")
 		return
 	case err != nil:
-		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
 		return
 	}
 	if disp != "" {
@@ -126,22 +166,25 @@ type enrichResponse struct {
 }
 
 // handleEnrich serves /api/enrich?genes=G1,G2[&maxp=0.05][&min=2]: the
-// GOLEM enrichment table for a gene list as JSON.
+// GOLEM enrichment table for a gene list as JSON. On a coordinator the
+// analysis scatters over the fleet's background slices and merges exactly
+// (golem.MergeCounts); the body then also carries the degraded flag and
+// shard/group tallies, mirroring /api/search.
 func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Enricher == nil {
-		s.writeJSONError(w, http.StatusServiceUnavailable, errNoEnricher.Error())
+	if s.cfg.Enricher == nil && s.cfg.Scatter == nil {
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeNoOntology, errNoEnricher.Error())
 		return
 	}
 	genes := spellweb.ParseQuery(r.URL.Query().Get("genes"))
 	if len(genes) == 0 {
-		s.writeJSONError(w, http.StatusBadRequest, "missing genes parameter (comma separated gene IDs)")
+		s.writeJSONError(w, http.StatusBadRequest, codeMissingParameter, "missing genes parameter (comma separated gene IDs)")
 		return
 	}
 	opt := golem.Options{MinSelected: 1}
 	if v := r.URL.Query().Get("maxp"); v != "" {
 		p, err := strconv.ParseFloat(v, 64)
 		if err != nil || p < 0 || p > 1 {
-			s.writeJSONError(w, http.StatusBadRequest, "maxp must be in [0, 1]")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "maxp must be in [0, 1]")
 			return
 		}
 		opt.MaxPValue = p
@@ -149,30 +192,18 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("min"); v != "" {
 		m, err := strconv.Atoi(v)
 		if err != nil || m < 1 {
-			s.writeJSONError(w, http.StatusBadRequest, "min must be a positive integer")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "min must be a positive integer")
 			return
 		}
 		opt.MinSelected = m
 	}
-	results, disp, err := s.enrichCtx(r.Context(), genes, opt)
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		if r.Context().Err() != nil {
-			// Our client hung up before the analysis finished; the kernel
-			// stopped mid-scan and nobody is listening for a body. Keep the
-			// abort visible in /api/stats as a 499.
-			w.WriteHeader(statusClientClosedRequest)
-			return
-		}
-		// The context error leaked from other requests' flights (EnrichCtx
-		// exhausted its retries against flights whose leaders kept
-		// disconnecting). Shed so the client retries, counted like every
-		// other shed.
-		s.statEnrich.rejected.Add(1)
-		s.writeJSONError(w, http.StatusServiceUnavailable, "enrichment repeatedly interrupted, retry later")
+	if s.cfg.Scatter != nil {
+		s.serveScatterEnrich(w, r, genes, opt)
 		return
 	}
+	results, disp, err := s.enrichCtx(r.Context(), genes, opt)
 	if err != nil {
-		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeEnrichError(w, r, err)
 		return
 	}
 	var tested, ignored []string
@@ -191,6 +222,89 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 		Ignored:    ignored,
 		Background: s.cfg.Enricher.BackgroundSize(),
 		Results:    results,
+	})
+}
+
+// writeEnrichError maps an enrichment failure — local kernel or fleet
+// scatter alike — onto the error envelope. Both paths share one contract:
+// retryable conditions are 503s with a condition-specific code, selections
+// the background doesn't know are 422 no_selection_genes.
+func (s *Server) writeEnrichError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			// Our client hung up before the analysis finished; the kernel
+			// stopped mid-scan and nobody is listening for a body. Keep the
+			// abort visible in /api/stats as a 499.
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		// The context error leaked from other requests' flights (the compute
+		// path exhausted its retries against flights whose leaders kept
+		// disconnecting). Shed so the client retries, counted like every
+		// other shed.
+		s.statEnrich.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeInterrupted, "enrichment repeatedly interrupted, retry later")
+	case errors.Is(err, shard.ErrNoEnrichment):
+		// The fleet has no capable shard: same condition as a single daemon
+		// booted without an ontology, same code.
+		s.statEnrich.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeNoOntology, err.Error())
+	case errors.Is(err, shard.ErrDegradedUnresolved):
+		s.statEnrich.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeDegradedUnresolved, err.Error())
+	case errors.Is(err, shard.ErrAllShardsFailed):
+		s.statEnrich.rejected.Add(1)
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeAllShardsFailed, err.Error())
+	case errors.Is(err, golem.ErrNoSelection):
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeNoSelectionGenes, err.Error())
+	default:
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
+	}
+}
+
+// scatterEnrichResponse is the /api/enrich body in coordinator mode: the
+// usual table plus the explicit degraded flag and shard/group tallies.
+type scatterEnrichResponse struct {
+	enrichResponse
+	shard.Meta
+}
+
+// serveScatterEnrich is handleEnrich's coordinator tail: scatter the
+// selection over the fleet, merge exactly, disclose coverage in headers
+// and body exactly like the search scatter does.
+func (s *Server) serveScatterEnrich(w http.ResponseWriter, r *http.Request, genes []string, opt golem.Options) {
+	res, meta, disp, err := s.scatterEnrich(r.Context(), genes, opt)
+	if meta != nil {
+		w.Header().Set("X-Forestview-Shards-Ok", strconv.Itoa(meta.ShardsOK))
+		w.Header().Set("X-Forestview-Shards-Total", strconv.Itoa(meta.ShardsTotal))
+		w.Header().Set("X-Forestview-Degraded", strconv.FormatBool(meta.Degraded))
+	}
+	if err != nil {
+		s.writeEnrichError(w, r, err)
+		return
+	}
+	var tested, ignored []string
+	for g, known := range res.InBackground {
+		if known {
+			tested = append(tested, g)
+		} else {
+			ignored = append(ignored, g)
+		}
+	}
+	sort.Strings(tested)
+	sort.Strings(ignored)
+	if disp != "" {
+		w.Header().Set(cacheHeader, disp)
+	}
+	s.writeJSON(w, http.StatusOK, scatterEnrichResponse{
+		enrichResponse: enrichResponse{
+			Selection:  tested,
+			Ignored:    ignored,
+			Background: res.Background,
+			Results:    res.Results,
+		},
+		Meta: *meta,
 	})
 }
 
@@ -224,12 +338,12 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ref := q.Get("dataset")
 	if ref == "" {
-		s.writeJSONError(w, http.StatusBadRequest, "missing dataset parameter (index or name); see /api/stats for the loaded compendium")
+		s.writeJSONError(w, http.StatusBadRequest, codeMissingParameter, "missing dataset parameter (index or name); see /api/stats for the loaded compendium")
 		return
 	}
 	dsIndex, ok := s.lookupDataset(ref)
 	if !ok {
-		s.writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, s.NumPanes()))
+		s.writeJSONError(w, http.StatusNotFound, codeUnknownDataset, fmt.Sprintf("unknown dataset %q (%d loaded)", ref, s.NumPanes()))
 		return
 	}
 	// Parameter validation runs before the (possibly expensive) tree
@@ -240,14 +354,14 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("rows"); v != "" {
 		from, to, ok := parseRowRange(v)
 		if !ok {
-			s.writeJSONError(w, http.StatusBadRequest, "rows must be FROM:TO with 0 <= FROM < TO")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "rows must be FROM:TO with 0 <= FROM < TO")
 			return
 		}
 		if to > nRows {
 			to = nRows
 		}
 		if from >= nRows {
-			s.writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", nRows))
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, fmt.Sprintf("rows out of range: dataset has %d rows", nRows))
 			return
 		}
 		p.from, p.to = from, to
@@ -259,7 +373,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		if v := q.Get(dim.name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 || n > s.cfg.MaxTileDim {
-				s.writeJSONError(w, http.StatusBadRequest,
+				s.writeJSONError(w, http.StatusBadRequest, codeBadParameter,
 					fmt.Sprintf("%s must be in [1, %d]", dim.name, s.cfg.MaxTileDim))
 				return
 			}
@@ -269,7 +383,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("cmap"); v != "" {
 		cm, ok := parseColorMap(v)
 		if !ok {
-			s.writeJSONError(w, http.StatusBadRequest, "cmap must be one of green-black-red, blue-black-yellow, grayscale")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "cmap must be one of green-black-red, blue-black-yellow, grayscale")
 			return
 		}
 		p.cmap = cm
@@ -277,7 +391,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		lim, err := strconv.ParseFloat(v, 64)
 		if err != nil || lim <= 0 {
-			s.writeJSONError(w, http.StatusBadRequest, "limit must be a positive number")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "limit must be a positive number")
 			return
 		}
 		p.limit = lim
@@ -285,11 +399,11 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("tree"); v != "" {
 		tw, err := strconv.Atoi(v)
 		if err != nil || tw < 0 || tw >= p.w {
-			s.writeJSONError(w, http.StatusBadRequest, "tree must be a dendrogram width in [0, w)")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "tree must be a dendrogram width in [0, w)")
 			return
 		}
 		if tw > 0 && (p.from != 0 || p.to != nRows) {
-			s.writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "tree requires the full row range (the dendrogram spans every row)")
 			return
 		}
 		p.treeW = tw
@@ -303,7 +417,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(statusClientClosedRequest)
 			return
 		}
-		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	p.gen = gen
@@ -316,23 +430,23 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			p.to = got
 		}
 		if p.from >= p.to {
-			s.writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("rows out of range: dataset has %d rows", got))
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, fmt.Sprintf("rows out of range: dataset has %d rows", got))
 			return
 		}
 		if p.treeW > 0 && (p.from != 0 || p.to != got) {
-			s.writeJSONError(w, http.StatusBadRequest, "tree requires the full row range (the dendrogram spans every row)")
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "tree requires the full row range (the dendrogram spans every row)")
 			return
 		}
 	}
 	if p.treeW > 0 && cd.GeneTree == nil {
-		s.writeJSONError(w, http.StatusUnprocessableEntity, "dataset has no gene tree to draw")
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, "dataset has no gene tree to draw")
 		return
 	}
 
 	png, disp, err := s.renderTile(r.Context(), cd, p)
 	if errors.Is(err, ErrSaturated) {
 		s.statHeatmap.rejected.Add(1)
-		s.writeJSONError(w, http.StatusServiceUnavailable, "render pool saturated, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeSaturated, "render pool saturated, retry later")
 		return
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -349,11 +463,11 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		// flights whose leaders kept disconnecting). Shed like saturation
 		// so the client retries, rather than misreporting a hangup.
 		s.statHeatmap.rejected.Add(1)
-		s.writeJSONError(w, http.StatusServiceUnavailable, "render repeatedly interrupted, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeInterrupted, "render repeatedly interrupted, retry later")
 		return
 	}
 	if err != nil {
-		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	if disp != "" {

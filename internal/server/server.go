@@ -227,6 +227,14 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.mux.HandleFunc(shard.SearchPath, s.instrument(&s.statShard, s.handleShardSearch))
 		s.mux.HandleFunc(shard.InfoPath, s.instrument(&s.statShard, s.handleShardInfo))
+		if cfg.Enricher != nil {
+			// Enrichment is a shard capability, not a fleet invariant: only
+			// ontology-bearing shards mount the enrich paths, the rest 404
+			// there and list no "enrich" capability in /api/shard/v1/info —
+			// that 404 is the capability negotiation.
+			s.mux.HandleFunc(shard.EnrichPath, s.instrument(&s.statShard, s.handleShardEnrich))
+			s.mux.HandleFunc(shard.EnrichCatalogPath, s.instrument(&s.statShard, s.handleShardEnrichCatalog))
+		}
 	}
 	if cfg.Scatter != nil {
 		s.mux.HandleFunc("/api/admin/fleet", s.instrument(&s.statFleet, s.handleFleet))

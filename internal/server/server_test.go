@@ -79,6 +79,25 @@ func fixture(t *testing.T) (*Server, *synth.Universe) {
 	return srv, fixUniverse
 }
 
+// errorEnvelopeOf parses the uniform /api/* error body and returns its
+// (code, message) pair, failing the test on any shape deviation.
+func errorEnvelopeOf(t *testing.T, body []byte) (code, msg string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not JSON: %v (%q)", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error body missing code or message: %q", body)
+	}
+	return env.Error.Code, env.Error.Message
+}
+
 func get(t *testing.T, s *Server, url string) *httptest.ResponseRecorder {
 	t.Helper()
 	rec := httptest.NewRecorder()
@@ -409,12 +428,12 @@ func TestSearchSingleGeneRejected(t *testing.T) {
 		if rec.Code != http.StatusUnprocessableEntity {
 			t.Fatalf("q=%s: status = %d, want 422 (body %q)", q, rec.Code, rec.Body.String())
 		}
-		var body map[string]string
-		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
-			t.Fatalf("q=%s: error body is not JSON: %v", q, err)
+		code, msg := errorEnvelopeOf(t, rec.Body.Bytes())
+		if code != codeSingleGeneQuery {
+			t.Fatalf("q=%s: error code %q, want %q", q, code, codeSingleGeneQuery)
 		}
-		if !strings.Contains(body["error"], "single-gene") {
-			t.Fatalf("q=%s: unhelpful error %q", q, body["error"])
+		if !strings.Contains(msg, "single-gene") {
+			t.Fatalf("q=%s: unhelpful error %q", q, msg)
 		}
 	}
 	// Two distinct genes still search fine.
@@ -464,12 +483,12 @@ func TestWriteJSONSurfacesEncodeErrors(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}
-	var body map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
-		t.Fatalf("error body is not JSON: %v (%q)", err, rec.Body.String())
+	code, msg := errorEnvelopeOf(t, rec.Body.Bytes())
+	if code != codeEncodeFailed {
+		t.Fatalf("error code %q, want %q", code, codeEncodeFailed)
 	}
-	if !strings.Contains(body["error"], "encoding failed") {
-		t.Fatalf("error body = %q", body["error"])
+	if !strings.Contains(msg, "encoding failed") {
+		t.Fatalf("error body = %q", msg)
 	}
 	if n := s.Stats().EncodeFailures; n != 1 {
 		t.Fatalf("encode_failures = %d, want 1", n)

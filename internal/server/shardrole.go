@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 
+	"forestview/internal/golem"
 	"forestview/internal/shard"
 	"forestview/internal/spell"
 )
@@ -29,17 +30,17 @@ import (
 // scan each dataset slice once.
 func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeJSONError(w, http.StatusMethodNotAllowed, "POST a gob-encoded shard search request")
+		s.writeJSONError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST a gob-encoded shard search request")
 		return
 	}
 	var req shard.SearchRequest
 	if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		s.writeJSONError(w, http.StatusBadRequest, "bad shard request: "+err.Error())
+		s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "bad shard request: "+err.Error())
 		return
 	}
 	ids := spell.CanonicalQuery(req.Query)
 	if len(ids) == 0 {
-		s.writeJSONError(w, http.StatusUnprocessableEntity, "empty query")
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, "empty query")
 		return
 	}
 	var body []byte
@@ -56,16 +57,16 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(statusClientClosedRequest)
 			return
 		}
-		s.writeJSONError(w, http.StatusServiceUnavailable, "partial search repeatedly interrupted, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeInterrupted, "partial search repeatedly interrupted, retry later")
 		return
 	}
 	if errors.Is(err, errPartialEncode) {
 		s.encodeFailures.Add(1)
-		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, codeEncodeFailed, err.Error())
 		return
 	}
 	if err != nil {
-		s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", shard.ContentType)
@@ -144,13 +145,19 @@ func (s *Server) partialGroupSearch(ctx context.Context, ids []string, req *shar
 	return v.([]byte), nil
 }
 
-// handleShardInfo serves GET /api/shard/info: this shard's slice (size,
+// handleShardInfo serves GET /api/shard/v1/info: this shard's slice (size,
 // gene IDs, held dataset names) plus the full boot catalog coordinators
-// derive ownership groups from.
+// derive ownership groups from, and the capability list a mixed-version
+// fleet negotiates with (a shard without an ontology simply doesn't list
+// "enrich", and its enrich paths 404).
 func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
 	held := make([]string, len(s.cfg.ShardIndexes))
 	for li, gi := range s.cfg.ShardIndexes {
 		held[li] = s.cfg.ShardDatasetIDs[gi]
+	}
+	caps := []string{shard.CapabilitySearch}
+	if s.cfg.Enricher != nil {
+		caps = append(caps, shard.CapabilityEnrich)
 	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(shard.Info{
@@ -158,10 +165,108 @@ func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
 		GeneIDs:       s.cfg.Engine.GeneIDs(),
 		DatasetIDs:    held,
 		AllDatasetIDs: s.cfg.ShardDatasetIDs,
+		Capabilities:  caps,
 	})
 	if err != nil {
 		s.encodeFailures.Add(1)
-		s.writeJSONError(w, http.StatusInternalServerError, "info encode failed: "+err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, codeEncodeFailed, "info encode failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", shard.ContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleShardEnrich serves POST /api/shard/v1/enrich: a gob
+// shard.EnrichRequest in, a gob golem.PartialCounts out — the integer
+// tallies of this request's background slice. The slice index is
+// re-derived from the request's (shards, replication, owners) through the
+// same pure Groups function the coordinator used, so both sides always
+// agree on which gene range slice gi covers. Mounted only on shards with
+// an enricher; a capability-less shard 404s, which the coordinator reads
+// as "unsupported" and fails over.
+func (s *Server) handleShardEnrich(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeJSONError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST a gob-encoded shard enrich request")
+		return
+	}
+	var req shard.EnrichRequest
+	if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "bad shard request: "+err.Error())
+		return
+	}
+	sel := spell.CanonicalQuery(req.Selection)
+	if len(sel) == 0 {
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, "empty selection")
+		return
+	}
+	body, err := s.partialEnrich(r.Context(), sel, &req)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if r.Context().Err() != nil {
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.writeJSONError(w, http.StatusServiceUnavailable, codeInterrupted, "partial enrichment repeatedly interrupted, retry later")
+		return
+	}
+	if errors.Is(err, errPartialEncode) {
+		s.encodeFailures.Add(1)
+		s.writeJSONError(w, http.StatusInternalServerError, codeEncodeFailed, err.Error())
+		return
+	}
+	if err != nil {
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", shard.ContentType)
+	_, _ = w.Write(body)
+}
+
+// partialEnrich computes (or serves cached) the slice tallies for one
+// canonical selection, already gob-encoded like the search partials. The
+// cache key carries the topology generation, replication factor and owner
+// tuple: after a membership change the group list re-derives and stale
+// slice tallies become unreachable rather than wrong.
+func (s *Server) partialEnrich(ctx context.Context, sel []string, req *shard.EnrichRequest) ([]byte, error) {
+	key := fmt.Sprintf("epartial\x1f%016x\x1f%d\x1f%s\x1f%s",
+		shard.Generation(req.Shards), req.Replication, joinIDs(req.Owners), joinIDs(sel))
+	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
+	v, _, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+		// An ownerless request asks for the whole universe as slice 0 of 1
+		// (a single-shard or testing topology).
+		gi, slices := 0, 1
+		if len(req.Owners) > 0 {
+			groups := shard.Groups(s.cfg.ShardDatasetIDs, req.Shards, req.Replication)
+			gi = shard.GroupIndex(groups, req.Owners)
+			if gi < 0 {
+				return nil, fmt.Errorf("owner tuple %v is not an ownership group of this catalog", req.Owners)
+			}
+			slices = len(groups)
+		}
+		p, perr := s.cfg.Enricher.PartialAnalyzeCtx(ctx, sel, gi, slices)
+		if perr != nil {
+			return nil, perr
+		}
+		var buf bytes.Buffer
+		if eerr := gob.NewEncoder(&buf).Encode(p); eerr != nil {
+			return nil, fmt.Errorf("%w: %v", errPartialEncode, eerr)
+		}
+		return buf.Bytes(), nil
+	}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// handleShardEnrichCatalog serves GET /api/shard/v1/enrich/catalog: the
+// term catalog (fingerprint, background size, term ids/names) a
+// coordinator merges partial tallies under. Fetched once per membership
+// generation, so no caching is needed here.
+func (s *Server) handleShardEnrichCatalog(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.cfg.Enricher.Catalog()); err != nil {
+		s.encodeFailures.Add(1)
+		s.writeJSONError(w, http.StatusInternalServerError, codeEncodeFailed, "catalog encode failed: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", shard.ContentType)
@@ -211,6 +316,47 @@ type scatterSearchResponse struct {
 	shard.Meta
 }
 
+// enrichScatterValue is the cached unit of the coordinator enrich path.
+type enrichScatterValue struct {
+	res  *shard.EnrichResult
+	meta shard.Meta
+}
+
+func enrichScatterCost(v any) int64 {
+	sv := v.(*enrichScatterValue)
+	n := enrichCost(sv.res.Results) + 128
+	for g := range sv.res.InBackground {
+		n += int64(len(g)) + 24
+	}
+	return n
+}
+
+// scatterEnrich is handleEnrich's coordinator compute path: scatter the
+// selection over the fleet's background slices, merge the exact tallies,
+// and cache the merged table keyed by the result-shaping options, the
+// canonical selection and the shard-set generation. Degraded merges —
+// correct analyses over the covered background — are served but never
+// cached, exactly like degraded search merges: cached, they would keep
+// answering for the survivor subset long after the slice recovered.
+func (s *Server) scatterEnrich(ctx context.Context, genes []string, opt golem.Options) (*shard.EnrichResult, *shard.Meta, string, error) {
+	sel := spell.CanonicalQuery(genes)
+	key := fmt.Sprintf("escatter\x1f%016x\x1f%d\x1f%g\x1f%s",
+		s.cfg.Scatter.Generation(), opt.MinSelected, opt.MaxPValue, joinIDs(sel))
+	v, disp, err := s.cachedDoRetry(ctx, &s.statEnrich, key, enrichScatterCost, func() (any, error) {
+		res, meta, serr := s.cfg.Scatter.EnrichCtx(ctx, sel, opt)
+		if serr != nil {
+			return nil, serr
+		}
+		return &enrichScatterValue{res: res, meta: meta}, nil
+	}, func(v any) bool { return !v.(*enrichScatterValue).meta.Degraded }, nil)
+	if err != nil {
+		return nil, nil, disp, err
+	}
+	sv := v.(*enrichScatterValue)
+	meta := sv.meta
+	return sv.res, &meta, disp, nil
+}
+
 // fleetState is the /api/admin/fleet body: the live membership and the
 // topology identity a client needs to reason about it.
 type fleetState struct {
@@ -248,7 +394,7 @@ func (s *Server) fleetAuthorized(r *http.Request) bool {
 // scatters immediately and can drain out through its SIGTERM handler.
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if !s.fleetAuthorized(r) {
-		s.writeJSONError(w, http.StatusForbidden, "fleet admin token required")
+		s.writeJSONError(w, http.StatusForbidden, codeForbidden, "fleet admin token required")
 		return
 	}
 	m := s.cfg.Scatter.Membership()
@@ -267,7 +413,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		var req fleetRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-			s.writeJSONError(w, http.StatusBadRequest, "bad fleet request: "+err.Error())
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "bad fleet request: "+err.Error())
 			return
 		}
 		var (
@@ -281,15 +427,15 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		case "remove":
 			shards, gen, err = m.Remove(req.Shard)
 		default:
-			s.writeJSONError(w, http.StatusBadRequest, `action must be "add" or "remove"`)
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, `action must be "add" or "remove"`)
 			return
 		}
 		if err != nil {
-			s.writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+			s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
 			return
 		}
 		s.writeJSON(w, http.StatusOK, state(shards, gen))
 	default:
-		s.writeJSONError(w, http.StatusMethodNotAllowed, "GET the fleet state or POST a membership change")
+		s.writeJSONError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET the fleet state or POST a membership change")
 	}
 }

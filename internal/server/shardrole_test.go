@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"forestview/internal/golem"
 	"forestview/internal/microarray"
+	"forestview/internal/ontology"
 	"forestview/internal/shard"
 	"forestview/internal/spell"
 	"forestview/internal/synth"
@@ -27,13 +29,45 @@ type shardTopology struct {
 	dss     []*microarray.Dataset
 	full    *spell.Engine
 	query   []string
+	u       *synth.Universe
+	enr     *golem.Enricher // full-universe enricher (nil unless enriched)
 }
 
 func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopology {
+	return newEnrichedTopology(t, nShards, 6, cfg, nil)
+}
+
+// topologyEnricher builds the shared test ontology/enricher over the
+// topology universe. Every caller passes the same inputs, so every
+// enricher built from one universe has the same kernel fingerprint — the
+// property a real fleet gets from booting every shard off one OBO and one
+// association file.
+func topologyEnricher(t *testing.T, u *synth.Universe) *golem.Enricher {
+	t.Helper()
+	var names []string
+	for _, m := range u.Modules {
+		names = append(names, m.Name)
+	}
+	onto, leafOf, err := ontology.Synthetic(ontology.SyntheticSpec{LeafNames: names, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enr, err := golem.NewEnricher(onto, ontology.AnnotateFromModules(u.Annotations(), leafOf), u.GeneIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enr
+}
+
+// newEnrichedTopology is newShardTopology with the dataset count
+// parameterized and an optional per-shard enrichment predicate: shards for
+// which enrich(i) is true boot with an ontology (and the enrich
+// capability), the rest serve search only.
+func newEnrichedTopology(t *testing.T, nShards, nDatasets int, cfg shard.Config, enrich func(i int) bool) *shardTopology {
 	t.Helper()
 	u := synth.NewUniverse(200, 8, 71)
 	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
-		NumDatasets: 6, MinExperiments: 8, MaxExperiments: 14,
+		NumDatasets: nDatasets, MinExperiments: 8, MaxExperiments: 14,
 		ActiveFraction: 0.5, Noise: 0.3, Seed: 72,
 	})
 	full, err := spell.NewEngine(dss)
@@ -56,7 +90,10 @@ func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopolog
 	if r < 1 {
 		r = 1
 	}
-	top := &shardTopology{dss: dss, full: full, query: u.ModuleGeneIDs(2)[:4]}
+	top := &shardTopology{dss: dss, full: full, query: u.ModuleGeneIDs(2)[:4], u: u}
+	if enrich != nil {
+		top.enr = topologyEnricher(t, u)
+	}
 	urls := make(map[string]string, nShards)
 	for si, self := range shardNames {
 		owned := shard.OwnedIndexesR(names, shardNames, self, r)
@@ -74,7 +111,11 @@ func newShardTopology(t *testing.T, nShards int, cfg shard.Config) *shardTopolog
 		if err != nil {
 			t.Fatal(err)
 		}
-		ss, err := New(Config{Engine: se, ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 4 << 20})
+		scfg := Config{Engine: se, ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 4 << 20}
+		if enrich != nil && enrich(si) {
+			scfg.Enricher = topologyEnricher(t, u)
+		}
+		ss, err := New(scfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -376,7 +417,7 @@ func fixtureShard(t *testing.T) (*Server, *synth.Universe) {
 	for i := range catalog {
 		catalog[i] = fmt.Sprintf("ds-%d", i)
 	}
-	s, err := New(Config{Engine: base.cfg.Engine, ShardIndexes: indexes, ShardDatasetIDs: catalog, CacheBytes: 4 << 20})
+	s, err := New(Config{Engine: base.cfg.Engine, Enricher: fixEnricher, ShardIndexes: indexes, ShardDatasetIDs: catalog, CacheBytes: 4 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -589,5 +630,286 @@ func TestCoordinatorHTMLDisclosesDegraded(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), "degraded result: only 1 of 2 shards answered") {
 		t.Fatal("degraded scatter not disclosed on the HTML page")
+	}
+}
+
+func enrichURL(genes []string) string {
+	return "/api/enrich?genes=" + strings.Join(genes, ",")
+}
+
+// scatterEnrichBody is the coordinator /api/enrich body under test: the
+// enrichment table plus the disclosed scatter tallies.
+type scatterEnrichBody struct {
+	Selection   []string           `json:"selection"`
+	Ignored     []string           `json:"ignored"`
+	Background  int                `json:"background"`
+	Results     []golem.Enrichment `json:"results"`
+	Degraded    bool               `json:"degraded"`
+	ShardsOK    int                `json:"shards_ok"`
+	ShardsTotal int                `json:"shards_total"`
+	GroupsOK    int                `json:"groups_ok"`
+	GroupsTotal int                `json:"groups_total"`
+}
+
+// assertEnrichBodyParity compares a coordinator enrich body against the
+// single-process analysis: identical term order, counts, and p-values to
+// 1e-12.
+func assertEnrichBodyParity(t *testing.T, body *scatterEnrichBody, want []golem.Enrichment) {
+	t.Helper()
+	if len(body.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(body.Results), len(want))
+	}
+	for i := range want {
+		g, w := body.Results[i], want[i]
+		if g.TermID != w.TermID || g.Selected != w.Selected || g.Background != w.Background ||
+			g.SelectionSize != w.SelectionSize || g.BackgroundSize != w.BackgroundSize {
+			t.Fatalf("rank %d: %+v vs %+v", i, g, w)
+		}
+		if math.Abs(g.PValue-w.PValue) > 1e-12 || math.Abs(g.FDR-w.FDR) > 1e-12 {
+			t.Fatalf("rank %d p-values: %v/%v vs %v/%v", i, g.PValue, g.FDR, w.PValue, w.FDR)
+		}
+	}
+}
+
+// TestCoordinatorEnrichMatchesSingleProcess is the tentpole acceptance
+// test at the HTTP layer: /api/enrich on a coordinator returns exactly the
+// single-process analysis — same term order, same counts, p-values to
+// 1e-12 — across shard counts and replication factors, discloses the
+// scatter tallies, and caches the merged table.
+func TestCoordinatorEnrichMatchesSingleProcess(t *testing.T) {
+	cases := []struct {
+		name              string
+		shards, repl, dss int
+	}{
+		{"1shard-r1", 1, 1, 6},
+		{"2shards-r1", 2, 1, 6},
+		{"3shards-r2", 3, 2, 6},
+		{"5shards-r2", 5, 2, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			top := newEnrichedTopology(t, tc.shards, tc.dss,
+				shard.Config{Deadline: 5 * time.Second, Replication: tc.repl},
+				func(int) bool { return true })
+			genes := top.u.ModuleGeneIDs(3)
+			rec := get(t, top.coord, enrichURL(genes))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("enrich = %d: %s", rec.Code, rec.Body.String())
+			}
+			if h := rec.Header().Get("X-Forestview-Degraded"); h != "false" {
+				t.Fatalf("degraded header = %q", h)
+			}
+			if rec.Header().Get("X-Forestview-Shards-Ok") == "" || rec.Header().Get("X-Forestview-Shards-Total") == "" {
+				t.Fatal("shard tally headers missing")
+			}
+			var body scatterEnrichBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatal(err)
+			}
+			if body.Degraded || body.GroupsOK != body.GroupsTotal || body.GroupsTotal == 0 {
+				t.Fatalf("scatter tallies: degraded=%v groups %d/%d", body.Degraded, body.GroupsOK, body.GroupsTotal)
+			}
+			if body.ShardsTotal != tc.shards {
+				t.Fatalf("shards_total = %d, want %d", body.ShardsTotal, tc.shards)
+			}
+			if body.Background != top.enr.BackgroundSize() {
+				t.Fatalf("background = %d, want %d", body.Background, top.enr.BackgroundSize())
+			}
+			if len(body.Ignored) != 0 || len(body.Selection) != len(spell.CanonicalQuery(genes)) {
+				t.Fatalf("selection disclosure: tested %d, ignored %v", len(body.Selection), body.Ignored)
+			}
+			want, err := top.enr.Analyze(genes, golem.Options{MinSelected: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEnrichBodyParity(t, &body, want)
+
+			// Second identical request: merged-table cache hit, no rescatter.
+			before := statsOf(t, top.coord, "enrich")
+			if rec := get(t, top.coord, enrichURL(genes)); rec.Code != http.StatusOK {
+				t.Fatalf("repeat = %d", rec.Code)
+			}
+			after := statsOf(t, top.coord, "enrich")
+			if after.CacheHits != before.CacheHits+1 || after.Computed != before.Computed {
+				t.Fatalf("repeat not served from cache: before %+v after %+v", before, after)
+			}
+			var snap StatsSnapshot
+			if err := json.Unmarshal(get(t, top.coord, "/api/stats").Body.Bytes(), &snap); err != nil {
+				t.Fatal(err)
+			}
+			if p := snap.Cache.Prefixes["escatter"]; p.Entries == 0 || p.Bytes == 0 {
+				t.Fatalf("escatter prefix occupancy: %+v", snap.Cache.Prefixes)
+			}
+		})
+	}
+}
+
+// shardInfoOf fetches and decodes one shard's /api/shard/v1/info.
+func shardInfoOf(t *testing.T, hs *httptest.Server) shard.Info {
+	t.Helper()
+	resp, err := http.Get(hs.URL + shard.InfoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("info = %d", resp.StatusCode)
+	}
+	var info shard.Info
+	if err := gob.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestMixedFleetCapabilities pins the capability negotiation: in a fleet
+// where only some shards carry an ontology, each shard's info advertises
+// exactly what it serves, enrich paths 404 on incapable shards, and the
+// coordinator still answers /api/enrich exactly and non-degraded — any
+// capable shard can serve any background slice, so dark shards cost
+// nothing while one capable shard is reachable.
+func TestMixedFleetCapabilities(t *testing.T) {
+	top := newEnrichedTopology(t, 3, 6,
+		shard.Config{Deadline: 5 * time.Second},
+		func(i int) bool { return i != 1 }) // shard-1 boots without an ontology
+
+	wantCaps := map[int][]string{
+		0: {shard.CapabilitySearch, shard.CapabilityEnrich},
+		1: {shard.CapabilitySearch},
+		2: {shard.CapabilitySearch, shard.CapabilityEnrich},
+	}
+	for si, hs := range top.servers {
+		info := shardInfoOf(t, hs)
+		if fmt.Sprint(info.Capabilities) != fmt.Sprint(wantCaps[si]) {
+			t.Fatalf("shard %d capabilities = %v, want %v", si, info.Capabilities, wantCaps[si])
+		}
+	}
+	// The incapable shard 404s on both enrich paths — that is the protocol's
+	// "unsupported" signal.
+	for _, path := range []string{shard.EnrichPath, shard.EnrichCatalogPath} {
+		resp, err := http.Get(top.servers[1].URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("dark shard %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	genes := top.u.ModuleGeneIDs(4)
+	rec := get(t, top.coord, enrichURL(genes))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mixed-fleet enrich = %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q (capable shards should cover every slice)", h)
+	}
+	var body scatterEnrichBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	want, err := top.enr.Analyze(genes, golem.Options{MinSelected: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEnrichBodyParity(t, &body, want)
+
+	// Search is untouched by the capability split.
+	if rec := get(t, top.coord, searchURL(top.query)); rec.Code != http.StatusOK {
+		t.Fatalf("search on mixed fleet = %d", rec.Code)
+	}
+}
+
+// TestCoordinatorEnrichNoOntology: a fleet with no capable shard answers
+// /api/enrich with the same 503/no_ontology contract as a single daemon
+// booted without an ontology.
+func TestCoordinatorEnrichNoOntology(t *testing.T) {
+	top := newShardTopology(t, 2, shard.Config{Deadline: time.Second})
+	rec := get(t, top.coord, "/api/enrich?genes=G1,G2")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("enrich on ontology-less fleet = %d: %s", rec.Code, rec.Body.String())
+	}
+	if code, _ := errorEnvelopeOf(t, rec.Body.Bytes()); code != codeNoOntology {
+		t.Fatalf("error code = %q, want %q", code, codeNoOntology)
+	}
+}
+
+// TestCoordinatorEnrichReplicatedFailover: killing one shard of an R=2
+// fleet must not degrade enrichment — the surviving replica (or any other
+// capable shard, via the scavenge pass) serves every background slice and
+// the merged table stays exact.
+func TestCoordinatorEnrichReplicatedFailover(t *testing.T) {
+	top := newEnrichedTopology(t, 3, 6,
+		shard.Config{Deadline: 2 * time.Second, Replication: 2},
+		func(int) bool { return true })
+	top.servers[1].Close()
+	genes := top.u.ModuleGeneIDs(3)
+	rec := get(t, top.coord, enrichURL(genes))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-kill enrich = %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Forestview-Degraded"); h != "false" {
+		t.Fatalf("degraded header = %q (replica failover should hide the dead shard)", h)
+	}
+	var body scatterEnrichBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	want, err := top.enr.Analyze(genes, golem.Options{MinSelected: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEnrichBodyParity(t, &body, want)
+}
+
+// TestAPIErrorEnvelope pins the uniform error contract: every /api/* error
+// path answers {"error": {"code", "message"}} with a stable code and the
+// pinned status.
+func TestAPIErrorEnvelope(t *testing.T) {
+	single, u := fixture(t)
+	shardS, _ := fixtureShard(t)
+	top := newShardTopology(t, 2, shard.Config{Deadline: time.Second})
+	bare, err := New(Config{Engine: fixEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bare.Close)
+	gene := u.ModuleGeneIDs(1)[0]
+
+	cases := []struct {
+		name     string
+		srv      *Server
+		method   string
+		url      string
+		wantCode int
+		want     string
+	}{
+		{"search missing q", single, http.MethodGet, "/api/search", http.StatusBadRequest, codeMissingParameter},
+		{"search bad top", single, http.MethodGet, "/api/search?q=A,B&top=zero", http.StatusBadRequest, codeBadParameter},
+		{"search single gene", single, http.MethodGet, "/api/search?q=" + gene, http.StatusUnprocessableEntity, codeSingleGeneQuery},
+		{"enrich missing genes", single, http.MethodGet, "/api/enrich", http.StatusBadRequest, codeMissingParameter},
+		{"enrich bad maxp", single, http.MethodGet, "/api/enrich?genes=A&maxp=7", http.StatusBadRequest, codeBadParameter},
+		{"enrich unknown genes", single, http.MethodGet, "/api/enrich?genes=NOPE999", http.StatusUnprocessableEntity, codeNoSelectionGenes},
+		{"enrich no ontology", bare, http.MethodGet, "/api/enrich?genes=A", http.StatusServiceUnavailable, codeNoOntology},
+		{"heatmap missing dataset", single, http.MethodGet, "/api/heatmap", http.StatusBadRequest, codeMissingParameter},
+		{"heatmap unknown dataset", single, http.MethodGet, "/api/heatmap?dataset=99", http.StatusNotFound, codeUnknownDataset},
+		{"heatmap bad rows", single, http.MethodGet, "/api/heatmap?dataset=0&rows=5:2", http.StatusBadRequest, codeBadParameter},
+		{"shard search GET", shardS, http.MethodGet, shard.SearchPath, http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"shard enrich GET", shardS, http.MethodGet, shard.EnrichPath, http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"fleet no token", top.coord, http.MethodGet, "/api/admin/fleet", http.StatusForbidden, codeForbidden},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := httptest.NewRequest(c.method, c.url, nil)
+			rec := httptest.NewRecorder()
+			c.srv.ServeHTTP(rec, req)
+			if rec.Code != c.wantCode {
+				t.Fatalf("status = %d, want %d (%s)", rec.Code, c.wantCode, rec.Body.String())
+			}
+			if code, _ := errorEnvelopeOf(t, rec.Body.Bytes()); code != c.want {
+				t.Fatalf("error code = %q, want %q", code, c.want)
+			}
+		})
 	}
 }

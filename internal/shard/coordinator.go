@@ -97,6 +97,12 @@ type Coordinator struct {
 	catalog   atomic.Pointer[catalogState]
 	catalogMu sync.Mutex
 
+	// ecat caches the enrichment term catalog (golem.TermCatalog) per
+	// membership generation, fetched from any capable shard; ecatMu
+	// serializes the fetch.
+	ecat   atomic.Pointer[enrichCatalogState]
+	ecatMu sync.Mutex
+
 	info atomic.Pointer[infoState]
 
 	// infoMu serializes info probes (at most one fan-out in flight);
@@ -246,17 +252,15 @@ type ownerGroup struct {
 
 func deriveCatalog(gen uint64, ids []string, shards []string, r int) *catalogState {
 	cat := &catalogState{gen: gen, ids: ids}
+	// Groups owns the group ordering — the same derivation shards apply to
+	// an EnrichRequest, so group gi here is background slice gi there.
 	index := make(map[string]int)
+	for _, owners := range Groups(ids, shards, r) {
+		index[strings.Join(owners, "\x00")] = len(cat.groups)
+		cat.groups = append(cat.groups, ownerGroup{owners: owners})
+	}
 	for _, id := range ids {
-		owners := Owners(id, shards, r)
-		key := strings.Join(owners, "\x00")
-		gi, ok := index[key]
-		if !ok {
-			gi = len(cat.groups)
-			index[key] = gi
-			cat.groups = append(cat.groups, ownerGroup{owners: owners})
-		}
-		cat.groups[gi].count++
+		cat.groups[index[strings.Join(Owners(id, shards, r), "\x00")]].count++
 	}
 	return cat
 }
@@ -368,7 +372,15 @@ func (c *Coordinator) SearchCtx(ctx context.Context, query []string, opt spell.O
 		wg.Add(1)
 		go func(gi int) {
 			defer wg.Done()
-			results[gi] = c.fetchGroup(ctx, shards, cat.groups[gi], bodies[gi])
+			g := cat.groups[gi]
+			results[gi] = c.fetchGroup(ctx, shards, g, g.count,
+				func(actx context.Context, shard string) (any, int, error) {
+					p, err := c.doSearch(actx, shard, bodies[gi])
+					if err != nil {
+						return nil, 0, err
+					}
+					return p, g.count - len(p.Datasets), nil
+				})
 		}(gi)
 	}
 	wg.Wait()
@@ -385,17 +397,18 @@ func (c *Coordinator) SearchCtx(ctx context.Context, query []string, opt spell.O
 		if gr.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("group %v: %w", cat.groups[gi].owners, gr.err)
 		}
-		if gr.p == nil {
+		if gr.payload == nil {
 			continue
 		}
+		p := gr.payload.(*spell.Partial)
 		if gr.missing == 0 {
 			meta.GroupsOK++
 		}
 		// A best response with zero datasets (the serving shard held
 		// nothing of the group — membership drift) adds nothing to the
 		// merge and does not make its shard a contributor.
-		if len(gr.p.Datasets) > 0 {
-			parts = append(parts, *gr.p)
+		if len(p.Datasets) > 0 {
+			parts = append(parts, *p)
 			contributors[gr.shard] = true
 		}
 	}
@@ -420,15 +433,22 @@ func (c *Coordinator) SearchCtx(ctx context.Context, query []string, opt spell.O
 	return res, meta, nil
 }
 
-// groupResult is one ownership group's scatter outcome: the best partial
-// obtained (fewest missing datasets), which shard served it, and the
-// first error met along the way.
+// groupResult is one ownership group's scatter outcome: the best payload
+// obtained (lowest missing score), which shard served it, and the first
+// error met along the way. The payload's concrete type belongs to the
+// attempt function that produced it (*spell.Partial for search,
+// *golem.PartialCounts for enrichment).
 type groupResult struct {
-	p       *spell.Partial
+	payload any
 	shard   string
 	missing int
 	err     error
 }
+
+// attemptFn is one endpoint-specific shard attempt: it returns the decoded
+// payload and a "missing" score (0 = the group is fully served; higher =
+// failover-worthy shortfall, e.g. datasets the serving shard did not hold).
+type attemptFn func(ctx context.Context, shard string) (payload any, missing int, err error)
 
 // orderReplicas orders a group's replica tuple for attempts: the primary
 // is picked by power-of-two-choices over the replicas' in-flight counts
@@ -456,31 +476,34 @@ func (c *Coordinator) orderReplicas(owners []string) []string {
 }
 
 type attemptOutcome struct {
-	shard string
-	hedge bool
-	p     *spell.Partial
-	err   error
+	shard   string
+	hedge   bool
+	payload any
+	missing int
+	err     error
 }
 
-// fetchGroup runs one ownership group's attempt discipline. Phase 1 walks
-// the replica tuple: an error or an incomplete answer fails over to the
-// next untried replica; a hedge (if configured) duplicates onto the next
-// untried replica too, or onto the primary itself when none remain (the
-// legacy single-owner hedge). If every replica failed outright, Retry
-// grants the primary one extra attempt. Phase 2 — only when coverage is
-// still incomplete, which consistent placement never triggers — scavenges
-// the non-owner shards sequentially, because after a membership change
-// without a data re-sync they may still hold the group's datasets from
-// their boot-time assignment. The best answer wins; missing counts any
-// coverage gap.
-func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGroup, reqBody []byte) groupResult {
+// fetchGroup runs one ownership group's attempt discipline over an
+// endpoint-specific attempt function (search partials and enrichment
+// counts share it verbatim). Phase 1 walks the replica tuple: an error or
+// an incomplete answer fails over to the next untried replica; a hedge (if
+// configured) duplicates onto the next untried replica too, or onto the
+// primary itself when none remain (the legacy single-owner hedge). If
+// every replica failed outright, Retry grants the primary one extra
+// attempt. Phase 2 — only when coverage is still incomplete, which
+// consistent placement never triggers — scavenges the non-owner shards
+// sequentially, because after a membership change without a data re-sync
+// they may still hold the group's datasets from their boot-time assignment
+// (and for enrichment any capable shard can serve any slice). The best
+// answer wins; worst seeds the missing score an absent answer counts as.
+func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGroup, worst int, do attemptFn) groupResult {
 	replicas := c.orderReplicas(g.owners)
 	inGroup := make(map[string]bool, len(replicas))
 	for _, s := range replicas {
 		inGroup[s] = true
 	}
 
-	best := groupResult{missing: g.count}
+	best := groupResult{missing: worst}
 	resCh := make(chan attemptOutcome, len(replicas)+2)
 	var cancels []context.CancelFunc
 	defer func() {
@@ -495,10 +518,10 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 			sc := c.counterFor(shard)
 			sc.inflight.Add(1)
 			t0 := time.Now()
-			p, err := c.doSearch(actx, shard, reqBody)
+			p, missing, err := do(actx, shard)
 			sc.inflight.Add(-1)
 			sc.observe(time.Since(t0), err != nil)
-			resCh <- attemptOutcome{shard: shard, hedge: hedge, p: p, err: err}
+			resCh <- attemptOutcome{shard: shard, hedge: hedge, payload: p, missing: missing, err: err}
 		}()
 	}
 
@@ -540,12 +563,11 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 				}
 				continue
 			}
-			missing := g.count - len(o.p.Datasets)
 			if o.hedge {
 				c.counterFor(o.shard).hedgeWins.Add(1)
 			}
-			if best.p == nil || missing < best.missing {
-				best.p, best.shard, best.missing = o.p, o.shard, missing
+			if best.payload == nil || o.missing < best.missing {
+				best.payload, best.shard, best.missing = o.payload, o.shard, o.missing
 			}
 			if best.missing == 0 {
 				return best // deferred cancels stop any stragglers
@@ -572,7 +594,7 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 		}
 	}
 
-	if best.p == nil && c.cfg.Retry && ctx.Err() == nil && len(replicas) > 0 {
+	if best.payload == nil && c.cfg.Retry && ctx.Err() == nil && len(replicas) > 0 {
 		s := replicas[0]
 		sc := c.counterFor(s)
 		sc.retries.Add(1)
@@ -580,11 +602,11 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 		defer cancel()
 		sc.inflight.Add(1)
 		t0 := time.Now()
-		p, err := c.doSearch(actx, s, reqBody)
+		p, missing, err := do(actx, s)
 		sc.inflight.Add(-1)
 		sc.observe(time.Since(t0), err != nil)
 		if err == nil {
-			best.p, best.shard, best.missing = p, s, g.count-len(p.Datasets)
+			best.payload, best.shard, best.missing = p, s, missing
 		} else if best.err == nil {
 			best.err = fmt.Errorf("%s: %w", s, err)
 		}
@@ -606,7 +628,7 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
 		sc.inflight.Add(1)
 		t0 := time.Now()
-		p, err := c.doSearch(actx, s, reqBody)
+		p, missing, err := do(actx, s)
 		sc.inflight.Add(-1)
 		sc.observe(time.Since(t0), err != nil)
 		cancel()
@@ -616,8 +638,8 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 			}
 			continue
 		}
-		if missing := g.count - len(p.Datasets); best.p == nil || missing < best.missing {
-			best.p, best.shard, best.missing = p, s, missing
+		if best.payload == nil || missing < best.missing {
+			best.payload, best.shard, best.missing = p, s, missing
 		}
 	}
 	return best

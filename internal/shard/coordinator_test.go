@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"forestview/internal/golem"
 	"forestview/internal/microarray"
 	"forestview/internal/spell"
 	"forestview/internal/synth"
@@ -31,6 +32,12 @@ type testShard struct {
 	// handler runs; return true when it wrote the response.
 	behave func(n int64, w http.ResponseWriter, r *http.Request) bool
 	calls  atomic.Int64
+
+	// enr, when non-nil, makes the shard enrichment-capable (start
+	// registers the enrich endpoints); enrichBehave may hijack a decoded
+	// enrich request, returning true when it wrote the response.
+	enr          *golem.Enricher
+	enrichBehave func(w http.ResponseWriter, req *EnrichRequest) bool
 }
 
 func (s *testShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -95,10 +102,16 @@ type scatterFixture struct {
 // the daemons derive from -shards/-self — using logical identities
 // resolved to httptest listeners at start.
 func newScatterFixtureR(t testing.TB, nShards, repl int) *scatterFixture {
+	return newScatterFixtureN(t, nShards, repl, 8)
+}
+
+// newScatterFixtureN is newScatterFixtureR with a chosen compendium size —
+// wider fleets need more datasets for every shard to own some.
+func newScatterFixtureN(t testing.TB, nShards, repl, nDatasets int) *scatterFixture {
 	t.Helper()
 	u := synth.NewUniverse(150, 6, 31)
 	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
-		NumDatasets: 8, MinExperiments: 8, MaxExperiments: 14,
+		NumDatasets: nDatasets, MinExperiments: 8, MaxExperiments: 14,
 		ActiveFraction: 0.5, Noise: 0.3, Seed: 32,
 	})
 	full, err := spell.NewEngine(dss)
@@ -147,6 +160,10 @@ func (f *scatterFixture) start(t testing.TB, cfg Config) (*Coordinator, []*httpt
 		mux := http.NewServeMux()
 		mux.Handle(SearchPath, sh)
 		mux.HandleFunc(InfoPath, sh.infoHandler())
+		if sh.enr != nil {
+			mux.HandleFunc(EnrichPath, sh.enrichHandler())
+			mux.HandleFunc(EnrichCatalogPath, sh.enrichCatalogHandler())
+		}
 		srv := httptest.NewServer(mux)
 		t.Cleanup(srv.Close)
 		servers = append(servers, srv)

@@ -11,6 +11,7 @@ package shard
 import (
 	"hash/fnv"
 	"sort"
+	"strings"
 )
 
 // Owner returns the shard that owns datasetID under rendezvous
@@ -142,6 +143,49 @@ func GroupIndexes(datasetIDs []string, shards []string, r int, owners []string) 
 		}
 	}
 	return idx
+}
+
+// Groups returns the distinct ordered top-r owner tuples of the dataset
+// list, in first-seen catalog order. This ordering is load-bearing shared
+// vocabulary: the coordinator's scatter and the distributed-enrichment
+// slice assignment both index it — background slice gi of G belongs to
+// group gi of the G groups — so coordinator and shard must derive the
+// identical list from the identical (catalog, shards, r) inputs, which
+// this pure function guarantees.
+func Groups(datasetIDs []string, shards []string, r int) [][]string {
+	var groups [][]string
+	seen := make(map[string]bool)
+	for _, id := range datasetIDs {
+		owners := Owners(id, shards, r)
+		key := strings.Join(owners, "\x00")
+		if !seen[key] {
+			seen[key] = true
+			groups = append(groups, owners)
+		}
+	}
+	return groups
+}
+
+// GroupIndex finds the position of an owner tuple in Groups' derivation,
+// or -1. A shard uses it to translate an EnrichRequest's Owners into the
+// background slice index it must tally.
+func GroupIndex(groups [][]string, owners []string) int {
+	for gi, g := range groups {
+		if len(g) != len(owners) {
+			continue
+		}
+		match := true
+		for k := range g {
+			if g[k] != owners[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return gi
+		}
+	}
+	return -1
 }
 
 // Generation fingerprints a shard set: a stable hash of the sorted

@@ -8,15 +8,39 @@ package shard
 // float64 bit-exactly, which the golden-parity guarantee of the merged
 // path leans on. The endpoints are internal (shard daemons are not meant
 // to face the public), so Go-only encoding is not a constraint.
+//
+// Paths are versioned: every endpoint lives under /api/shard/v1/. A
+// coordinator only ever speaks one protocol version; a shard from another
+// version 404s these paths, which the scatter's failover treats like any
+// other per-shard failure — mixed-version fleets degrade, they don't get
+// garbled merges.
 
 // SearchPath is the shard-role endpoint serving spell partials.
-const SearchPath = "/api/shard/search"
+const SearchPath = "/api/shard/v1/search"
 
 // InfoPath is the shard-role endpoint describing the shard's slice.
-const InfoPath = "/api/shard/info"
+const InfoPath = "/api/shard/v1/info"
+
+// EnrichPath is the shard-role endpoint serving golem partial counts: the
+// per-term tallies of one background slice (see golem.PartialAnalyze).
+const EnrichPath = "/api/shard/v1/enrich"
+
+// EnrichCatalogPath serves the shard enricher's term catalog
+// (golem.TermCatalog) — the static term list the coordinator merges
+// partial counts against, fetched once per membership generation.
+const EnrichCatalogPath = "/api/shard/v1/enrich/catalog"
 
 // ContentType labels gob-encoded shard protocol bodies.
 const ContentType = "application/x-gob"
+
+// Capability names a shard-role feature advertised in Info.Capabilities.
+const (
+	// CapabilitySearch: the shard serves SearchPath.
+	CapabilitySearch = "search"
+	// CapabilityEnrich: the shard booted with an ontology and serves
+	// EnrichPath/EnrichCatalogPath.
+	CapabilityEnrich = "enrich"
+)
 
 // SearchRequest asks a shard for its partial of one query. Result-shaping
 // options stay coordinator-side (spell.Merge applies them); the shard only
@@ -34,6 +58,28 @@ type SearchRequest struct {
 	// claimed twice in one merge. Empty Owners is the legacy whole-slice
 	// request: the shard serves everything it holds (single-owner fleets
 	// and direct probes).
+	Shards      []string
+	Replication int
+	Owners      []string
+}
+
+// EnrichRequest asks a shard for one background slice's enrichment tallies.
+// Analysis options (MinSelected, MaxPValue) stay coordinator-side —
+// golem.MergeCounts applies them to the summed globals — so identical
+// selections hit the shard's partial cache regardless of options.
+//
+// The slice is named indirectly, by ownership group: the shard re-derives
+// Groups(bootCatalog, Shards, Replication), finds Owners in it, and serves
+// background slice gi of G where gi is the group's position and G the group
+// count — the same pure-function contract GroupIndexes gives search.
+// Unlike search the slice does not depend on which datasets the shard
+// holds, so *any* shard with an enricher can serve *any* slice: failover
+// and the scavenge pass work across the whole fleet, and a single
+// ontology-less shard costs coverage only if nobody else is reachable.
+// Empty Owners is the direct probe: the whole universe as slice 0 of 1.
+type EnrichRequest struct {
+	Selection []string
+
 	Shards      []string
 	Replication int
 	Owners      []string
@@ -57,4 +103,8 @@ type Info struct {
 	// coordinator itself stays dataset-stateless across restarts and
 	// membership changes.
 	AllDatasetIDs []string
+	// Capabilities lists what the shard serves (CapabilitySearch,
+	// CapabilityEnrich). A shard without an ontology omits "enrich"; the
+	// coordinator discloses the gap instead of discovering it by 404.
+	Capabilities []string
 }
