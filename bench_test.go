@@ -1,7 +1,7 @@
 package forestview
 
 // One benchmark family per paper artifact (figure or quantified claim).
-// DESIGN.md §7 maps each to its experiment ID; EXPERIMENTS.md records
+// DESIGN.md §8 maps each to its experiment ID; EXPERIMENTS.md records
 // the measured series next to what the paper reports.
 
 import (

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"forestview/internal/faultline"
+	"forestview/internal/workload"
+)
+
+// chaosOne is the -chaos mode: the replicated 3-shard R=2 fleet under
+// open-loop load while a deterministic faultline injector abuses the
+// coordinator's scatter paths — one shard drawing the full fault menu
+// (5xx, resets, truncated gobs, stalls), another slowed but healthy. The
+// topology makes zero degradation a structural obligation rather than a
+// timing accident: every ownership group {0,1},{0,2},{1,2} has a member
+// that either never faults (shard-0) or only slows down (shard-2), so
+// failover always has somewhere correct to go. The gate fails on any 5xx,
+// transport error or degraded merge — and also if the injector never
+// fired, which would make the whole run vacuous.
+func chaosOne(rate float64, stepDur time.Duration, seed int64, outPrefix string, maxP99MS float64, stdout io.Writer) error {
+	inj := faultline.New(seed)
+	tp, err := newFleetTopology("chaos3r2", 3, 2, 6, 16,
+		&http.Client{Transport: inj.Wrap(nil)})
+	if err != nil {
+		return err
+	}
+	defer tp.close()
+	host := func(i int) string { return strings.TrimPrefix(tp.shardServers[i].URL, "http://") }
+	inj.SetRules(
+		// shard-1: every other scatter request draws the next fault in the
+		// cycle. Stalls are short enough that the per-attempt deadline,
+		// retry and failover absorb them well inside the p99 bound.
+		faultline.Rule{Host: host(1), Every: 2,
+			Kinds: []faultline.Kind{faultline.Err5xx, faultline.Reset, faultline.Truncate, faultline.Stall},
+			Delay: 200 * time.Millisecond},
+		// shard-2: slow but correct.
+		faultline.Rule{Host: host(2), Every: 3,
+			Kinds: []faultline.Kind{faultline.Latency},
+			Delay: 30 * time.Millisecond},
+	)
+
+	jsonlPath := fmt.Sprintf("%s-chaos.jsonl", outPrefix)
+	f, err := os.Create(jsonlPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for step := 0; step < 2; step++ {
+		plan, err := workload.NewPlan(workload.Spec{
+			Rate:     rate * float64(step+1),
+			Duration: stepDur,
+			Seed:     seed + int64(step),
+			Mix:      tp.mix,
+			Genes:    tp.genes,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := workload.Run(context.Background(), plan, workload.RunOptions{
+			BaseURL: tp.url, Out: f, Step: step,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	envs, err := workload.ReadEnvelopes(f)
+	if err != nil {
+		return err
+	}
+	rep := workload.Analyze(envs, workload.AnalyzeOptions{P99SLOMS: maxP99MS})
+	counts := inj.Counts()
+	writeChaos := func(w io.Writer) {
+		fmt.Fprintf(w, "== chaos chaos3r2: %d requests against %s ==\n", rep.Requests, tp.url)
+		fmt.Fprintf(w, "faults injected: %d (", inj.Total())
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for i, k := range kinds {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s=%d", k, counts[k])
+		}
+		fmt.Fprintln(w, ")")
+		rep.WriteText(w)
+	}
+	writeChaos(stdout)
+	fmt.Fprintln(stdout)
+	rf, err := os.Create(fmt.Sprintf("%s-chaos-report.txt", outPrefix))
+	if err != nil {
+		return err
+	}
+	writeChaos(rf)
+	rf.Close()
+
+	if inj.Total() == 0 {
+		return fmt.Errorf("injector fired no faults — the chaos gate proved nothing")
+	}
+	for _, kind := range []string{"err5xx", "reset"} {
+		if counts[kind] == 0 {
+			return fmt.Errorf("fault kind %s never fired: %v", kind, counts)
+		}
+	}
+	if rep.Degraded > 0 {
+		return fmt.Errorf("%d degraded merges under chaos — a fault leaked past failover", rep.Degraded)
+	}
+	return gate(rep, maxP99MS)
+}

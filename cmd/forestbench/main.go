@@ -65,18 +65,26 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		profile  = fs.String("profile", "", `"smoke": seconds-scale run against in-process topologies (the only profile)`)
+		chaos    = fs.Bool("chaos", false, "run the chaos gate: the replicated fleet under deterministic fault injection must stay 5xx-free and non-degraded")
 		topo     = fs.String("topology", "both", `smoke topology: "single", "shard2" (coordinator + 2 shards, R=1), "shard4" (coordinator + 4 shards, R=2), "both" (single+shard2) or "all"`)
 		rate     = fs.Float64("rate", 40, "smoke base rate, req/s (the sweep steps are 1x and 2x)")
 		stepDur  = fs.Duration("step-duration", 1200*time.Millisecond, "smoke duration per sweep step")
-		seed     = fs.Int64("seed", 1, "workload seed")
+		seed     = fs.Int64("seed", 1, "workload seed (and the chaos injection schedule's seed)")
 		out      = fs.String("out", "forestbench-smoke", "smoke artifact prefix (<out>-<topology>.jsonl, <out>-<topology>-report.txt)")
 		maxP99MS = fs.Float64("max-p99", 2000, "fail if overall p99 latency exceeds this many ms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *chaos {
+		if err := chaosOne(*rate, *stepDur, *seed, *out, *maxP99MS, stdout); err != nil {
+			fmt.Fprintf(stderr, "forestbench: chaos: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *profile != "smoke" {
-		fmt.Fprintln(stderr, `forestbench: expected "run", "analyze" or -profile=smoke`)
+		fmt.Fprintln(stderr, `forestbench: expected "run", "analyze", -chaos or -profile=smoke`)
 		fs.Usage()
 		return 2
 	}

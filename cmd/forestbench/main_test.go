@@ -215,7 +215,7 @@ func TestShardKillMidRun(t *testing.T) {
 // coordinator cache forces every post-kill request to genuinely
 // re-scatter through replica failover.
 func TestReplicatedFleetKillMidRun(t *testing.T) {
-	tp, err := newFleetTopology("fleet3r2", 3, 2, 6, 16)
+	tp, err := newFleetTopology("fleet3r2", 3, 2, 6, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

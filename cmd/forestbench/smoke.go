@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
 
 	"forestview/internal/cluster"
 	"forestview/internal/golem"
@@ -15,6 +18,11 @@ import (
 	"forestview/internal/synth"
 	"forestview/internal/workload"
 )
+
+// fleetAdminToken arms every fleet topology's admin surface — the
+// coordinator's /api/admin/fleet and the shards' drain/handoff/fleet
+// endpoints — so drain and chaos harnesses can drive rolling restarts.
+const fleetAdminToken = "bench-fleet-token"
 
 // This file builds the in-process topologies behind -profile=smoke: real
 // server.Server instances behind httptest listeners, so CI can push a
@@ -45,10 +53,35 @@ type topology struct {
 	// serves (a coordinator scatters search and enrich but has no heatmap).
 	mix workload.Mix
 	// shardServers are the shard backends, exposed so fleet tests can
-	// kill one mid-run. Empty in single mode.
+	// kill one mid-run. Empty in single mode. Index-aligned with
+	// identities and shardSrv; restartShard swaps entries in place.
 	shardServers []*httptest.Server
+	shardSrv     []*server.Server
+	// identities are the fleet's rendezvous identities ("shard-0"...);
+	// repl the replication factor; both empty/zero in single mode.
+	identities []string
+	repl       int
+
+	// The compendium behind every fleet member, kept so a restarted shard
+	// can rebuild its slice (and a reload can load datasets it lacked).
+	u     *synth.Universe
+	dss   []*microarray.Dataset
+	names []string
+
+	// urls maps identity -> live base URL; guarded because restartShard
+	// rewrites entries while the coordinator's Resolve hook reads them.
+	mu   sync.Mutex
+	urls map[string]string
 
 	closers []func()
+}
+
+// resolve is the identity->URL hook shared by the coordinator and the
+// shards' handoff pushes; it follows restarts.
+func (tp *topology) resolve(id string) string {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.urls[id]
 }
 
 func (tp *topology) close() {
@@ -134,11 +167,16 @@ func newSingleTopology() (*topology, error) {
 // the coordinator's Resolve hook — the same identity/dial split a real
 // deployment gets from -shards plus DNS. Every shard carries the synthetic
 // ontology, so the coordinator scatters enrichment as well as search; only
-// heatmaps stay off the fleet mix. coordCacheBytes sizes
-// the coordinator's merged-result cache — pass something tiny (e.g. 16) to
-// force every search to re-scatter, which is what a shard-kill test needs:
-// cached full merges would keep answering non-degraded after a shard died.
-func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes int64) (*topology, error) {
+// heatmaps stay off the fleet mix. Every member boots with the drain
+// plumbing armed under fleetAdminToken, so rolling-restart and chaos
+// harnesses can drive reloads, drains and warm handoffs over the wire.
+// coordCacheBytes sizes the coordinator's merged-result cache — pass
+// something tiny (e.g. 16) to force every search to re-scatter, which is
+// what a shard-kill test needs: cached full merges would keep answering
+// non-degraded after a shard died. scatterClient, when non-nil, issues the
+// coordinator's shard requests — the chaos mode passes a faultline-wrapped
+// client here.
+func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes int64, scatterClient *http.Client) (*topology, error) {
 	u, dss := smokeCompendium(nDatasets)
 	names := make([]string, len(dss))
 	for i, ds := range dss {
@@ -148,8 +186,11 @@ func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes
 	for i := range identities {
 		identities[i] = fmt.Sprintf("shard-%d", i)
 	}
-	urls := make(map[string]string, nShards)
-	tp := &topology{name: name}
+	tp := &topology{
+		name: name, identities: identities, repl: repl,
+		u: u, dss: dss, names: names,
+		urls: make(map[string]string, nShards),
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -157,44 +198,23 @@ func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes
 		}
 	}()
 	for _, self := range identities {
-		owned := shard.OwnedIndexesR(names, identities, self, repl)
-		if len(owned) == 0 {
-			return nil, fmt.Errorf("shard %s owns no datasets at this fixture seed", self)
-		}
-		var slice []*microarray.Dataset
-		for _, gi := range owned {
-			slice = append(slice, dss[gi])
-		}
-		se, err := spell.NewEngine(slice)
-		if err != nil {
+		if err := tp.bootShard(self); err != nil {
 			return nil, err
 		}
-		enricher, err := smokeEnricher(u)
-		if err != nil {
-			return nil, err
-		}
-		ss, err := server.New(server.Config{
-			Engine: se, Enricher: enricher,
-			ShardIndexes: owned, ShardDatasetIDs: names, CacheBytes: 8 << 20,
-		})
-		if err != nil {
-			return nil, err
-		}
-		hs := httptest.NewServer(ss)
-		tp.closers = append(tp.closers, ss.Close, hs.Close)
-		tp.shardServers = append(tp.shardServers, hs)
-		urls[self] = hs.URL
 	}
 	coordr, err := shard.NewCoordinator(shard.Config{
 		Shards:      identities,
 		Replication: repl,
 		Retry:       true,
-		Resolve:     func(id string) string { return urls[id] },
+		Resolve:     tp.resolve,
+		Client:      scatterClient,
 	})
 	if err != nil {
 		return nil, err
 	}
-	coord, err := server.New(server.Config{Scatter: coordr, CacheBytes: coordCacheBytes})
+	coord, err := server.New(server.Config{
+		Scatter: coordr, CacheBytes: coordCacheBytes, FleetToken: fleetAdminToken,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -207,17 +227,84 @@ func newFleetTopology(name string, nShards, repl, nDatasets int, coordCacheBytes
 	return tp, nil
 }
 
+// bootShard builds and starts one shard over its owned slice of the
+// full-fleet view, wiring identity, membership, loader and admin token —
+// used at boot and again by restartShard after a drain.
+func (tp *topology) bootShard(self string) error {
+	owned := shard.OwnedIndexesR(tp.names, tp.identities, self, tp.repl)
+	if len(owned) == 0 {
+		return fmt.Errorf("shard %s owns no datasets at this fixture seed", self)
+	}
+	var slice []*microarray.Dataset
+	for _, gi := range owned {
+		slice = append(slice, tp.dss[gi])
+	}
+	se, err := spell.NewEngine(slice)
+	if err != nil {
+		return err
+	}
+	enricher, err := smokeEnricher(tp.u)
+	if err != nil {
+		return err
+	}
+	ss, err := server.New(server.Config{
+		Engine: se, Enricher: enricher,
+		ShardIndexes: owned, ShardDatasetIDs: tp.names, CacheBytes: 8 << 20,
+		ShardSelf: self, ShardFleet: tp.identities, ShardReplication: tp.repl,
+		ShardRawDatasets: slice,
+		ShardLoader: func(_ context.Context, gi int) (*microarray.Dataset, error) {
+			if gi < 0 || gi >= len(tp.dss) {
+				return nil, fmt.Errorf("dataset index %d outside the %d-dataset compendium", gi, len(tp.dss))
+			}
+			return tp.dss[gi], nil
+		},
+		ShardResolve: tp.resolve,
+		FleetToken:   fleetAdminToken,
+	})
+	if err != nil {
+		return err
+	}
+	hs := httptest.NewServer(ss)
+	tp.closers = append(tp.closers, ss.Close, hs.Close)
+	idx := -1
+	for i, id := range tp.identities {
+		if id == self {
+			idx = i
+			break
+		}
+	}
+	if idx < len(tp.shardServers) {
+		tp.shardServers[idx], tp.shardSrv[idx] = hs, ss
+	} else {
+		tp.shardServers = append(tp.shardServers, hs)
+		tp.shardSrv = append(tp.shardSrv, ss)
+	}
+	tp.mu.Lock()
+	tp.urls[self] = hs.URL
+	tp.mu.Unlock()
+	return nil
+}
+
+// restartShard closes shard i's current instance and boots a fresh one at
+// a new URL with full-fleet holdings — the "restart" half of a rolling
+// restart. Double closes at teardown are harmless.
+func (tp *topology) restartShard(i int) error {
+	tp.shardSrv[i].Close()
+	tp.shardServers[i].Close()
+	return tp.bootShard(tp.identities[i])
+}
+
 // newShard2Topology is the unreplicated two-shard fleet: each of the 6
 // datasets lives on exactly one shard, so killing a shard must degrade.
 func newShard2Topology(coordCacheBytes int64) (*topology, error) {
-	return newFleetTopology("shard2", 2, 1, 6, coordCacheBytes)
+	return newFleetTopology("shard2", 2, 1, 6, coordCacheBytes, nil)
 }
 
 // newShard4Topology is the replicated fleet: 4 shards holding an
 // 8-dataset compendium at replication 2, so any single shard is
 // redundant.
 func newShard4Topology(coordCacheBytes int64) (*topology, error) {
-	return newFleetTopology("shard4", 4, 2, 8, coordCacheBytes)
+	return newFleetTopology("shard4", 4, 2, 8, coordCacheBytes, nil)
 }
 
 func newTopology(name string, coordCacheBytes int64) (*topology, error) {

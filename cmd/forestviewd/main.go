@@ -89,13 +89,19 @@ func main() {
 		shardsFlag   = flag.String("shards", "", "comma-separated shard identities — the same list on every fleet member (shards and coordinator hash these strings for dataset ownership)")
 		selfFlag     = flag.String("self", "", "this daemon's entry in -shards (required with -role=shard)")
 		replication  = flag.Int("replication", 1, "ownership replication factor R: each dataset is held by its top-R rendezvous shards (same value on every fleet member)")
-		fleetToken   = flag.String("fleet-token", "", "coordinator: bearer token authorizing POST /api/admin/fleet membership changes (empty disables the endpoint)")
+		fleetToken   = flag.String("fleet-token", "", "bearer token for fleet admin: the coordinator's POST /api/admin/fleet, and a shard's drain/handoff/fleet endpoints (empty disables them)")
 		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "coordinator: per-shard attempt deadline")
 		shardRetry   = flag.Bool("shard-retry", true, "coordinator: grant each ownership group one extra attempt after every replica failed")
 		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow group request after this delay, onto the next untried replica (0 disables hedging)")
+		breakerTh    = flag.Int("breaker-threshold", 0, "coordinator: consecutive replica failures that trip its circuit breaker open (0 = default 3, negative disables the breaker)")
+		infoCooldown = flag.Duration("info-cooldown", 0, "coordinator: cooldown between failing compendium-info probe rounds (0 = default 15s, negative disables)")
 		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+	// The drain hook feeds the same signal channel the OS does: when a
+	// shard finishes handing off its warm partials it asks its own process
+	// to exit through the ordinary graceful-shutdown path.
+	sigCh := make(chan os.Signal, 2)
 	srv, err := buildServer(buildConfig{
 		files: *files, obo: *oboPath, assoc: *assocPath,
 		demo: *demo || *files == "", precluster: *precluster,
@@ -106,6 +112,13 @@ func main() {
 		role: *role, shards: splitList(*shardsFlag), self: *selfFlag,
 		replication: *replication, fleetToken: *fleetToken,
 		shardDeadline: *shardTimeout, shardRetry: *shardRetry, hedgeAfter: *hedgeAfter,
+		breakerThreshold: *breakerTh, infoCooldown: *infoCooldown,
+		onDrained: func() {
+			select {
+			case sigCh <- syscall.SIGTERM:
+			default: // a real signal already queued; one exit is plenty
+			}
+		},
 		log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
 	if err != nil {
@@ -131,8 +144,8 @@ func main() {
 	// SIGINT/SIGTERM drain instead of drop: in-flight work — a scatter
 	// mid-merge, a tile mid-render — completes within -drain-timeout while
 	// the listener stops accepting, so restarting a shard never turns
-	// queries that already reached it into connection resets.
-	sigCh := make(chan os.Signal, 1)
+	// queries that already reached it into connection resets. The drain
+	// admin endpoint exits through the same channel (see onDrained above).
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	if err := serveUntilSignal(hs, ln, sigCh, *drain,
 		func(format string, args ...any) { fmt.Printf(format+"\n", args...) }); err != nil {
@@ -188,6 +201,15 @@ type buildConfig struct {
 	shardRetry    bool
 	hedgeAfter    time.Duration
 
+	// breakerThreshold and infoCooldown tune the coordinator's adaptive
+	// failure handling (zero keeps the package defaults).
+	breakerThreshold int
+	infoCooldown     time.Duration
+	// onDrained runs once after a shard-role daemon finishes its warm
+	// handoff (POST /api/shard/v1/admin/drain); main uses it to trigger
+	// the graceful-shutdown path.
+	onDrained func()
+
 	log func(format string, args ...any)
 }
 
@@ -230,11 +252,13 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 			return nil, fmt.Errorf("-obo belongs on shard daemons, not the coordinator (it scatters /api/enrich to ontology-bearing shards)")
 		}
 		coord, err := shard.NewCoordinator(shard.Config{
-			Shards:      cfg.shards,
-			Replication: repl,
-			Deadline:    cfg.shardDeadline,
-			Retry:       cfg.shardRetry,
-			HedgeAfter:  cfg.hedgeAfter,
+			Shards:              cfg.shards,
+			Replication:         repl,
+			Deadline:            cfg.shardDeadline,
+			Retry:               cfg.shardRetry,
+			HedgeAfter:          cfg.hedgeAfter,
+			BreakerThreshold:    cfg.breakerThreshold,
+			InfoFailureCooldown: cfg.infoCooldown,
 		})
 		if err != nil {
 			return nil, err
@@ -257,10 +281,13 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 	}
 
 	// shardIndexes maps engine dataset position -> global compendium index;
-	// shardCatalog is the full dataset list every fleet member agrees on.
-	// Both stay nil for the single role.
+	// shardCatalog is the full dataset list every fleet member agrees on;
+	// shardLoader fetches a dataset by global index so a membership reload
+	// can grow this shard's holdings without a restart. All stay nil for
+	// the single role.
 	var shardIndexes []int
 	var shardCatalog []string
+	var shardLoader func(context.Context, int) (*microarray.Dataset, error)
 	ownedOnly := func(names []string) (map[int]bool, error) {
 		if role != "shard" {
 			return nil, nil
@@ -319,6 +346,16 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 				shardIndexes = append(shardIndexes, gi)
 			}
 		}
+		if owned != nil {
+			// The demo compendium is already in memory whole; a reload just
+			// picks the dataset out of it.
+			shardLoader = func(_ context.Context, gi int) (*microarray.Dataset, error) {
+				if gi < 0 || gi >= len(dss) {
+					return nil, fmt.Errorf("dataset index %d outside the %d-dataset demo compendium", gi, len(dss))
+				}
+				return dss[gi], nil
+			}
+		}
 		var leafNames []string
 		for _, m := range u.Modules {
 			leafNames = append(leafNames, m.Name)
@@ -349,24 +386,40 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		for gi, path := range paths {
-			if owned != nil && !owned[gi] {
-				continue
-			}
-			f, err := os.Open(path)
+		readPCL := func(gi int) (*microarray.Dataset, error) {
+			f, err := os.Open(paths[gi])
 			if err != nil {
 				return nil, err
 			}
+			defer f.Close()
 			ds, err := microarray.ReadPCL(f, names[gi])
-			f.Close()
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", path, err)
+				return nil, fmt.Errorf("%s: %w", paths[gi], err)
+			}
+			return ds, nil
+		}
+		for gi := range paths {
+			if owned != nil && !owned[gi] {
+				continue
+			}
+			ds, err := readPCL(gi)
+			if err != nil {
+				return nil, err
 			}
 			datasets = append(datasets, ds)
 			if owned != nil {
 				shardIndexes = append(shardIndexes, gi)
 			}
 			cfg.log("loaded %q: %d genes x %d experiments", ds.Name, ds.NumGenes(), ds.NumExperiments())
+		}
+		if owned != nil {
+			// A reload re-parses the file for a dataset this shard newly owns.
+			shardLoader = func(_ context.Context, gi int) (*microarray.Dataset, error) {
+				if gi < 0 || gi >= len(paths) {
+					return nil, fmt.Errorf("dataset index %d outside the %d-file compendium", gi, len(paths))
+				}
+				return readPCL(gi)
+			}
 		}
 	}
 
@@ -409,7 +462,7 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 	// once on its first /api/heatmap touch (concurrent tiles coalesce onto
 	// one build), keeping startup off the clustering critical path. The
 	// -precluster flag restores pay-at-boot warming.
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Engine:            engine,
 		ShardIndexes:      shardIndexes,
 		ShardDatasetIDs:   shardCatalog,
@@ -423,13 +476,26 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		MaxGenes:          cfg.maxGenes,
 		MaxTileDim:        cfg.maxTileDim,
 		SearchParallelism: cfg.searchPar,
-	})
+	}
+	if role == "shard" {
+		// Fleet plumbing: the shard knows its own identity and the full
+		// membership view, can load datasets it newly owns after a reload,
+		// and exits through onDrained once a drain's warm handoff lands.
+		scfg.ShardSelf = cfg.self
+		scfg.ShardFleet = cfg.shards
+		scfg.ShardReplication = repl
+		scfg.ShardRawDatasets = datasets
+		scfg.ShardLoader = shardLoader
+		scfg.OnDrained = cfg.onDrained
+		scfg.FleetToken = cfg.fleetToken
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return nil, err
 	}
 	if role == "shard" {
-		cfg.log("shard %q serving %d/%d datasets (replication=%d) at %s",
-			cfg.self, len(datasets), len(shardCatalog), repl, shard.SearchPath)
+		cfg.log("shard %q serving %d/%d datasets (replication=%d) at %s, drain-admin=%t",
+			cfg.self, len(datasets), len(shardCatalog), repl, shard.SearchPath, cfg.fleetToken != "")
 	}
 	if cfg.precluster {
 		if err := srv.WarmTrees(context.Background()); err != nil {

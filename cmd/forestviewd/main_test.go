@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 
 	"forestview/internal/microarray"
 	"forestview/internal/server"
+	"forestview/internal/shard"
 	"forestview/internal/synth"
 )
 
@@ -299,8 +301,10 @@ func TestGracefulShutdownDrainTimeout(t *testing.T) {
 // Because the ports (and hence the rendezvous placement) are random, an
 // unlucky draw can leave a shard with no datasets, which buildServer
 // rejects by design; such draws are retried with fresh ports. Returns the
-// identity list and the running HTTP servers (index-aligned).
-func startDaemonFleet(t *testing.T, n, repl, datasets int) ([]string, []*httptest.Server) {
+// identity list and the running HTTP servers (index-aligned). A non-empty
+// token arms the drain/handoff admin endpoints; drained (when non-nil)
+// receives a shard's identity once its warm handoff completes.
+func startDaemonFleet(t *testing.T, n, repl, datasets int, token string, drained chan string) ([]string, []*httptest.Server) {
 	t.Helper()
 attempt:
 	for try := 0; try < 25; try++ {
@@ -324,11 +328,17 @@ attempt:
 			}
 		}
 		for i, self := range identities {
-			srv, err := buildServer(buildConfig{
+			self := self
+			cfg := buildConfig{
 				demo: true, genes: 200, modules: 8, datasets: datasets, seed: 7,
 				cacheMB: 4, workers: 1,
 				role: "shard", shards: identities, self: self, replication: repl,
-			})
+				fleetToken: token,
+			}
+			if drained != nil {
+				cfg.onDrained = func() { drained <- self }
+			}
+			srv, err := buildServer(cfg)
 			if err != nil {
 				if strings.Contains(err.Error(), "owns none") {
 					abort()
@@ -439,7 +449,7 @@ func enrichParity(t *testing.T, coord, single *server.Server, q string) {
 // and checks /api/search through the coordinator against the
 // single-process daemon, plus the scatter bookkeeping the roles expose.
 func TestShardCoordinatorTopologyE2E(t *testing.T) {
-	identities, _ := startDaemonFleet(t, 2, 1, 4)
+	identities, _ := startDaemonFleet(t, 2, 1, 4, "", nil)
 	coord, err := buildServer(buildConfig{
 		role: "coordinator", shards: identities,
 		cacheMB: 4, workers: 1, shardDeadline: 5 * time.Second, shardRetry: true,
@@ -480,7 +490,7 @@ func TestShardCoordinatorTopologyE2E(t *testing.T) {
 // with no degraded merges. Also exercises the runtime fleet-admin endpoint
 // end to end: removing the dead member keeps the fleet healthy.
 func TestShardCoordinatorReplicatedE2E(t *testing.T) {
-	identities, servers := startDaemonFleet(t, 3, 2, 6)
+	identities, servers := startDaemonFleet(t, 3, 2, 6, "", nil)
 	coord, err := buildServer(buildConfig{
 		role: "coordinator", shards: identities, replication: 2,
 		fleetToken: "sesame",
@@ -573,5 +583,85 @@ func TestBuildServerRoleValidation(t *testing.T) {
 		role: "coordinator", shards: []string{"a:1", "b:1"}, replication: 3,
 	}); err == nil {
 		t.Fatal("-replication beyond fleet size accepted")
+	}
+}
+
+// TestDaemonShardDrainE2E proves the cmd-layer drain wiring end to end: a
+// 3-shard R=2 daemon fleet boots with the admin token armed, the
+// survivors adopt the post-drain topology through the fleet endpoint, and
+// draining the remaining member pushes its warm partials and fires the
+// onDrained hook — the callback main turns into a SIGTERM for the
+// ordinary graceful shutdown.
+func TestDaemonShardDrainE2E(t *testing.T) {
+	drained := make(chan string, 3)
+	identities, servers := startDaemonFleet(t, 3, 2, 6, "sesame", drained)
+
+	// Warm the victim with a hot shard-level query so the drain has
+	// something to hand off.
+	u := synth.NewUniverse(200, 8, 7)
+	query := u.ModuleGeneIDs(3)[:4]
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(shard.SearchRequest{Query: query}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := http.Post(servers[0].URL+shard.SearchPath, shard.ContentType, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warming search = %d", warm.StatusCode)
+	}
+
+	post := func(url string, body []byte) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Fleet-Token", "sesame")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	fleetBody, err := json.Marshal(map[string]any{"shards": identities[1:], "replication": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rolling-restart order: survivors reload to the post-drain topology
+	// first, so the drain's generation-guarded push finds them ready.
+	for i, hs := range servers[1:] {
+		if resp, b := post(hs.URL+shard.ShardFleetPath, fleetBody); resp.StatusCode != http.StatusOK {
+			t.Fatalf("survivor %d reload = %d: %s", i+1, resp.StatusCode, b)
+		}
+	}
+	resp, b := post(servers[0].URL+shard.DrainPath, fleetBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain = %d: %s", resp.StatusCode, b)
+	}
+	var dr struct {
+		Status     string   `json:"status"`
+		Pushed     int64    `json:"pushed"`
+		Replayed   int64    `json:"replayed"`
+		PushErrors []string `json:"push_errors"`
+	}
+	if err := json.Unmarshal(b, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Status != shard.StatusDraining || len(dr.PushErrors) != 0 || dr.Pushed+dr.Replayed == 0 {
+		t.Fatalf("drain response: %s", b)
+	}
+	select {
+	case id := <-drained:
+		if id != identities[0] {
+			t.Fatalf("onDrained fired for %q, want %q", id, identities[0])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("onDrained never fired")
 	}
 }

@@ -1,0 +1,234 @@
+package faultline
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic is the package's core promise, table-driven:
+// for a fixed seed and rule set, the Nth request per (host, path) key
+// always draws the same fault — across injector instances, and
+// regardless of how other keys' requests interleave.
+func TestDecideDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  int64
+		rules []Rule
+		host  string
+		path  string
+		n     int
+	}{
+		{
+			name:  "every-3rd-cycling-kinds",
+			seed:  42,
+			rules: []Rule{{Host: "shard-1", Every: 3, Kinds: []Kind{Err5xx, Reset, Truncate}}},
+			host:  "shard-1", path: "/api/shard/v1/search", n: 24,
+		},
+		{
+			name:  "offset-schedule",
+			seed:  42,
+			rules: []Rule{{Path: "/api/shard/v1/enrich", Every: 2, Offset: 1, Kinds: []Kind{Stall}}},
+			host:  "shard-2", path: "/api/shard/v1/enrich", n: 16,
+		},
+		{
+			name:  "probabilistic-per-key-stream",
+			seed:  7,
+			rules: []Rule{{Prob: 0.4, Kinds: []Kind{Latency, Err5xx}}},
+			host:  "shard-0", path: "/api/shard/v1/search", n: 40,
+		},
+		{
+			name:  "no-match-never-faults",
+			seed:  7,
+			rules: []Rule{{Host: "shard-9", Every: 1}},
+			host:  "shard-0", path: "/x", n: 10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			draw := func() []Kind {
+				in := New(tc.seed, tc.rules...)
+				out := make([]Kind, tc.n)
+				for i := range out {
+					out[i], _ = in.Decide(tc.host, tc.path)
+				}
+				return out
+			}
+			a, b := draw(), b2(draw)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("request %d: run A drew %v, run B drew %v", i, a[i], b[i])
+				}
+			}
+			if tc.name == "no-match-never-faults" {
+				for i, k := range a {
+					if k != None {
+						t.Fatalf("unmatched request %d faulted with %v", i, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+func b2(f func() []Kind) []Kind { return f() }
+
+// TestDecideKeyIsolation: interleaving traffic to another key must not
+// shift a key's schedule — each (host, path) owns its counter and stream.
+func TestDecideKeyIsolation(t *testing.T) {
+	rules := []Rule{{Every: 3, Kinds: []Kind{Reset}}}
+	solo := New(1, rules...)
+	var want []Kind
+	for i := 0; i < 12; i++ {
+		k, _ := solo.Decide("shard-1", "/s")
+		want = append(want, k)
+	}
+	mixed := New(1, rules...)
+	var got []Kind
+	for i := 0; i < 12; i++ {
+		// Noise on other keys between every draw.
+		mixed.Decide("shard-2", "/s")
+		mixed.Decide("shard-1", "/other")
+		k, _ := mixed.Decide("shard-1", "/s")
+		got = append(got, k)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d: %v with noise, %v without", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDecideOrdinalSchedule pins the Every/Offset arithmetic exactly.
+func TestDecideOrdinalSchedule(t *testing.T) {
+	in := New(0, Rule{Every: 3, Offset: 1, Kinds: []Kind{Err5xx, Reset}})
+	var fired []int
+	var kinds []Kind
+	for i := 1; i <= 10; i++ {
+		if k, _ := in.Decide("h", "/p"); k != None {
+			fired = append(fired, i)
+			kinds = append(kinds, k)
+		}
+	}
+	// Offset 1, every 3: requests 4, 7, 10 fire, cycling the kind list.
+	if len(fired) != 3 || fired[0] != 4 || fired[1] != 7 || fired[2] != 10 {
+		t.Fatalf("fired at %v, want [4 7 10]", fired)
+	}
+	if kinds[0] != Err5xx || kinds[1] != Reset || kinds[2] != Err5xx {
+		t.Fatalf("kinds %v, want cycle [err5xx reset err5xx]", kinds)
+	}
+}
+
+// TestTransportFaults drives each fault kind through a real server and
+// asserts the client-observable behavior.
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "0123456789abcdef")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	get := func(in *Injector, timeout time.Duration) (*http.Response, []byte, error) {
+		client := &http.Client{Transport: in.Wrap(nil)}
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, rerr := io.ReadAll(resp.Body)
+		return resp, b, rerr
+	}
+
+	t.Run("err5xx", func(t *testing.T) {
+		in := New(1, Rule{Host: host, Every: 1, Kinds: []Kind{Err5xx}})
+		resp, _, err := get(in, 0)
+		if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("resp=%v err=%v", resp, err)
+		}
+		if resp.Header.Get(Header) != "err5xx" {
+			t.Fatalf("injected response not marked: %v", resp.Header)
+		}
+		if in.Counts()["err5xx"] != 1 {
+			t.Fatalf("counts: %v", in.Counts())
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		in := New(1, Rule{Host: host, Every: 1, Kinds: []Kind{Reset}})
+		_, _, err := get(in, 0)
+		if err == nil || !strings.Contains(err.Error(), "connection reset") {
+			t.Fatalf("err = %v, want injected reset", err)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		in := New(1, Rule{Host: host, Every: 1, Kinds: []Kind{Truncate}})
+		resp, body, err := get(in, 0)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("resp=%v err=%v", resp, err)
+		}
+		if string(body) != "01234567" {
+			t.Fatalf("truncated body = %q, want first half", body)
+		}
+	})
+	t.Run("stall-until-deadline", func(t *testing.T) {
+		in := New(1, Rule{Host: host, Every: 1, Kinds: []Kind{Stall}, Delay: 10 * time.Second})
+		t0 := time.Now()
+		_, _, err := get(in, 100*time.Millisecond)
+		if err == nil || !errors.Is(errors.Unwrap(err), context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") {
+			t.Fatalf("stall err = %v, want deadline", err)
+		}
+		if el := time.Since(t0); el > 5*time.Second {
+			t.Fatalf("stall held past the context: %v", el)
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		in := New(1, Rule{Host: host, Every: 2, Kinds: []Kind{Latency}, Delay: 80 * time.Millisecond})
+		t0 := time.Now()
+		if _, _, err := get(in, 0); err != nil {
+			t.Fatal(err)
+		}
+		fast := time.Since(t0)
+		t0 = time.Now()
+		resp, body, err := get(in, 0) // second request per key: faulted
+		if err != nil || resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Fatalf("latency-faulted request failed: %v %v", resp, err)
+		}
+		if slow := time.Since(t0); slow < 80*time.Millisecond || slow < fast {
+			t.Fatalf("no added latency: fast=%v slow=%v", fast, slow)
+		}
+		if in.Total() != 1 {
+			t.Fatalf("total = %d", in.Total())
+		}
+	})
+}
+
+// TestSetRulesKeepsStreams: swapping rules does not reset per-key
+// ordinals — the schedule stays anchored to the request sequence.
+func TestSetRulesKeepsStreams(t *testing.T) {
+	in := New(3, Rule{Every: 100})
+	for i := 0; i < 5; i++ {
+		in.Decide("h", "/p") // requests 1..5 under a rule that never fires
+	}
+	in.SetRules(Rule{Every: 3, Kinds: []Kind{Reset}})
+	// Requests 6..9: ordinals continue, so 6 and 9 fire.
+	var fired []int
+	for i := 6; i <= 9; i++ {
+		if k, _ := in.Decide("h", "/p"); k != None {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 6 || fired[1] != 9 {
+		t.Fatalf("fired at %v, want [6 9]", fired)
+	}
+}

@@ -68,9 +68,39 @@ type Config struct {
 	// /api/shard/info so coordinators stay dataset-stateless.
 	ShardDatasetIDs []string
 	// FleetToken authorizes POST /api/admin/fleet on a coordinator
-	// (runtime shard joins and leaves). Empty disables the admin
-	// endpoint: every request is refused.
+	// (runtime shard joins and leaves) and the shard-side admin endpoints
+	// (drain, handoff, fleet view). Empty disables them: every request is
+	// refused.
 	FleetToken string
+	// ShardSelf is this shard's own fleet identity (its entry in the
+	// -shards list). Setting it (with ShardIndexes) mounts the drain,
+	// handoff and shard-fleet admin endpoints: the shard can then be
+	// drained gracefully and can reload its membership view at runtime.
+	ShardSelf string
+	// ShardFleet is the shard's boot-time view of the fleet list, the
+	// starting point for runtime membership reloads. Optional: without it
+	// the shard serves its boot slice and refuses handoffs (it has no
+	// generation to guard them against).
+	ShardFleet []string
+	// ShardReplication is the fleet's replication factor as this shard
+	// understands it, used to derive its owned slice after a reload and to
+	// scope drain pushes (default 1).
+	ShardReplication int
+	// ShardRawDatasets are the raw datasets behind Engine, aligned with
+	// ShardIndexes. Required for membership reloads that grow the slice:
+	// the engine is rebuilt over these plus the newly loaded datasets. Nil
+	// disables reload-with-growth (the shard still serves and drains).
+	ShardRawDatasets []*microarray.Dataset
+	// ShardLoader loads one dataset by its global catalog index, for
+	// membership reloads that assign this shard datasets it does not hold.
+	ShardLoader func(ctx context.Context, globalIndex int) (*microarray.Dataset, error)
+	// ShardResolve turns a fleet identity into a dial URL for drain pushes
+	// (default shard.NormalizeAddr, mirroring the coordinator).
+	ShardResolve func(string) string
+	// OnDrained, when set, is called (once, on its own goroutine) after a
+	// drain request has pushed its warm handoff: the daemon hooks its
+	// graceful shutdown here so a drained shard exits by itself.
+	OnDrained func()
 	// Enricher is the prepared GOLEM context behind /api/enrich.
 	Enricher *golem.Enricher
 	// Datasets are pre-clustered panes behind /api/heatmap, indexable by
@@ -134,9 +164,24 @@ type Server struct {
 	statShard   endpointStats // /api/shard/* (shard role only)
 	statFleet   endpointStats // /api/admin/fleet (coordinator role only)
 
-	// shardLocal maps a global dataset index to the engine's local index
-	// (the inverse of ShardIndexes), for ownership-group requests.
-	shardLocal map[int]int
+	// shardSt is the shard role's reloadable state (engine, index maps,
+	// membership view); see drain.go. Non-nil whenever ShardIndexes is.
+	shardSt atomic.Pointer[shardState]
+	// fleet is the shard-side membership view driving shardSt reloads
+	// (nil without ShardFleet); shardMu serializes reloads and drains.
+	fleet        *shard.Membership
+	shardMu      sync.Mutex
+	draining     atomic.Bool
+	warm         *warmTracker
+	shardReloads atomic.Int64
+
+	// Handoff counters, both directions (see drain.go).
+	handoffPushed     atomic.Int64 // entries pushed with a body
+	handoffReplayed   atomic.Int64 // entries pushed for receiver recompute
+	handoffPushErrors atomic.Int64 // failed pushes to a successor
+	handoffAccepted   atomic.Int64 // received entries inserted verbatim
+	handoffRecomputed atomic.Int64 // received entries warmed by recompute
+	handoffRefused    atomic.Int64 // received entries refused as stale
 
 	// enrichKernel tracks actual golem kernel executions (cache misses that
 	// computed), reported as the enrich_cache stats section.
@@ -189,6 +234,7 @@ func New(cfg Config) (*Server, error) {
 		trees:   newTreeCache(treeClusterOptions(cfg.TreeMetric, cfg.TreeLinkage, cfg.TreeOptimizeOrder)),
 		start:   time.Now(),
 		dsIndex: make(map[string]int, len(cfg.Datasets)+len(cfg.RawDatasets)),
+		warm:    newWarmTracker(),
 	}
 	for _, cd := range cfg.Datasets {
 		// Nil entries stay addressable by index position (and resolve to
@@ -221,12 +267,41 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/api/heatmap", s.instrument(&s.statHeatmap, s.handleHeatmap))
 	s.mux.HandleFunc("/api/stats", s.instrument(&s.statStats, s.handleStats))
 	if cfg.ShardIndexes != nil {
-		s.shardLocal = make(map[int]int, len(cfg.ShardIndexes))
+		local := make(map[int]int, len(cfg.ShardIndexes))
 		for li, gi := range cfg.ShardIndexes {
-			s.shardLocal[gi] = li
+			local[gi] = li
 		}
+		st := &shardState{
+			engine:  cfg.Engine,
+			indexes: append([]int(nil), cfg.ShardIndexes...),
+			local:   local,
+			raw:     cfg.ShardRawDatasets,
+			repl:    cfg.ShardReplication,
+		}
+		if st.repl <= 0 {
+			st.repl = 1
+		}
+		if len(cfg.ShardRawDatasets) != 0 && len(cfg.ShardRawDatasets) != len(cfg.ShardIndexes) {
+			return nil, fmt.Errorf("server: %d raw shard datasets for %d shard indexes",
+				len(cfg.ShardRawDatasets), len(cfg.ShardIndexes))
+		}
+		if len(cfg.ShardFleet) > 0 {
+			fleet, err := shard.NewMembership(cfg.ShardFleet)
+			if err != nil {
+				return nil, fmt.Errorf("server: shard fleet view: %w", err)
+			}
+			s.fleet = fleet
+			st.shards, st.gen = fleet.Snapshot()
+		}
+		s.shardSt.Store(st)
 		s.mux.HandleFunc(shard.SearchPath, s.instrument(&s.statShard, s.handleShardSearch))
 		s.mux.HandleFunc(shard.InfoPath, s.instrument(&s.statShard, s.handleShardInfo))
+		if cfg.ShardSelf != "" {
+			s.cfg.ShardSelf = strings.TrimRight(strings.TrimSpace(cfg.ShardSelf), "/")
+			s.mux.HandleFunc(shard.DrainPath, s.instrument(&s.statShard, s.handleShardDrain))
+			s.mux.HandleFunc(shard.HandoffPath, s.instrument(&s.statShard, s.handleShardHandoff))
+			s.mux.HandleFunc(shard.ShardFleetPath, s.instrument(&s.statShard, s.handleShardFleet))
+		}
 		if cfg.Enricher != nil {
 			// Enrichment is a shard capability, not a fleet invariant: only
 			// ontology-bearing shards mount the enrich paths, the rest 404
@@ -266,6 +341,9 @@ func (s *Server) Close() { s.pool.Close() }
 // NumDatasets implements spellweb.Searcher. A coordinator reports the sum
 // of its shards' slices (0 while no shard has answered an info probe yet).
 func (s *Server) NumDatasets() int {
+	if st := s.shardSt.Load(); st != nil {
+		return st.engine.NumDatasets() // reload-aware
+	}
 	if s.cfg.Engine != nil {
 		return s.cfg.Engine.NumDatasets()
 	}
@@ -276,6 +354,9 @@ func (s *Server) NumDatasets() int {
 // NumGenes implements spellweb.Searcher. A coordinator reports the union
 // of its shards' gene sets.
 func (s *Server) NumGenes() int {
+	if st := s.shardSt.Load(); st != nil {
+		return st.engine.NumGenes()
+	}
 	if s.cfg.Engine != nil {
 		return s.cfg.Engine.NumGenes()
 	}
@@ -573,7 +654,9 @@ func (s *Server) Role() string {
 func (s *Server) Stats() StatsSnapshot {
 	prefixes := s.cache.Prefixes()
 	nDatasets, nGenes := 0, 0
-	if s.cfg.Engine != nil {
+	if st := s.shardSt.Load(); st != nil {
+		nDatasets, nGenes = st.engine.NumDatasets(), st.engine.NumGenes()
+	} else if s.cfg.Engine != nil {
 		nDatasets, nGenes = s.cfg.Engine.NumDatasets(), s.cfg.Engine.NumGenes()
 	} else {
 		nDatasets, nGenes = s.scatterInfo() // one probe (cached after success)
@@ -609,6 +692,24 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.TreeCache.TileBytes = prefixes["tile"].Bytes
 	if s.cfg.ShardIndexes != nil {
 		snap.Endpoints["shard"] = s.statShard.snapshot()
+		st := s.shardState()
+		snap.Shard = &ShardRoleInfo{
+			Self:        s.cfg.ShardSelf,
+			Status:      s.shardStatus(),
+			Shards:      st.shards,
+			Generation:  fmt.Sprintf("%016x", st.gen),
+			Replication: st.repl,
+			Held:        len(st.indexes),
+			Reloads:     s.shardReloads.Load(),
+			Handoff: HandoffCounters{
+				Pushed:       s.handoffPushed.Load(),
+				Replayed:     s.handoffReplayed.Load(),
+				PushErrors:   s.handoffPushErrors.Load(),
+				Accepted:     s.handoffAccepted.Load(),
+				Recomputed:   s.handoffRecomputed.Load(),
+				RefusedStale: s.handoffRefused.Load(),
+			},
+		}
 	}
 	if s.cfg.Scatter != nil {
 		snap.Endpoints["fleet"] = s.statFleet.snapshot()

@@ -43,12 +43,14 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, "empty query")
 		return
 	}
+	s.warm.touch(shard.CapabilitySearch, ids)
 	var body []byte
+	var disp string
 	var err error
 	if len(req.Owners) > 0 {
-		body, err = s.partialGroupSearch(r.Context(), ids, &req)
+		body, disp, err = s.partialGroupSearch(r.Context(), ids, &req)
 	} else {
-		body, err = s.partialSearch(r.Context(), ids)
+		body, disp, err = s.partialSearch(r.Context(), ids)
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		if r.Context().Err() != nil {
@@ -69,6 +71,7 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
 		return
 	}
+	w.Header().Set(cacheHeader, disp)
 	w.Header().Set("Content-Type", shard.ContentType)
 	_, _ = w.Write(body)
 }
@@ -82,18 +85,19 @@ var errPartialEncode = errors.New("partial encode failed")
 // consumer of the cache wants, so a cache hit costs zero re-encoding and
 // the entry's cost is its exact byte length. Leader-handover retries as
 // on every compute path.
-func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, error) {
+func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, string, error) {
+	st := s.shardState()
 	key := "partial\x1f" + joinIDs(ids)
 	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	v, _, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
-		p, perr := s.cfg.Engine.PartialSearchCtx(ctx, ids, spell.Options{Parallelism: s.cfg.SearchParallelism})
+	v, disp, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+		p, perr := st.engine.PartialSearchCtx(ctx, ids, spell.Options{Parallelism: s.cfg.SearchParallelism})
 		if perr != nil {
 			return nil, perr
 		}
 		// Remap local dataset indexes to the global compendium order once,
 		// at compute time: cached partials are already global.
 		for i := range p.Datasets {
-			p.Datasets[i].Index = s.cfg.ShardIndexes[p.Datasets[i].Index]
+			p.Datasets[i].Index = st.indexes[p.Datasets[i].Index]
 		}
 		var buf bytes.Buffer
 		if eerr := gob.NewEncoder(&buf).Encode(p); eerr != nil {
@@ -102,9 +106,17 @@ func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, error
 		return buf.Bytes(), nil
 	}, nil, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return v.([]byte), nil
+	return v.([]byte), disp, nil
+}
+
+// groupSearchKey is the cache key of one group-scoped search partial. The
+// handoff receiver (drain.go) inserts pushed bodies under this exact key,
+// so it must stay in lockstep with partialGroupSearch.
+func groupSearchKey(req *shard.SearchRequest, ids []string) string {
+	return fmt.Sprintf("partial\x1f%016x\x1f%d\x1f%s\x1f%s",
+		shard.Generation(req.Shards), req.Replication, joinIDs(req.Owners), joinIDs(ids))
 }
 
 // partialGroupSearch is partialSearch scoped to one ownership group of a
@@ -115,23 +127,23 @@ func (s *Server) partialSearch(ctx context.Context, ids []string) ([]byte, error
 // merge. The cache key carries the topology generation, the replication
 // factor and the owner tuple: a membership change re-derives groups, and
 // stale group partials become unreachable rather than wrong.
-func (s *Server) partialGroupSearch(ctx context.Context, ids []string, req *shard.SearchRequest) ([]byte, error) {
-	key := fmt.Sprintf("partial\x1f%016x\x1f%d\x1f%s\x1f%s",
-		shard.Generation(req.Shards), req.Replication, joinIDs(req.Owners), joinIDs(ids))
+func (s *Server) partialGroupSearch(ctx context.Context, ids []string, req *shard.SearchRequest) ([]byte, string, error) {
+	st := s.shardState()
+	key := groupSearchKey(req, ids)
 	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	v, _, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+	v, disp, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
 		subset := []int{} // non-nil: an empty intersection is a valid empty partial
 		for _, gi := range shard.GroupIndexes(s.cfg.ShardDatasetIDs, req.Shards, req.Replication, req.Owners) {
-			if li, ok := s.shardLocal[gi]; ok {
+			if li, ok := st.local[gi]; ok {
 				subset = append(subset, li)
 			}
 		}
-		p, perr := s.cfg.Engine.PartialSearchSubsetCtx(ctx, ids, subset, spell.Options{Parallelism: s.cfg.SearchParallelism})
+		p, perr := st.engine.PartialSearchSubsetCtx(ctx, ids, subset, spell.Options{Parallelism: s.cfg.SearchParallelism})
 		if perr != nil {
 			return nil, perr
 		}
 		for i := range p.Datasets {
-			p.Datasets[i].Index = s.cfg.ShardIndexes[p.Datasets[i].Index]
+			p.Datasets[i].Index = st.indexes[p.Datasets[i].Index]
 		}
 		var buf bytes.Buffer
 		if eerr := gob.NewEncoder(&buf).Encode(p); eerr != nil {
@@ -140,9 +152,9 @@ func (s *Server) partialGroupSearch(ctx context.Context, ids []string, req *shar
 		return buf.Bytes(), nil
 	}, nil, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return v.([]byte), nil
+	return v.([]byte), disp, nil
 }
 
 // handleShardInfo serves GET /api/shard/v1/info: this shard's slice (size,
@@ -151,8 +163,9 @@ func (s *Server) partialGroupSearch(ctx context.Context, ids []string, req *shar
 // fleet negotiates with (a shard without an ontology simply doesn't list
 // "enrich", and its enrich paths 404).
 func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
-	held := make([]string, len(s.cfg.ShardIndexes))
-	for li, gi := range s.cfg.ShardIndexes {
+	st := s.shardState()
+	held := make([]string, len(st.indexes))
+	for li, gi := range st.indexes {
 		held[li] = s.cfg.ShardDatasetIDs[gi]
 	}
 	caps := []string{shard.CapabilitySearch}
@@ -161,11 +174,12 @@ func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
 	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(shard.Info{
-		Datasets:      s.cfg.Engine.NumDatasets(),
-		GeneIDs:       s.cfg.Engine.GeneIDs(),
+		Datasets:      st.engine.NumDatasets(),
+		GeneIDs:       st.engine.GeneIDs(),
 		DatasetIDs:    held,
 		AllDatasetIDs: s.cfg.ShardDatasetIDs,
 		Capabilities:  caps,
+		Status:        s.shardStatus(),
 	})
 	if err != nil {
 		s.encodeFailures.Add(1)
@@ -199,7 +213,8 @@ func (s *Server) handleShardEnrich(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, "empty selection")
 		return
 	}
-	body, err := s.partialEnrich(r.Context(), sel, &req)
+	s.warm.touch(shard.CapabilityEnrich, sel)
+	body, disp, err := s.partialEnrich(r.Context(), sel, &req)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		if r.Context().Err() != nil {
 			w.WriteHeader(statusClientClosedRequest)
@@ -217,8 +232,16 @@ func (s *Server) handleShardEnrich(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, err.Error())
 		return
 	}
+	w.Header().Set(cacheHeader, disp)
 	w.Header().Set("Content-Type", shard.ContentType)
 	_, _ = w.Write(body)
+}
+
+// groupEnrichKey is the cache key of one background slice's tallies, kept
+// in lockstep with partialEnrich for the handoff receiver's inserts.
+func groupEnrichKey(req *shard.EnrichRequest, sel []string) string {
+	return fmt.Sprintf("epartial\x1f%016x\x1f%d\x1f%s\x1f%s",
+		shard.Generation(req.Shards), req.Replication, joinIDs(req.Owners), joinIDs(sel))
 }
 
 // partialEnrich computes (or serves cached) the slice tallies for one
@@ -226,11 +249,10 @@ func (s *Server) handleShardEnrich(w http.ResponseWriter, r *http.Request) {
 // cache key carries the topology generation, replication factor and owner
 // tuple: after a membership change the group list re-derives and stale
 // slice tallies become unreachable rather than wrong.
-func (s *Server) partialEnrich(ctx context.Context, sel []string, req *shard.EnrichRequest) ([]byte, error) {
-	key := fmt.Sprintf("epartial\x1f%016x\x1f%d\x1f%s\x1f%s",
-		shard.Generation(req.Shards), req.Replication, joinIDs(req.Owners), joinIDs(sel))
+func (s *Server) partialEnrich(ctx context.Context, sel []string, req *shard.EnrichRequest) ([]byte, string, error) {
+	key := groupEnrichKey(req, sel)
 	wireCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	v, _, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
+	v, disp, err := s.cachedDoRetry(ctx, &s.statShard, key, wireCost, func() (any, error) {
 		// An ownerless request asks for the whole universe as slice 0 of 1
 		// (a single-shard or testing topology).
 		gi, slices := 0, 1
@@ -253,9 +275,9 @@ func (s *Server) partialEnrich(ctx context.Context, sel []string, req *shard.Enr
 		return buf.Bytes(), nil
 	}, nil, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return v.([]byte), nil
+	return v.([]byte), disp, nil
 }
 
 // handleShardEnrichCatalog serves GET /api/shard/v1/enrich/catalog: the
@@ -364,11 +386,12 @@ type fleetState struct {
 	Generation  string   `json:"generation"`
 	Replication int      `json:"replication"`
 	Bumps       int64    `json:"membership_bumps"`
+	Draining    []string `json:"draining,omitempty"`
 }
 
 // fleetRequest is the POST /api/admin/fleet body.
 type fleetRequest struct {
-	Action string `json:"action"` // "add" or "remove"
+	Action string `json:"action"` // "add", "remove", "drain" or "undrain"
 	Shard  string `json:"shard"`
 }
 
@@ -404,6 +427,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			Generation:  fmt.Sprintf("%016x", gen),
 			Replication: s.cfg.Scatter.Replication(),
 			Bumps:       m.Bumps(),
+			Draining:    s.cfg.Scatter.DrainingShards(),
 		}
 	}
 	switch r.Method {
@@ -425,9 +449,20 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		case "add":
 			shards, gen, err = m.Add(req.Shard)
 		case "remove":
+			// Removal also clears any drain mark: the identity may return
+			// later as a fresh, healthy member.
 			shards, gen, err = m.Remove(req.Shard)
+			if err == nil {
+				s.cfg.Scatter.SetDraining(req.Shard, false)
+			}
+		case "drain", "undrain":
+			// Demote (or restore) a member in replica ordering without a
+			// membership change: no generation bump, caches stay valid, the
+			// shard just stops being anyone's first choice.
+			s.cfg.Scatter.SetDraining(req.Shard, req.Action == "drain")
+			shards, gen = m.Snapshot()
 		default:
-			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, `action must be "add" or "remove"`)
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, `action must be "add", "remove", "drain" or "undrain"`)
 			return
 		}
 		if err != nil {

@@ -157,6 +157,7 @@ type StatsSnapshot struct {
 	TreeCache     TreeCacheInfo               `json:"tree_cache"`
 	EnrichCache   *EnrichCacheInfo            `json:"enrich_cache,omitempty"` // nil without an ontology
 	Scatter       *shard.StatsSnapshot        `json:"scatter,omitempty"`      // nil unless coordinating
+	Shard         *ShardRoleInfo              `json:"shard,omitempty"`        // nil unless a shard backend
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	// EncodeFailures counts responses whose JSON encoding failed and were
 	// converted to 500s by writeJSON; see the encode-failure regression.
@@ -180,6 +181,33 @@ type TreeCacheInfo struct {
 	// occupancy of the shared LRU — the pixels the cached trees back.
 	TileEntries int   `json:"tile_entries"`
 	TileBytes   int64 `json:"tile_bytes"`
+}
+
+// ShardRoleInfo is the shard section of /api/stats: the shard's lifecycle
+// state (active/draining), its membership view and reload count, and the
+// warm-handoff traffic in both directions (drain pushes sent, peer pushes
+// received). A rolling restart is legible from this section alone: the
+// leaver's Pushed/Replayed against the survivors' Accepted/Recomputed,
+// with RefusedStale flagging any generation-skewed push.
+type ShardRoleInfo struct {
+	Self        string          `json:"self,omitempty"`
+	Status      string          `json:"status"`
+	Shards      []string        `json:"shards,omitempty"`
+	Generation  string          `json:"generation"`
+	Replication int             `json:"replication"`
+	Held        int             `json:"held_datasets"`
+	Reloads     int64           `json:"reloads"`
+	Handoff     HandoffCounters `json:"handoff"`
+}
+
+// HandoffCounters tallies warm-handoff traffic (see DESIGN.md §7).
+type HandoffCounters struct {
+	Pushed       int64 `json:"pushed"`
+	Replayed     int64 `json:"replayed"`
+	PushErrors   int64 `json:"push_errors"`
+	Accepted     int64 `json:"accepted"`
+	Recomputed   int64 `json:"recomputed"`
+	RefusedStale int64 `json:"refused_stale"`
 }
 
 // CompendiumInfo summarizes what the daemon loaded at startup.

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff shapes a jittered exponential delay schedule. It is shared by
+// everything in the scatter path that must wait before trying again: the
+// per-group last-resort retry, scavenge attempts after a failure, and the
+// circuit breaker's open window before a half-open probe. The zero value
+// is invalid; use the package defaults or fill every field.
+type Backoff struct {
+	// Base is the attempt-0 delay before jitter.
+	Base time.Duration
+	// Max caps the grown delay before jitter.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (≥ 1).
+	Factor float64
+}
+
+// Default schedules. Retry delays sit under typical attempt deadlines so a
+// backed-off retry still fits the same scatter; breaker windows grow into
+// seconds because they gate a *shard*, not one query.
+var (
+	defaultRetryBackoff   = Backoff{Base: 50 * time.Millisecond, Max: time.Second, Factor: 2}
+	defaultBreakerBackoff = Backoff{Base: 200 * time.Millisecond, Max: 15 * time.Second, Factor: 2}
+)
+
+// withDefaults fills zero fields from d, so a Config can override just
+// Base (or nothing at all).
+func (b Backoff) withDefaults(d Backoff) Backoff {
+	if b.Base <= 0 {
+		b.Base = d.Base
+	}
+	if b.Max <= 0 {
+		b.Max = d.Max
+	}
+	if b.Factor < 1 {
+		b.Factor = d.Factor
+	}
+	return b
+}
+
+// Delay returns the attempt-th delay: min(Max, Base·Factor^attempt) scaled
+// by a jitter in [0.5, 1.5) drawn from rnd (a func returning [0, 1)). The
+// full-range jitter decorrelates retry storms across groups and
+// coordinators; rnd is a parameter, not package state, so schedules are
+// reproducible in tests. A nil rnd skips jitter.
+func (b Backoff) Delay(attempt int, rnd func() float64) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rnd != nil {
+		d *= 0.5 + rnd()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// sleepCtx waits for d or the context, whichever ends first, and reports
+// whether the full delay elapsed (false: the caller should stop retrying).
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -63,6 +64,26 @@ type Config struct {
 	// death alike; with a single owner it duplicates to the same backend,
 	// covering tail latency only (GC pauses, a lost packet), as before.
 	HedgeAfter time.Duration
+	// RetryBackoff shapes the jittered delay before the last-resort group
+	// retry and between failed scavenge attempts (zero fields default to
+	// 50ms base, 1s max, factor 2). Immediate retries re-dial a
+	// still-sick shard; a short backoff lets transient faults clear.
+	RetryBackoff Backoff
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// replica's circuit breaker open (default 3; negative disables the
+	// breaker). While open, scatter attempts skip the replica — its
+	// groups are served by the other replicas — until a jittered backoff
+	// window elapses and a half-open probe is admitted.
+	BreakerThreshold int
+	// BreakerBackoff shapes the breaker's open window, growing with
+	// consecutive trips (zero fields default to 200ms base, 15s max,
+	// factor 2).
+	BreakerBackoff Backoff
+	// InfoFailureCooldown bounds how often a failing compendium-info
+	// probe round is retried (default 15s; negative disables the
+	// cooldown, so every caller re-probes). Cleared by a membership bump
+	// or the first successful round.
+	InfoFailureCooldown time.Duration
 }
 
 // NormalizeAddr is the default identity resolver: an address-like
@@ -92,6 +113,13 @@ type Coordinator struct {
 	degraded atomic.Int64
 	outages  atomic.Int64
 
+	// draining marks replicas an operator (or the shard's own info
+	// status) has flagged as leaving: orderReplicas demotes them to
+	// last-resort so planned maintenance drains query load before the
+	// membership bump. Keyed by identity; no generation semantics — a
+	// mark survives until cleared (undrain, re-add, or remove).
+	draining sync.Map // shard identity -> struct{}
+
 	// catalog caches the ownership-group derivation per membership
 	// generation; catalogMu serializes the fetch that fills it.
 	catalog   atomic.Pointer[catalogState]
@@ -117,17 +145,20 @@ type Coordinator struct {
 	infoErrGen   uint64
 }
 
-// shardCounters is one backend's cumulative scatter accounting.
+// shardCounters is one backend's cumulative scatter accounting, plus its
+// circuit breaker (per-replica state lives with per-replica counters).
 type shardCounters struct {
-	requests  atomic.Int64
-	errors    atomic.Int64
-	retries   atomic.Int64
-	hedges    atomic.Int64
-	failovers atomic.Int64 // attempts landed here after another replica failed or fell short
-	hedgeWins atomic.Int64 // hedged attempts whose answer was the one used
-	inflight  atomic.Int64
-	latencyUS atomic.Int64
-	maxUS     atomic.Int64
+	requests     atomic.Int64
+	errors       atomic.Int64
+	retries      atomic.Int64
+	hedges       atomic.Int64
+	failovers    atomic.Int64 // attempts landed here after another replica failed or fell short
+	hedgeWins    atomic.Int64 // hedged attempts whose answer was the one used
+	breakerSkips atomic.Int64 // attempts skipped because the breaker was open
+	inflight     atomic.Int64
+	latencyUS    atomic.Int64
+	maxUS        atomic.Int64
+	breaker      breaker
 }
 
 func (s *shardCounters) observe(d time.Duration, failed bool) {
@@ -163,6 +194,14 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 10 * time.Second
+	}
+	cfg.RetryBackoff = cfg.RetryBackoff.withDefaults(defaultRetryBackoff)
+	cfg.BreakerBackoff = cfg.BreakerBackoff.withDefaults(defaultBreakerBackoff)
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.InfoFailureCooldown == 0 {
+		cfg.InfoFailureCooldown = 15 * time.Second
 	}
 	client := cfg.Client
 	if client == nil {
@@ -219,6 +258,68 @@ func (c *Coordinator) counterFor(shard string) *shardCounters {
 	}
 	v, _ := c.counters.LoadOrStore(shard, &shardCounters{})
 	return v.(*shardCounters)
+}
+
+// SetDraining marks (or clears) a replica as draining: orderReplicas
+// demotes marked replicas to last-resort, so a shard about to leave stops
+// receiving primary traffic while it can still serve as a failover target.
+// Driven by the daemon's fleet admin endpoint and by shard info statuses.
+func (c *Coordinator) SetDraining(shard string, draining bool) {
+	shard = normalizeIdentity(shard)
+	if draining {
+		c.draining.Store(shard, struct{}{})
+	} else {
+		c.draining.Delete(shard)
+	}
+}
+
+// isDraining reports whether a replica carries the draining mark.
+func (c *Coordinator) isDraining(shard string) bool {
+	_, ok := c.draining.Load(shard)
+	return ok
+}
+
+// DrainingShards lists the live members currently marked draining.
+func (c *Coordinator) DrainingShards() []string {
+	shards, _ := c.membership.Snapshot()
+	var out []string
+	for _, s := range shards {
+		if c.isDraining(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// breakerAllow consults a replica's breaker (a no-op pass when disabled).
+// lastResort forces admission as a half-open probe: the caller has no
+// other replica to send the group to, and an untried group is worse than
+// probing a suspect shard.
+func (c *Coordinator) breakerAllow(shard string, lastResort bool) (ok, probe bool) {
+	if c.cfg.BreakerThreshold <= 0 {
+		return true, false
+	}
+	return c.counterFor(shard).breaker.allow(time.Now(), lastResort)
+}
+
+// breakerObserve feeds an attempt outcome to the replica's breaker.
+// Cancellation is neutral: a hedge loser or caller hangup says nothing
+// about the shard's health, so it neither trips nor closes anything (a
+// canceled probe only releases the probe slot).
+func (c *Coordinator) breakerObserve(shard string, err error, probe bool) {
+	if c.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	b := &c.counterFor(shard).breaker
+	if err != nil && errors.Is(err, context.Canceled) {
+		if probe {
+			b.clearProbe()
+		}
+		return
+	}
+	b.observe(err == nil, probe, time.Now(), c.cfg.BreakerThreshold, func(opens int) time.Duration {
+		return c.cfg.BreakerBackoff.Delay(opens, rand.Float64)
+	})
 }
 
 // Meta describes how a scatter went: the fleet it ran against, how many
@@ -450,29 +551,40 @@ type groupResult struct {
 // failover-worthy shortfall, e.g. datasets the serving shard did not hold).
 type attemptFn func(ctx context.Context, shard string) (payload any, missing int, err error)
 
-// orderReplicas orders a group's replica tuple for attempts: the primary
-// is picked by power-of-two-choices over the replicas' in-flight counts
-// (two rotating probes, least loaded wins), the rest follow in rank
-// order. With R=1 the tuple is returned as-is.
+// orderReplicas orders a group's replica tuple for attempts: draining
+// replicas are demoted to the back in rank order (last-resort only — a
+// draining shard still serves, but new primary traffic belongs on its
+// successors), then the primary is picked by power-of-two-choices over the
+// remaining replicas' in-flight counts (two rotating probes, least loaded
+// wins), the rest following in rank order. With fewer than two candidates
+// the tuple order stands.
 func (c *Coordinator) orderReplicas(owners []string) []string {
-	out := append([]string(nil), owners...)
-	if len(out) < 2 {
-		return out
+	out := make([]string, 0, len(owners))
+	var last []string
+	for _, s := range owners {
+		if c.isDraining(s) {
+			last = append(last, s)
+		} else {
+			out = append(out, s)
+		}
 	}
-	n := c.rr.Add(1)
-	l := uint64(len(out))
-	i := int(n % l)
-	j := int((n / l) % l)
-	if i == j {
-		j = (j + 1) % len(out)
+	if len(out) >= 2 {
+		n := c.rr.Add(1)
+		l := uint64(len(out))
+		i := int(n % l)
+		j := int((n / l) % l)
+		if i == j {
+			j = (j + 1) % len(out)
+		}
+		pick := i
+		if c.counterFor(out[j]).inflight.Load() < c.counterFor(out[pick]).inflight.Load() {
+			pick = j
+		}
+		picked := out[pick]
+		copy(out[1:pick+1], out[:pick])
+		out[0] = picked
 	}
-	pick := i
-	if c.counterFor(out[j]).inflight.Load() < c.counterFor(out[pick]).inflight.Load() {
-		pick = j
-	}
-	picked := out[pick]
-	out = append(out[:pick], out[pick+1:]...)
-	return append([]string{picked}, out...)
+	return append(out, last...)
 }
 
 type attemptOutcome struct {
@@ -511,7 +623,7 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 			cancel()
 		}
 	}()
-	launch := func(shard string, hedge bool) {
+	launch := func(shard string, hedge, probe bool) {
 		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
 		cancels = append(cancels, cancel)
 		go func() {
@@ -521,28 +633,44 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 			p, missing, err := do(actx, shard)
 			sc.inflight.Add(-1)
 			sc.observe(time.Since(t0), err != nil)
+			c.breakerObserve(shard, err, probe)
 			resCh <- attemptOutcome{shard: shard, hedge: hedge, payload: p, missing: missing, err: err}
 		}()
 	}
 
 	next := 0
 	launchNext := func(hedge, failover bool) bool {
-		if next >= len(replicas) || ctx.Err() != nil {
-			return false
+		for next < len(replicas) && ctx.Err() == nil {
+			s := replicas[next]
+			next++
+			ok, probe := c.breakerAllow(s, false)
+			if !ok {
+				c.counterFor(s).breakerSkips.Add(1)
+				continue
+			}
+			if failover {
+				c.counterFor(s).failovers.Add(1)
+			}
+			if hedge {
+				c.counterFor(s).hedges.Add(1)
+			}
+			launch(s, hedge, probe)
+			return true
 		}
-		s := replicas[next]
-		next++
-		if failover {
-			c.counterFor(s).failovers.Add(1)
-		}
-		if hedge {
-			c.counterFor(s).hedges.Add(1)
-		}
-		launch(s, hedge)
-		return true
+		return false
 	}
-	launchNext(false, false) // the p2c primary
-	outstanding := 1
+	outstanding := 0
+	if launchNext(false, false) { // the p2c primary
+		outstanding = 1
+	} else if len(replicas) > 0 && ctx.Err() == nil {
+		// Availability floor: every replica's breaker refused admission.
+		// Force a half-open probe of the primary rather than fail the
+		// group without a single attempt.
+		s := replicas[0]
+		_, probe := c.breakerAllow(s, true)
+		launch(s, false, probe)
+		outstanding = 1
+	}
 
 	var hedgeC <-chan time.Time
 	if c.cfg.HedgeAfter > 0 {
@@ -588,14 +716,19 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 				// primary, the legacy tail-latency hedge.
 				s := replicas[0]
 				c.counterFor(s).hedges.Add(1)
-				launch(s, true)
+				launch(s, true, false)
 				outstanding++
 			}
 		}
 	}
 
-	if best.payload == nil && c.cfg.Retry && ctx.Err() == nil && len(replicas) > 0 {
+	if best.payload == nil && c.cfg.Retry && ctx.Err() == nil && len(replicas) > 0 &&
+		sleepCtx(ctx, c.cfg.RetryBackoff.Delay(0, rand.Float64)) {
+		// Last-resort retry, after a jittered backoff (an immediate retry
+		// just re-dials a still-sick shard) and forced through the breaker
+		// as a probe — there is nowhere else to send this group.
 		s := replicas[0]
+		_, probe := c.breakerAllow(s, true)
 		sc := c.counterFor(s)
 		sc.retries.Add(1)
 		actx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
@@ -605,6 +738,7 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 		p, missing, err := do(actx, s)
 		sc.inflight.Add(-1)
 		sc.observe(time.Since(t0), err != nil)
+		c.breakerObserve(s, err, probe)
 		if err == nil {
 			best.payload, best.shard, best.missing = p, s, missing
 		} else if best.err == nil {
@@ -616,12 +750,23 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 	// membership change the data may still sit on shards outside the new
 	// tuple (boot-time placement), so ask the rest of the fleet — cheap,
 	// cached empty answers in the common case — and keep the best.
+	scavFails := 0
 	for _, s := range shards {
 		if best.missing == 0 || ctx.Err() != nil {
 			break
 		}
 		if inGroup[s] {
 			continue
+		}
+		ok, probe := c.breakerAllow(s, false)
+		if !ok {
+			// Scavenging is speculative; a shard known to be sick is not
+			// worth the attempt deadline.
+			c.counterFor(s).breakerSkips.Add(1)
+			continue
+		}
+		if scavFails > 0 && !sleepCtx(ctx, c.cfg.RetryBackoff.Delay(scavFails-1, rand.Float64)) {
+			break
 		}
 		sc := c.counterFor(s)
 		sc.failovers.Add(1)
@@ -631,8 +776,10 @@ func (c *Coordinator) fetchGroup(ctx context.Context, shards []string, g ownerGr
 		p, missing, err := do(actx, s)
 		sc.inflight.Add(-1)
 		sc.observe(time.Since(t0), err != nil)
+		c.breakerObserve(s, err, probe)
 		cancel()
 		if err != nil {
+			scavFails++
 			if best.err == nil {
 				best.err = fmt.Errorf("%s: %w", s, err)
 			}
@@ -681,12 +828,6 @@ type infoState struct {
 	info CompendiumInfo
 }
 
-// infoFailureCooldown bounds how often a failing info probe is retried:
-// during an outage, at most one caller per window pays the probe deadline
-// while everyone else (stats pollers, page renders) gets the cached error
-// immediately.
-const infoFailureCooldown = 15 * time.Second
-
 // Info returns the union compendium description, fetching each live
 // shard's InfoPath and caching a fully successful answer under the
 // membership generation — a join or leave invalidates it, so dataset
@@ -706,7 +847,8 @@ func (c *Coordinator) Info(ctx context.Context) (CompendiumInfo, error) {
 	if cached := c.info.Load(); cached != nil && cached.gen == gen {
 		return cached.info, nil // filled while we waited on the lock
 	}
-	if c.infoErr != nil && c.infoErrGen == gen && time.Since(c.infoFailedAt) < infoFailureCooldown {
+	if c.infoErr != nil && c.infoErrGen == gen && c.cfg.InfoFailureCooldown > 0 &&
+		time.Since(c.infoFailedAt) < c.cfg.InfoFailureCooldown {
 		return CompendiumInfo{}, c.infoErr
 	}
 	info, err := c.fetchInfo(ctx, shards)
@@ -715,6 +857,7 @@ func (c *Coordinator) Info(ctx context.Context) (CompendiumInfo, error) {
 		return CompendiumInfo{}, err
 	}
 	c.infoErr = nil
+	c.infoFailedAt = time.Time{}
 	c.info.Store(&infoState{gen: gen, info: info})
 	return info, nil
 }
@@ -766,6 +909,12 @@ func (c *Coordinator) fetchInfo(ctx context.Context, shards []string) (Compendiu
 		if info == nil {
 			return CompendiumInfo{}, fmt.Errorf("%s: %w", shards[si], errs[si])
 		}
+		if info.Status == StatusDraining {
+			// A shard advertising drain demotes itself in replica ordering
+			// even if no operator marked it here. Set-only: an "active"
+			// status never clears an operator's explicit mark.
+			c.SetDraining(shards[si], true)
+		}
 		sum += info.Datasets
 		if info.Datasets > 0 && len(info.DatasetIDs) == 0 {
 			allNamed = false
@@ -804,7 +953,8 @@ type StatsSnapshot struct {
 	Shards      []ShardSnapshot `json:"shards"`
 }
 
-// ShardSnapshot is one backend's cumulative counters.
+// ShardSnapshot is one backend's cumulative counters plus its breaker and
+// drain state.
 type ShardSnapshot struct {
 	Addr          string `json:"addr"`
 	Requests      int64  `json:"requests"`
@@ -816,6 +966,14 @@ type ShardSnapshot struct {
 	InFlight      int64  `json:"in_flight"`
 	MeanLatencyUS int64  `json:"mean_latency_us"`
 	MaxLatencyUS  int64  `json:"max_latency_us"`
+	// Draining marks a replica demoted to last-resort ordering.
+	Draining bool `json:"draining,omitempty"`
+	// Breaker is the replica's circuit state (closed / open / half-open;
+	// empty when the breaker is disabled), with cumulative trip and
+	// skipped-attempt counts.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerTrips int64  `json:"breaker_trips,omitempty"`
+	BreakerSkips int64  `json:"breaker_skips,omitempty"`
 }
 
 // Stats snapshots the scatter counters for the live membership.
@@ -844,6 +1002,11 @@ func (c *Coordinator) Stats() StatsSnapshot {
 			HedgeWins:    sc.hedgeWins.Load(),
 			InFlight:     sc.inflight.Load(),
 			MaxLatencyUS: sc.maxUS.Load(),
+			Draining:     c.isDraining(addr),
+			BreakerSkips: sc.breakerSkips.Load(),
+		}
+		if c.cfg.BreakerThreshold > 0 {
+			s.Breaker, s.BreakerTrips = sc.breaker.snapshot()
 		}
 		if s.Requests > 0 {
 			s.MeanLatencyUS = sc.latencyUS.Load() / s.Requests

@@ -30,6 +30,25 @@ const EnrichPath = "/api/shard/v1/enrich"
 // partial counts against, fetched once per membership generation.
 const EnrichCatalogPath = "/api/shard/v1/enrich/catalog"
 
+// DrainPath is the token-gated shard-role admin endpoint that flips the
+// shard into the draining state: it finishes in-flight partials, pushes
+// its warm cache entries to the successor replicas (HandoffPath), acks,
+// and signals the daemon to exit.
+const DrainPath = "/api/shard/v1/admin/drain"
+
+// HandoffPath is the token-gated shard-role endpoint receiving a draining
+// peer's warm partial-result entries (HandoffRequest, gob). Pushes are
+// generation-guarded: a receiver whose membership view differs refuses
+// the whole batch as stale.
+const HandoffPath = "/api/shard/v1/handoff"
+
+// ShardFleetPath is the token-gated shard-role admin endpoint that
+// replaces the shard's membership view wholesale (JSON {"shards": [...],
+// "replication": N}): the shard re-derives its owned top-R slice from the
+// new list, loads any newly owned datasets, and swaps engines atomically.
+// GET returns the current view.
+const ShardFleetPath = "/api/shard/v1/admin/fleet"
+
 // ContentType labels gob-encoded shard protocol bodies.
 const ContentType = "application/x-gob"
 
@@ -107,4 +126,55 @@ type Info struct {
 	// CapabilityEnrich). A shard without an ontology omits "enrich"; the
 	// coordinator discloses the gap instead of discovering it by 404.
 	Capabilities []string
+	// Status is the shard's lifecycle state (StatusActive or
+	// StatusDraining; empty from pre-drain shards means active). A
+	// coordinator that sees StatusDraining demotes the shard to
+	// last-resort replica ordering.
+	Status string
+}
+
+// Shard lifecycle states advertised in Info.Status.
+const (
+	StatusActive   = "active"
+	StatusDraining = "draining"
+)
+
+// HandoffRequest is a draining shard's warm-cache push to one successor:
+// the post-drain topology the entries are keyed under, its generation
+// fingerprint (the receiver refuses the batch if its own membership view
+// disagrees — a stale push must never seed a cache), and the entries.
+type HandoffRequest struct {
+	// From is the draining shard's identity, for logs and stats.
+	From string
+	// Shards is the post-drain fleet list; Generation must equal
+	// Generation(Shards) and the receiver's live view.
+	Shards      []string
+	Replication int
+	Generation  uint64
+	Entries     []HandoffEntry
+}
+
+// HandoffEntry is one warm partial: a hot query (or enrichment selection)
+// scoped to one ownership group of the post-drain topology. Body is the
+// gob partial exactly as the receiver would serve it; a nil Body (or one
+// that fails the receiver's validation) makes the receiver recompute the
+// partial locally instead — replay warming, correct by construction.
+type HandoffEntry struct {
+	// Kind is CapabilitySearch or CapabilityEnrich.
+	Kind string
+	// Query is the canonical gene list (search) or selection (enrich).
+	Query []string
+	// Owners is the target group's ordered replica tuple under Shards.
+	Owners []string
+	// Body is the gob-encoded partial (*spell.Partial or
+	// *golem.PartialCounts); nil requests a local recompute.
+	Body []byte
+}
+
+// HandoffResponse reports what the receiver did with a push.
+type HandoffResponse struct {
+	Accepted     int // entries inserted into the cache verbatim
+	Recomputed   int // entries warmed by local recompute instead
+	RefusedStale int // entries refused by the generation guard
+	Skipped      int // entries this shard cannot serve (no enricher, bad entry)
 }
