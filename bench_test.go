@@ -1,7 +1,7 @@
 package forestview
 
 // One benchmark family per paper artifact (figure or quantified claim).
-// DESIGN.md §8 maps each to its experiment ID; EXPERIMENTS.md records
+// DESIGN.md §9 maps each to its experiment ID; EXPERIMENTS.md records
 // the measured series next to what the paper reports.
 
 import (
@@ -975,6 +975,169 @@ func BenchmarkC4_DatasetScaleRender(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// F10 — the viewport pyramid (DESIGN.md §8): mipmapped tile levels,
+// speculative prefetch, and float32 render slabs. The pane is genome-scale
+// (24k rows), built with FromDataset so the fixture skips the O(n²)
+// clustering that F4 already measures.
+
+var (
+	pyrBenchOnce sync.Once
+	pyrBenchCD   *core.ClusteredDataset
+)
+
+func getPyramidBenchPane(b testing.TB) *core.ClusteredDataset {
+	pyrBenchOnce.Do(func() {
+		u := synth.NewUniverse(24000, 30, 53)
+		ds := u.Generate(synth.DatasetSpec{Name: "pyrbench", NumExperiments: 60, Seed: 54})
+		cd, err := core.FromDataset(ds)
+		if err != nil {
+			panic(err)
+		}
+		pyrBenchCD = cd
+	})
+	return pyrBenchCD
+}
+
+// benchPyramidTile measures the daemon's full tile pipeline at one explicit
+// pyramid level: each iteration requests a distinct 20480-row window (a
+// zoomed-out pane overview) as a 192x32 strip. The cache budget is a token
+// 16 bytes so every request renders — level 0 scans all 20480 raw rows,
+// which is what HEAD paid for every such tile, while level 3 scans the
+// 2560-row slab. The acceptance bar is L3 >= 4x faster than L0. The pyramid
+// is warmed before the timer so the loop measures serving, not construction.
+func benchPyramidTile(b *testing.B, level int) {
+	cd := getPyramidBenchPane(b)
+	u := synth.NewUniverse(200, 5, 55)
+	ds := u.Generate(synth.DatasetSpec{Name: "pyrengine", NumExperiments: 8, Seed: 56})
+	engine, err := spell.NewEngine([]*microarray.Dataset{ds})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine, Datasets: []*core.ClusteredDataset{cd},
+		CacheBytes: 16, RenderWorkers: 4, RenderQueue: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	cd.Pyramid(core.PyramidOptions{})
+	nRows := len(cd.DisplayOrder)
+	const span = 20480
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := (i * 131) % (nRows - span)
+		url := fmt.Sprintf("/api/heatmap?dataset=0&w=192&h=32&rows=%d:%d&level=%d", from, from+span, level)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("tile = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkF10_PyramidTileL0(b *testing.B) { benchPyramidTile(b, 0) }
+func BenchmarkF10_PyramidTileL3(b *testing.B) { benchPyramidTile(b, 3) }
+
+// BenchmarkF10_RenderSlab isolates the raster half of the tile path over the
+// full genome-scale level-0 slab (24000 rows x 60 cols into a 128px tile)
+// in both storage modes, apart from PNG encoding and HTTP. Expect parity,
+// not a float32 speedup: the global regime's per-pixel column reads touch
+// one cache line per row at either element size, so float32's win is the
+// halved slab footprint (Pyramid.MemBytes), which this pair would expose
+// regressing into a slowdown.
+func benchRenderSlab(b *testing.B, f32 bool) {
+	cd := getPyramidBenchPane(b)
+	slab := cd.Pyramid(core.PyramidOptions{Float32: f32}).Level(0)
+	c := render.NewCanvas(128, 128, color.RGBA{A: 255})
+	r := render.Rect{X: 0, Y: 0, W: 128, H: 128}
+	opt := render.HeatmapOptions{Limit: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f32 {
+			render.RenderHeatmapF32(c, r, slab.F32, opt)
+		} else {
+			render.RenderHeatmap(c, r, slab.F64, opt)
+		}
+	}
+}
+
+func BenchmarkF10_RenderSlabF64(b *testing.B) { benchRenderSlab(b, false) }
+func BenchmarkF10_RenderSlabF32(b *testing.B) { benchRenderSlab(b, true) }
+
+// BenchmarkF10_PrefetchPanWalk pushes the correlated pan/zoom workload
+// (whole-window steps with the prefetcher's own zoom geometry) through a
+// live server with the speculative prefetcher armed, the benchmark analogue
+// of forestbench -profile=panwalk. One iteration is one ~250ms open-loop
+// run; the interesting outputs are the reported warm-pct and p99-ms
+// metrics, and any 5xx fails the benchmark outright.
+func BenchmarkF10_PrefetchPanWalk(b *testing.B) {
+	u := synth.NewUniverse(300, 10, 81)
+	dss, _ := u.GenerateCompendium(synth.CompendiumSpec{
+		NumDatasets: 4, MinExperiments: 8, MaxExperiments: 12,
+		ActiveFraction: 0.5, Noise: 0.3, Seed: 82,
+	})
+	engine, err := spell.NewEngine(dss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine, RawDatasets: dss, CacheBytes: 16 << 20,
+		RenderWorkers: 4, RenderQueue: 64, PrefetchWorkers: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	if err := srv.WarmTrees(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	b.Cleanup(hs.Close)
+	paneRows := make([]int, len(dss))
+	for i, ds := range dss {
+		paneRows[i] = ds.NumGenes()
+	}
+	plan, err := workload.NewPanwalkPlan(workload.Spec{
+		Rate: 300, Duration: 250 * time.Millisecond, Seed: 83,
+		TileRows: 64, TileSize: 32, PaneRows: paneRows,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var warm, p99 float64
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		n, err := workload.Run(context.Background(), plan, workload.RunOptions{BaseURL: hs.URL, Out: &buf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(plan.Ops) {
+			b.Fatalf("wrote %d envelopes for %d ops", n, len(plan.Ops))
+		}
+		envs, err := workload.ReadEnvelopes(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := workload.Analyze(envs, workload.AnalyzeOptions{})
+		if rep.Errors5xx > 0 || rep.Transport > 0 {
+			b.Fatalf("load errors: %d 5xx, %d transport", rep.Errors5xx, rep.Transport)
+		}
+		hm := rep.Endpoints["heatmap"]
+		if hm == nil || hm.Requests == 0 {
+			b.Fatal("panwalk run recorded no heatmap requests")
+		}
+		warm += hm.WarmRate
+		p99 += hm.Latency.P99
+	}
+	b.ReportMetric(100*warm/float64(b.N), "warm-pct")
+	b.ReportMetric(p99/float64(b.N), "p99-ms")
 }
 
 func BenchmarkC4_PCLParse(b *testing.B) {

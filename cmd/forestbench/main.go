@@ -64,7 +64,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("forestbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		profile  = fs.String("profile", "", `"smoke": seconds-scale run against in-process topologies (the only profile)`)
+		profile  = fs.String("profile", "", `"smoke": seconds-scale run against in-process topologies; "panwalk": correlated pan/zoom walk with the speculative prefetcher off vs on`)
 		chaos    = fs.Bool("chaos", false, "run the chaos gate: the replicated fleet under deterministic fault injection must stay 5xx-free and non-degraded")
 		topo     = fs.String("topology", "both", `smoke topology: "single", "shard2" (coordinator + 2 shards, R=1), "shard4" (coordinator + 4 shards, R=2), "both" (single+shard2) or "all"`)
 		rate     = fs.Float64("rate", 40, "smoke base rate, req/s (the sweep steps are 1x and 2x)")
@@ -72,6 +72,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "workload seed (and the chaos injection schedule's seed)")
 		out      = fs.String("out", "forestbench-smoke", "smoke artifact prefix (<out>-<topology>.jsonl, <out>-<topology>-report.txt)")
 		maxP99MS = fs.Float64("max-p99", 2000, "fail if overall p99 latency exceeds this many ms")
+		p99Slack = fs.Float64("p99-slack", panwalkP99SlackMS, "panwalk: scheduling-noise allowance when comparing prefetch-on vs prefetch-off p99, ms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,8 +84,15 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *profile == "panwalk" {
+		if err := panwalkOne(*rate, *stepDur, *seed, *out, *maxP99MS, *p99Slack, stdout); err != nil {
+			fmt.Fprintf(stderr, "forestbench: panwalk: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *profile != "smoke" {
-		fmt.Fprintln(stderr, `forestbench: expected "run", "analyze", -chaos or -profile=smoke`)
+		fmt.Fprintln(stderr, `forestbench: expected "run", "analyze", -chaos, -profile=smoke or -profile=panwalk`)
 		fs.Usage()
 		return 2
 	}

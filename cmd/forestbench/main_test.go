@@ -272,7 +272,7 @@ func TestReplicatedFleetKillMidRun(t *testing.T) {
 // TestRunAndAnalyzeSubcommands: the two CLI subcommands against a live
 // topology — run writes JSONL, analyze folds and gates it.
 func TestRunAndAnalyzeSubcommands(t *testing.T) {
-	tp, err := newSingleTopology()
+	tp, err := newSingleTopology(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,5 +331,57 @@ func TestRunAndAnalyzeSubcommands(t *testing.T) {
 	}
 	if !strings.HasSuffix(lines[1], ",true") && !strings.HasSuffix(lines[1], ",false") {
 		t.Fatalf("analyze CSV row missing sustained column: %q", lines[1])
+	}
+}
+
+// TestPanwalkProfile runs the full prefetch-off/prefetch-on panwalk
+// comparison through the CLI: both runs must gate clean, the ON run must
+// serve prefetched tiles, and both JSONL artifacts must exist.
+func TestPanwalkProfile(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "pw")
+	var stdout, stderr bytes.Buffer
+	// Rate 25 leaves the render pool idle often enough that the
+	// prefetcher stays ahead of the walk even with the race detector
+	// slowing every render (speculation yields whenever foreground work
+	// is queued, so an overdriven walk starves it by design). The p99
+	// slack is build-tagged: strict by default, widened under race where
+	// instrumented renders serialize speculation with the foreground.
+	code := runMain([]string{
+		"-profile=panwalk",
+		"-rate", "25", "-step-duration", "2s", "-out", prefix,
+		"-p99-slack", panwalkTestSlackMS,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("panwalk exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	for _, label := range []string{"prefetch-off", "prefetch-on"} {
+		f, err := os.Open(prefix + "-" + label + ".jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs, err := workload.ReadEnvelopes(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefetched := 0
+		for _, e := range envs {
+			if e.Endpoint != "heatmap" {
+				t.Fatalf("%s: non-heatmap envelope %+v", label, e)
+			}
+			if e.Cache == "prefetched" {
+				prefetched++
+			}
+		}
+		if label == "prefetch-off" && prefetched != 0 {
+			t.Fatalf("prefetch-off run disclosed %d prefetched tiles", prefetched)
+		}
+		if label == "prefetch-on" && prefetched == 0 {
+			t.Fatal("prefetch-on run disclosed no prefetched tiles")
+		}
+	}
+	if !strings.Contains(stdout.String(), "panwalk gate:") {
+		t.Fatalf("missing gate summary in stdout:\n%s", stdout.String())
 	}
 }

@@ -1,0 +1,12 @@
+//go:build race
+
+package main
+
+// panwalkTestSlackMS widens the panwalk p99 gate for race-instrumented
+// builds only: instrumentation multiplies render cost roughly tenfold, so
+// on CI's small runners a speculative render that has already started
+// occupies a core a foreground arrival then queues behind — a serialization
+// artifact of the instrumented binary, not of the server. The strict 25ms
+// comparison still runs in the non-race test build and in CI's panwalk
+// smoke step against the uninstrumented binary.
+const panwalkTestSlackMS = "250"

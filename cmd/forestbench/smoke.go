@@ -52,6 +52,9 @@ type topology struct {
 	// mix is a workload mix every endpoint of which the target actually
 	// serves (a coordinator scatters search and enrich but has no heatmap).
 	mix workload.Mix
+	// srv is the daemon in single mode (nil for fleets), exposed so the
+	// panwalk profile can pre-warm its clustered trees.
+	srv *server.Server
 	// shardServers are the shard backends, exposed so fleet tests can
 	// kill one mid-run. Empty in single mode. Index-aligned with
 	// identities and shardSrv; restartShard swaps entries in place.
@@ -122,7 +125,9 @@ func smokeEnricher(u *synth.Universe) (*golem.Enricher, error) {
 // newSingleTopology builds a single-role daemon: SPELL + GOLEM + heatmap
 // panes in one process, every endpoint live, generous render pool so the
 // smoke gate measures the server rather than deliberate load shedding.
-func newSingleTopology() (*topology, error) {
+// prefetchWorkers arms the speculative tile prefetcher (0 = off), which
+// the panwalk profile compares across.
+func newSingleTopology(prefetchWorkers int) (*topology, error) {
 	u, dss := smokeCompendium(smokeDatasets)
 	engine, err := spell.NewEngine(dss)
 	if err != nil {
@@ -133,14 +138,15 @@ func newSingleTopology() (*topology, error) {
 		return nil, err
 	}
 	srv, err := server.New(server.Config{
-		Engine:        engine,
-		Enricher:      enricher,
-		RawDatasets:   dss,
-		TreeMetric:    cluster.PearsonDist,
-		TreeLinkage:   cluster.AverageLinkage,
-		CacheBytes:    32 << 20,
-		RenderWorkers: runtime.GOMAXPROCS(0),
-		RenderQueue:   256,
+		Engine:          engine,
+		Enricher:        enricher,
+		RawDatasets:     dss,
+		TreeMetric:      cluster.PearsonDist,
+		TreeLinkage:     cluster.AverageLinkage,
+		CacheBytes:      32 << 20,
+		RenderWorkers:   runtime.GOMAXPROCS(0),
+		RenderQueue:     256,
+		PrefetchWorkers: prefetchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -149,6 +155,7 @@ func newSingleTopology() (*topology, error) {
 	tp := &topology{
 		name:    "single",
 		url:     hs.URL,
+		srv:     srv,
 		genes:   u.GeneIDs(),
 		mix:     workload.Mix{Search: 5, Heatmap: 3, Enrich: 2, Stats: 1},
 		closers: []func(){srv.Close, hs.Close},
@@ -310,7 +317,7 @@ func newShard4Topology(coordCacheBytes int64) (*topology, error) {
 func newTopology(name string, coordCacheBytes int64) (*topology, error) {
 	switch name {
 	case "single":
-		return newSingleTopology()
+		return newSingleTopology(0)
 	case "shard2":
 		return newShard2Topology(coordCacheBytes)
 	case "shard4":

@@ -84,6 +84,10 @@ func main() {
 		maxGenes   = flag.Int("max-genes", 200, "cap on requested search result length")
 		maxTileDim = flag.Int("max-tile", 2048, "cap on requested tile width/height")
 		searchPar  = flag.Int("search-parallelism", 0, "workers per SPELL scan (0 = GOMAXPROCS; bound it on colocated shard daemons)")
+		clusterArr = flag.Bool("cluster-arrays", false, "also cluster experiment columns, enabling the atree= column-dendrogram strip")
+		f32Slabs   = flag.Bool("float32-slabs", false, "store pyramid render slabs as float32 (half the memory; colors may differ by ±1/255)")
+		prefetchW  = flag.Int("prefetch-workers", 2, "speculative tile-prefetch workers (0 disables prefetching)")
+		prefetchQ  = flag.Int("prefetch-queue", 0, "prefetch queue depth (0 = 16x workers)")
 
 		role         = flag.String("role", "single", `daemon role: "single" (whole compendium in-process), "shard" (serve partials for this daemon's slice), "coordinator" (scatter searches over -shards and merge)`)
 		shardsFlag   = flag.String("shards", "", "comma-separated shard identities — the same list on every fleet member (shards and coordinator hash these strings for dataset ownership)")
@@ -109,6 +113,8 @@ func main() {
 		datasets: *nDatasets, seed: *seed,
 		cacheMB: *cacheMB, workers: *workers, queue: *queue,
 		maxGenes: *maxGenes, maxTileDim: *maxTileDim, searchPar: *searchPar,
+		clusterArrays: *clusterArr, float32Slabs: *f32Slabs,
+		prefetchWorkers: *prefetchW, prefetchQueue: *prefetchQ,
 		role: *role, shards: splitList(*shardsFlag), self: *selfFlag,
 		replication: *replication, fleetToken: *fleetToken,
 		shardDeadline: *shardTimeout, shardRetry: *shardRetry, hedgeAfter: *hedgeAfter,
@@ -191,6 +197,10 @@ type buildConfig struct {
 	workers, queue           int
 	maxGenes, maxTileDim     int
 	searchPar                int
+	clusterArrays            bool
+	float32Slabs             bool
+	prefetchWorkers          int
+	prefetchQueue            int
 
 	role          string // "", "single", "shard", "coordinator"
 	shards        []string
@@ -476,6 +486,10 @@ func buildServer(cfg buildConfig) (*server.Server, error) {
 		MaxGenes:          cfg.maxGenes,
 		MaxTileDim:        cfg.maxTileDim,
 		SearchParallelism: cfg.searchPar,
+		ClusterArrays:     cfg.clusterArrays,
+		Float32Slabs:      cfg.float32Slabs,
+		PrefetchWorkers:   cfg.prefetchWorkers,
+		PrefetchQueue:     cfg.prefetchQueue,
 	}
 	if role == "shard" {
 		// Fleet plumbing: the shard knows its own identity and the full

@@ -1,6 +1,6 @@
 package forestview
 
-// Integration tests, one per experiment row of DESIGN.md §8. Each
+// Integration tests, one per experiment row of DESIGN.md §9. Each
 // verifies the qualitative "shape" the paper reports — who wins, what
 // stays coherent, what falls apart — on the planted synthetic data.
 

@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"forestview/internal/cluster"
 	"forestview/internal/microarray"
@@ -29,8 +30,20 @@ type ClusteredDataset struct {
 	// DisplayOrder maps display position -> data row. With a gene tree it
 	// is the tree's leaf order; without one it is the identity.
 	DisplayOrder []int
+	// ArrayOrder maps display column -> data column. With an array tree it
+	// is that tree's leaf order; nil otherwise (columns display in data
+	// order).
+	ArrayOrder []int
 	// displayPos is the inverse: data row -> display position.
 	displayPos []int
+	// displayRows is the pyramid's level 0: row headers into the dataset,
+	// arranged in display order once per order change instead of once per
+	// tile request.
+	displayRows [][]float64
+
+	// pyrMu guards the lazily built pyramid; order changes invalidate it.
+	pyrMu sync.Mutex
+	pyr   *Pyramid
 }
 
 // ClusterOptions configure Cluster.
@@ -102,6 +115,7 @@ func (cd *ClusteredDataset) SetDisplayOrder(order []int) {
 	for pos, row := range order {
 		cd.displayPos[row] = pos
 	}
+	cd.refreshDisplayRows()
 }
 
 // FromDataset wraps an already-ordered dataset without clustering (e.g.
@@ -130,6 +144,40 @@ func (cd *ClusteredDataset) refreshOrder() {
 	for pos, row := range cd.DisplayOrder {
 		cd.displayPos[row] = pos
 	}
+	if cd.ArrayTree != nil && cd.ArrayTree.NLeaves == cd.Data.NumExperiments() {
+		cd.ArrayOrder = cd.ArrayTree.LeafOrder()
+	}
+	cd.refreshDisplayRows()
+}
+
+// refreshDisplayRows rebuilds the level-0 row headers and drops any pyramid
+// built over the previous order.
+func (cd *ClusteredDataset) refreshDisplayRows() {
+	rows := make([][]float64, len(cd.DisplayOrder))
+	for pos, row := range cd.DisplayOrder {
+		r := cd.Data.Row(row)
+		rows[pos] = r[:len(r):len(r)]
+	}
+	cd.displayRows = rows
+	cd.pyrMu.Lock()
+	cd.pyr = nil
+	cd.pyrMu.Unlock()
+}
+
+// Pyramid returns the pane's tile pyramid, building it on first use (and
+// after any display-order change). Safe for concurrent callers; the result
+// is immutable.
+func (cd *ClusteredDataset) Pyramid(opt PyramidOptions) *Pyramid {
+	cd.pyrMu.Lock()
+	defer cd.pyrMu.Unlock()
+	if cd.pyr == nil || cd.pyr.float32Mode != opt.Float32 {
+		rows := cd.displayRows
+		if rows == nil {
+			rows = cd.copyRowHeaders(0, len(cd.DisplayOrder))
+		}
+		cd.pyr = buildPyramid(rows, cd.Data.NumExperiments(), opt)
+	}
+	return cd.pyr
 }
 
 // DisplayPos returns the display position of a data row, or -1.
@@ -148,8 +196,10 @@ func (cd *ClusteredDataset) RowsInDisplayOrder() [][]float64 {
 
 // RowsInDisplayRange returns the expression rows for display positions
 // [from, to), clipped to the dataset. The returned slices alias the
-// dataset. Heatmap tile handlers use it to materialize only the viewport's
-// rows instead of the whole matrix.
+// dataset and the result is a subslice of the pane's shared level-0 slab —
+// no per-request copying, and (being full-capacity on both axes) append
+// cannot bleed into a neighbour's view. Callers must treat it as
+// read-only.
 func (cd *ClusteredDataset) RowsInDisplayRange(from, to int) [][]float64 {
 	if from < 0 {
 		from = 0
@@ -160,6 +210,15 @@ func (cd *ClusteredDataset) RowsInDisplayRange(from, to int) [][]float64 {
 	if from >= to {
 		return nil
 	}
+	if cd.displayRows != nil {
+		return cd.displayRows[from:to:to]
+	}
+	// Hand-constructed ClusteredDataset (no refreshOrder call yet): fall
+	// back to building the headers for this request.
+	return cd.copyRowHeaders(from, to)
+}
+
+func (cd *ClusteredDataset) copyRowHeaders(from, to int) [][]float64 {
 	out := make([][]float64, 0, to-from)
 	for _, row := range cd.DisplayOrder[from:to] {
 		out = append(out, cd.Data.Row(row))

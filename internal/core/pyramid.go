@@ -1,0 +1,243 @@
+package core
+
+import "math"
+
+// The tile pyramid: mipmap-style row aggregation for viewport serving.
+//
+// Level 0 is the pane's display-order rows themselves. Level k (k >= 1)
+// collapses each run of 2^k consecutive display rows into one aggregate row
+// whose value per column is the NaN-aware mean of the observed values in
+// the run — exactly what RenderHeatmap's global regime would compute on the
+// fly, but paid once per pane instead of once per tile. A zoomed-out tile
+// over [from, to) at level k touches (to-from)/2^k slab rows instead of
+// to-from raw rows.
+
+const (
+	// DefaultPyramidMinRows stops level generation once a level would drop
+	// below this many rows: coarser levels than a single tile's pixel
+	// height buy nothing.
+	DefaultPyramidMinRows = 64
+	// maxPyramidLevels bounds the level count (2^15 rows per aggregate row
+	// is beyond any real compendium).
+	maxPyramidLevels = 16
+)
+
+// NumPyramidLevels returns how many pyramid levels (including level 0) a
+// pane with nRows display rows carries. Pure: usable for request
+// validation and auto-level selection without forcing a pyramid build.
+func NumPyramidLevels(nRows int) int {
+	levels := 1
+	for r := nRows / 2; r >= DefaultPyramidMinRows && levels < maxPyramidLevels; r /= 2 {
+		levels++
+	}
+	return levels
+}
+
+// PyramidOptions configure Pyramid construction.
+type PyramidOptions struct {
+	// Float32 stores every level (including a level-0 copy) as float32
+	// slabs, halving memory bandwidth on the tile hot loop at the cost of
+	// ~1e-7 relative rounding (see DESIGN.md §8).
+	Float32 bool
+}
+
+// Slab is one pyramid level's row-major matrix view. Exactly one of F64 /
+// F32 is non-nil, matching the PyramidOptions the pyramid was built with.
+// Row slices are three-index headers into shared storage: callers may not
+// append to or mutate them.
+type Slab struct {
+	// K is the aggregation level: each slab row summarizes 2^K display rows.
+	K     int
+	NRows int
+	NCols int
+	F64   [][]float64
+	F32   [][]float32
+}
+
+// Pyramid holds every aggregation level for one display order. It is
+// immutable once built; ClusteredDataset.Pyramid caches one per pane and
+// rebuilds on display-order changes.
+type Pyramid struct {
+	float32Mode bool
+	nRows       int
+	nCols       int
+	levels      []Slab
+}
+
+// NumLevels returns the number of levels, counting level 0.
+func (p *Pyramid) NumLevels() int { return len(p.levels) }
+
+// Level returns the slab for level k, clamped to the available range.
+func (p *Pyramid) Level(k int) Slab {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(p.levels) {
+		k = len(p.levels) - 1
+	}
+	return p.levels[k]
+}
+
+// MemBytes reports the storage the aggregated levels add beyond the raw
+// dataset (level 0 in float64 mode aliases the dataset and costs only row
+// headers).
+func (p *Pyramid) MemBytes() int64 {
+	var b int64
+	for _, s := range p.levels {
+		b += int64(len(s.F64)) * 24 // row headers
+		b += int64(len(s.F32)) * 24
+		if s.K > 0 || s.F32 != nil {
+			b += int64(s.NRows) * int64(s.NCols) * elemSize(s)
+		}
+	}
+	return b
+}
+
+func elemSize(s Slab) int64 {
+	if s.F32 != nil {
+		return 4
+	}
+	return 8
+}
+
+// buildPyramid constructs every level for the current display order.
+// displayRows must already be in display order (level 0). Aggregation
+// carries exact float64 sums and observation counts level-to-level, so
+// level k equals the direct NaN-aware mean over its 2^k-row block up to
+// float64 summation order (pairwise here vs sequential in the oracle).
+func buildPyramid(displayRows [][]float64, nCols int, opt PyramidOptions) *Pyramid {
+	n := len(displayRows)
+	nl := NumPyramidLevels(n)
+	p := &Pyramid{float32Mode: opt.Float32, nRows: n, nCols: nCols, levels: make([]Slab, 0, nl)}
+
+	if opt.Float32 {
+		p.levels = append(p.levels, makeSlab32(displayRows, n, nCols))
+	} else {
+		p.levels = append(p.levels, Slab{K: 0, NRows: n, NCols: nCols, F64: displayRows})
+	}
+
+	// Running per-column (sum, count) for the level under construction.
+	curRows := n
+	var sum []float64
+	var cnt []int32
+	for k := 1; k < nl; k++ {
+		nextRows := (curRows + 1) / 2
+		nextSum := make([]float64, nextRows*nCols)
+		nextCnt := make([]int32, nextRows*nCols)
+		if k == 1 {
+			// Seed from the raw display rows: pairs of level-0 rows.
+			for i := 0; i < nextRows; i++ {
+				ds, dc := nextSum[i*nCols:(i+1)*nCols], nextCnt[i*nCols:(i+1)*nCols]
+				for j := 2 * i; j < 2*i+2 && j < n; j++ {
+					row := displayRows[j]
+					for c := 0; c < nCols && c < len(row); c++ {
+						if v := row[c]; !math.IsNaN(v) {
+							ds[c] += v
+							dc[c]++
+						}
+					}
+				}
+			}
+		} else {
+			for i := 0; i < nextRows; i++ {
+				ds, dc := nextSum[i*nCols:(i+1)*nCols], nextCnt[i*nCols:(i+1)*nCols]
+				for j := 2 * i; j < 2*i+2 && j < curRows; j++ {
+					ss, sc := sum[j*nCols:(j+1)*nCols], cnt[j*nCols:(j+1)*nCols]
+					for c := 0; c < nCols; c++ {
+						ds[c] += ss[c]
+						dc[c] += sc[c]
+					}
+				}
+			}
+		}
+		sum, cnt, curRows = nextSum, nextCnt, nextRows
+		p.levels = append(p.levels, emitLevel(k, nextRows, nCols, nextSum, nextCnt, opt.Float32))
+	}
+	return p
+}
+
+// emitLevel materializes one contiguous slab from accumulated sums/counts.
+func emitLevel(k, nRows, nCols int, sum []float64, cnt []int32, f32 bool) Slab {
+	s := Slab{K: k, NRows: nRows, NCols: nCols}
+	if f32 {
+		vals := make([]float32, nRows*nCols)
+		for i := range vals {
+			if cnt[i] > 0 {
+				vals[i] = float32(sum[i] / float64(cnt[i]))
+			} else {
+				vals[i] = float32(math.NaN())
+			}
+		}
+		s.F32 = make([][]float32, nRows)
+		for i := range s.F32 {
+			s.F32[i] = vals[i*nCols : (i+1)*nCols : (i+1)*nCols]
+		}
+		return s
+	}
+	vals := make([]float64, nRows*nCols)
+	for i := range vals {
+		if cnt[i] > 0 {
+			vals[i] = sum[i] / float64(cnt[i])
+		} else {
+			vals[i] = math.NaN()
+		}
+	}
+	s.F64 = make([][]float64, nRows)
+	for i := range s.F64 {
+		s.F64[i] = vals[i*nCols : (i+1)*nCols : (i+1)*nCols]
+	}
+	return s
+}
+
+// makeSlab32 copies level 0 into a contiguous float32 slab.
+func makeSlab32(displayRows [][]float64, nRows, nCols int) Slab {
+	vals := make([]float32, nRows*nCols)
+	for i, row := range displayRows {
+		dst := vals[i*nCols : (i+1)*nCols]
+		for c := 0; c < nCols; c++ {
+			if c < len(row) {
+				dst[c] = float32(row[c])
+			} else {
+				dst[c] = float32(math.NaN())
+			}
+		}
+	}
+	s := Slab{K: 0, NRows: nRows, NCols: nCols, F32: make([][]float32, nRows)}
+	for i := range s.F32 {
+		s.F32[i] = vals[i*nCols : (i+1)*nCols : (i+1)*nCols]
+	}
+	return s
+}
+
+// ReferencePyramidLevel computes level k by direct NaN-aware mean over the
+// raw display rows — the naive O(rows) aggregation the pyramid replaces.
+// Retained as the golden-parity oracle for Pyramid (level k row i must
+// match within 1e-12 in float64 mode; see pyramid tests for the float32
+// tolerance).
+func (cd *ClusteredDataset) ReferencePyramidLevel(k int) [][]float64 {
+	n := len(cd.DisplayOrder)
+	nCols := cd.Data.NumExperiments()
+	block := 1 << uint(k)
+	nRows := (n + block - 1) / block
+	out := make([][]float64, nRows)
+	for i := 0; i < nRows; i++ {
+		row := make([]float64, nCols)
+		for c := 0; c < nCols; c++ {
+			sum, cnt := 0.0, 0
+			for j := i * block; j < (i+1)*block && j < n; j++ {
+				src := cd.Data.Row(cd.DisplayOrder[j])
+				if c < len(src) && !math.IsNaN(src[c]) {
+					sum += src[c]
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				row[c] = sum / float64(cnt)
+			} else {
+				row[c] = math.NaN()
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package render
+
+import (
+	"image/color"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func synthRows(nR, nC int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, nR)
+	for i := range rows {
+		row := make([]float64, nC)
+		for c := range row {
+			if rng.Intn(17) == 0 {
+				row[c] = math.NaN()
+			} else {
+				row[c] = rng.NormFloat64() * 2
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func toF32(rows [][]float64) [][]float32 {
+	out := make([][]float32, len(rows))
+	for i, row := range rows {
+		r := make([]float32, len(row))
+		for c, v := range row {
+			r[c] = float32(v)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestRenderHeatmapF32Parity: rendering the float32 conversion of a slab
+// must agree with the float64 render within one count per color channel
+// (float32 relative error 2^-23 perturbs the value-to-color ramp by at
+// most one quantization step), in both the global and zoom regimes.
+func TestRenderHeatmapF32Parity(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nR, h int
+	}{
+		{"global", 512, 64},
+		{"zoom", 16, 64},
+	} {
+		rows := synthRows(tc.nR, 20, 7)
+		opt := HeatmapOptions{ColorMap: GreenBlackRed, Limit: 2, CellBorder: true}
+		c64 := NewCanvas(80, tc.h, color.RGBA{A: 255})
+		RenderHeatmap(c64, Rect{X: 0, Y: 0, W: 80, H: tc.h}, rows, opt)
+		c32 := NewCanvas(80, tc.h, color.RGBA{A: 255})
+		RenderHeatmapF32(c32, Rect{X: 0, Y: 0, W: 80, H: tc.h}, toF32(rows), opt)
+		for y := 0; y < tc.h; y++ {
+			for x := 0; x < 80; x++ {
+				r64, g64, b64, _ := c64.Image().At(x, y).RGBA()
+				r32, g32, b32, _ := c32.Image().At(x, y).RGBA()
+				if chanDiff(r64, r32) > 1 || chanDiff(g64, g32) > 1 || chanDiff(b64, b32) > 1 {
+					t.Fatalf("%s: pixel (%d,%d) diverged beyond 1 channel count: %v vs %v",
+						tc.name, x, y, c64.Image().At(x, y), c32.Image().At(x, y))
+				}
+			}
+		}
+	}
+}
+
+func chanDiff(a, b uint32) uint32 {
+	a >>= 8
+	b >>= 8
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestRenderHeatmapColOrder: a column permutation must move whole columns,
+// pixel-exactly, in the zoom regime.
+func TestRenderHeatmapColOrder(t *testing.T) {
+	rows := synthRows(8, 4, 11)
+	opt := HeatmapOptions{ColorMap: GreenBlackRed, Limit: 2}
+	direct := NewCanvas(40, 40, color.RGBA{A: 255})
+	RenderHeatmap(direct, Rect{X: 0, Y: 0, W: 40, H: 40}, rows, opt)
+
+	order := []int{3, 2, 1, 0}
+	permuted := NewCanvas(40, 40, color.RGBA{A: 255})
+	opt.ColOrder = order
+	RenderHeatmap(permuted, Rect{X: 0, Y: 0, W: 40, H: 40}, rows, opt)
+
+	// Display column j of the permuted render == display column order[j]
+	// of the direct render (both 10px wide here).
+	for j, dc := range order {
+		for y := 0; y < 40; y++ {
+			for dx := 0; dx < 10; dx++ {
+				got := permuted.Image().At(j*10+dx, y)
+				want := direct.Image().At(dc*10+dx, y)
+				if got != want {
+					t.Fatalf("display col %d px (%d,%d): got %v, want %v", j, dx, y, got, want)
+				}
+			}
+		}
+	}
+}

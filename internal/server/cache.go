@@ -20,7 +20,17 @@ const numShards = 16
 // caller supplies with each value.
 type Cache struct {
 	shards [numShards]cacheShard
+	// onEvict, when set (before concurrent use, via OnEvict), observes every
+	// key removed by LRU budget pressure — not replacements or oversized
+	// drops. It runs outside the shard lock, so the callback may touch the
+	// cache.
+	onEvict func(key string)
 }
+
+// OnEvict installs the eviction observer. Call before the cache sees
+// traffic; the prefetcher uses it to count speculative tiles evicted before
+// any foreground request touched them.
+func (c *Cache) OnEvict(fn func(key string)) { c.onEvict = fn }
 
 type cacheShard struct {
 	mu       sync.Mutex
@@ -114,7 +124,6 @@ func (c *Cache) Put(key string, val any, cost int64) {
 	}
 	s := c.shard(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	prefix := keyPrefix(key)
 	if cost > s.maxBytes {
 		// The value can never fit, but merely skipping the insert would
@@ -127,6 +136,7 @@ func (c *Cache) Put(key string, val any, cost int64) {
 			s.bytes -= e.cost
 			s.account(prefix, -1, -e.cost)
 		}
+		s.mu.Unlock()
 		return
 	}
 	if el, ok := s.items[key]; ok {
@@ -140,6 +150,9 @@ func (c *Cache) Put(key string, val any, cost int64) {
 		s.bytes += cost
 		s.account(prefix, 1, cost)
 	}
+	// Evicted keys are collected under the lock and reported after it: the
+	// observer may re-enter the cache.
+	var evicted []string
 	for s.bytes > s.maxBytes {
 		el := s.ll.Back()
 		if el == nil {
@@ -150,6 +163,13 @@ func (c *Cache) Put(key string, val any, cost int64) {
 		delete(s.items, e.key)
 		s.bytes -= e.cost
 		s.account(keyPrefix(e.key), -1, -e.cost)
+		if c.onEvict != nil {
+			evicted = append(evicted, e.key)
+		}
+	}
+	s.mu.Unlock()
+	for _, k := range evicted {
+		c.onEvict(k)
 	}
 }
 

@@ -311,29 +311,52 @@ func (s *Server) serveScatterEnrich(w http.ResponseWriter, r *http.Request, gene
 // tileParams are the canonicalized /api/heatmap parameters; their string
 // form is the cache key. gen is the pane's tree-cache generation: replacing
 // a dataset bumps it, so every cached tile of the old data becomes
-// unreachable without a cache sweep.
+// unreachable without a cache sweep. level is the resolved pyramid level
+// (auto-selection happens before the key is formed, so an auto request and
+// its explicit-level twin share a cache entry).
 type tileParams struct {
 	dsIndex  int
 	gen      uint64
 	from, to int // display-order row range [from, to)
 	w, h     int
-	treeW    int // dendrogram strip width, 0 = no tree
+	treeW    int // gene dendrogram strip width, 0 = no tree
+	atreeH   int // array (column) dendrogram strip height, 0 = no strip
+	level    int // pyramid level: rows aggregate in runs of 2^level
 	cmap     render.ColorMap
 	limit    float64
 }
 
 func (p tileParams) key() string {
-	return fmt.Sprintf("tile\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%g",
-		p.dsIndex, p.gen, p.from, p.to, p.w, p.h, p.treeW, p.cmap, p.limit)
+	return fmt.Sprintf("tile\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%d\x1f%g",
+		p.dsIndex, p.gen, p.from, p.to, p.w, p.h, p.treeW, p.atreeH, p.level, p.cmap, p.limit)
+}
+
+// autoLevel picks the coarsest pyramid level that still gives every pixel
+// row at least one slab row: the largest k < levels with span/2^k >= h.
+// A zoomed-in request (span < h) stays at level 0.
+func autoLevel(span, h, levels int) int {
+	lvl := 0
+	for lvl+1 < levels && span>>(uint(lvl)+1) >= h {
+		lvl++
+	}
+	return lvl
 }
 
 // handleHeatmap serves /api/heatmap?dataset=REF[&rows=FROM:TO][&w=][&h=]
-// [&cmap=][&limit=][&tree=W]: a PNG heatmap tile of the clustered dataset,
-// rows in dendrogram display order, optionally with a W-pixel dendrogram
-// strip on the left. The clustered tree comes from the per-dataset tree
+// [&cmap=][&limit=][&tree=W][&atree=H][&level=K|auto]: a PNG heatmap tile
+// of the clustered dataset, rows in dendrogram display order, optionally
+// with a W-pixel gene dendrogram strip on the left and an H-pixel array
+// (column) dendrogram strip on top. Zoomed-out tiles serve from the pane's
+// tile pyramid: level K collapses runs of 2^K display rows into
+// precomputed mean-aggregate slab rows, so the render walks rows/2^K slab
+// rows instead of every raw row; level defaults to auto-selection from the
+// requested row span vs the pixel height (X-Forestview-Level discloses the
+// resolved level). The clustered tree comes from the per-dataset tree
 // cache — a cold dataset is clustered exactly once no matter how many tiles
 // ask for it concurrently. Tiles render on the bounded worker pool; a
-// saturated pool sheds the request with 503.
+// saturated pool sheds the request with 503. Every served tile feeds the
+// speculative prefetcher (when enabled), which renders the predicted
+// pan/zoom neighbours in the background.
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ref := q.Get("dataset")
@@ -408,6 +431,27 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		}
 		p.treeW = tw
 	}
+	if v := q.Get("atree"); v != "" {
+		ah, err := strconv.Atoi(v)
+		if err != nil || ah < 0 || ah >= p.h {
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "atree must be a dendrogram height in [0, h)")
+			return
+		}
+		p.atreeH = ah
+	}
+	// level validates off the pane's row count alone, like everything above;
+	// auto-selection resolves after the tree fetch, against the row range
+	// that actually renders.
+	levelAuto := true
+	if v := q.Get("level"); v != "" && v != "auto" {
+		lvl, err := strconv.Atoi(v)
+		if err != nil || lvl < 0 || lvl >= core.NumPyramidLevels(nRows) {
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter,
+				fmt.Sprintf("level must be \"auto\" or an integer in [0, %d] for this dataset", core.NumPyramidLevels(nRows)-1))
+			return
+		}
+		p.level, levelAuto = lvl, false
+	}
 
 	cd, gen, err := s.trees.get(r.Context(), dsIndex)
 	if err != nil {
@@ -437,13 +481,27 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter, "tree requires the full row range (the dendrogram spans every row)")
 			return
 		}
+		if !levelAuto && p.level >= core.NumPyramidLevels(got) {
+			s.writeJSONError(w, http.StatusBadRequest, codeBadParameter,
+				fmt.Sprintf("level must be \"auto\" or an integer in [0, %d] for this dataset", core.NumPyramidLevels(got)-1))
+			return
+		}
 	}
 	if p.treeW > 0 && cd.GeneTree == nil {
 		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable, "dataset has no gene tree to draw")
 		return
 	}
+	if p.atreeH > 0 && cd.ArrayTree == nil {
+		s.writeJSONError(w, http.StatusUnprocessableEntity, codeUnprocessable,
+			"dataset has no array tree to draw (cluster it with ClusterArrays, or start the daemon with -cluster-arrays)")
+		return
+	}
+	nPaneRows := len(cd.DisplayOrder)
+	if levelAuto {
+		p.level = autoLevel(p.to-p.from, p.h, core.NumPyramidLevels(nPaneRows))
+	}
 
-	png, disp, err := s.renderTile(r.Context(), cd, p)
+	png, disp, err := s.renderTile(r.Context(), cd, p, &s.statHeatmap)
 	if errors.Is(err, ErrSaturated) {
 		s.statHeatmap.rejected.Add(1)
 		s.writeJSONError(w, http.StatusServiceUnavailable, codeSaturated, "render pool saturated, retry later")
@@ -470,9 +528,19 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
+	if s.prefetch != nil {
+		// A cache hit on a tile speculation rendered (and no foreground
+		// request has touched since) is disclosed as "prefetched".
+		if disp == dispHit && s.prefetch.claim(p.key()) {
+			disp = dispPrefetched
+		}
+		// Every served tile predicts the next viewport motion.
+		s.prefetch.speculate(p, nPaneRows, core.NumPyramidLevels(nPaneRows))
+	}
 	if disp != "" {
 		w.Header().Set(cacheHeader, disp)
 	}
+	w.Header().Set("X-Forestview-Level", strconv.Itoa(p.level))
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("Content-Length", strconv.Itoa(len(png)))
 	_, _ = w.Write(png)
@@ -491,33 +559,18 @@ const statusClientClosedRequest = 499
 // coalesced followers share the leader's flight — and therefore the
 // leader's context — a follower whose own context is still live retries
 // when a flight dies of someone else's cancellation, becoming the new
-// leader instead of failing an innocent request.
-func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p tileParams) ([]byte, string, error) {
+// leader instead of failing an innocent request. ep receives the
+// cache/compute accounting: the foreground handler passes statHeatmap, the
+// prefetcher its own stats, so speculation never skews request counters.
+func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p tileParams, ep *endpointStats) ([]byte, string, error) {
 	key := p.key()
 	tileCost := func(v any) int64 { return int64(len(v.([]byte))) + 64 }
-	v, disp, err := s.cachedDoRetry(ctx, &s.statHeatmap, key, tileCost, func() (any, error) {
+	v, disp, err := s.cachedDoRetry(ctx, ep, key, tileCost, func() (any, error) {
 		return s.pool.Run(ctx, func() (any, error) {
-			rows := cd.RowsInDisplayRange(p.from, p.to)
-			c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
-			hx := 0
-			if p.treeW > 0 {
-				// The cached tree drawn against the pane's display
-				// order, so brackets line up with the heatmap rows even
-				// under an optimized leaf orientation.
-				render.RenderDendrogramOrdered(c,
-					render.Rect{X: 0, Y: 0, W: p.treeW, H: p.h},
-					cd.GeneTree, cd.DisplayOrder, render.LeftOfRows,
-					color.RGBA{R: 180, G: 180, B: 180, A: 255})
-				hx = p.treeW
-			}
-			render.RenderHeatmap(c, render.Rect{X: hx, Y: 0, W: p.w - hx, H: p.h}, rows, render.HeatmapOptions{
-				ColorMap: p.cmap, Limit: p.limit, CellBorder: true,
-			})
-			var buf bytes.Buffer
-			if err := c.EncodePNG(&buf); err != nil {
+			png, err := s.rasterizeTile(cd, p)
+			if err != nil {
 				return nil, err
 			}
-			png := buf.Bytes()
 			// Fill the cache from inside the job too: a worker only
 			// learns its submitter hung up when the job is already
 			// running, so a render abandoned mid-rasterization still
@@ -533,6 +586,56 @@ func (s *Server) renderTile(ctx context.Context, cd *core.ClusteredDataset, p ti
 		return nil, disp, err
 	}
 	return v.([]byte), disp, nil
+}
+
+// rasterizeTile draws one tile: optional array-tree strip on top, optional
+// gene-tree strip on the left, and the expression matrix — from the raw
+// display rows at level 0 (the pre-pyramid path, byte-for-byte), or from
+// the pane's precomputed pyramid slab at level >= 1 (float32 slabs when the
+// server is configured for them).
+func (s *Server) rasterizeTile(cd *core.ClusteredDataset, p tileParams) ([]byte, error) {
+	c := render.NewCanvas(p.w, p.h, color.RGBA{A: 255})
+	fg := color.RGBA{R: 180, G: 180, B: 180, A: 255}
+	hx, hy := 0, 0
+	var colOrder []int
+	if p.atreeH > 0 {
+		// The column dendrogram spans the heatmap's width (to the right of
+		// any gene-tree strip); the heatmap below renders its columns in
+		// the same leaf order so the brackets line up.
+		colOrder = cd.ArrayOrder
+		render.RenderDendrogramOrdered(c,
+			render.Rect{X: p.treeW, Y: 0, W: p.w - p.treeW, H: p.atreeH},
+			cd.ArrayTree, cd.ArrayOrder, render.AboveColumns, fg)
+		hy = p.atreeH
+	}
+	if p.treeW > 0 {
+		// The cached tree drawn against the pane's display
+		// order, so brackets line up with the heatmap rows even
+		// under an optimized leaf orientation.
+		render.RenderDendrogramOrdered(c,
+			render.Rect{X: 0, Y: hy, W: p.treeW, H: p.h - hy},
+			cd.GeneTree, cd.DisplayOrder, render.LeftOfRows, fg)
+		hx = p.treeW
+	}
+	hr := render.Rect{X: hx, Y: hy, W: p.w - hx, H: p.h - hy}
+	opt := render.HeatmapOptions{ColorMap: p.cmap, Limit: p.limit, CellBorder: true, ColOrder: colOrder}
+	if p.level == 0 && !s.cfg.Float32Slabs {
+		render.RenderHeatmap(c, hr, cd.RowsInDisplayRange(p.from, p.to), opt)
+	} else {
+		slab := cd.Pyramid(core.PyramidOptions{Float32: s.cfg.Float32Slabs}).Level(p.level)
+		lo := p.from >> uint(p.level)
+		hi := (p.to + 1<<uint(p.level) - 1) >> uint(p.level)
+		if slab.F32 != nil {
+			render.RenderHeatmapF32(c, hr, slab.F32[lo:hi], opt)
+		} else {
+			render.RenderHeatmap(c, hr, slab.F64[lo:hi], opt)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.EncodePNG(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // parseRowRange parses a strict "FROM:TO" display-row range; unlike

@@ -126,6 +126,11 @@ func (p *Pool) Run(ctx context.Context, fn func() (any, error)) (any, error) {
 	}
 }
 
+// QueueLen reports how many submitted jobs are waiting for a worker. The
+// prefetcher polls it to yield to foreground renders: speculation only
+// proceeds when the queue is drained.
+func (p *Pool) QueueLen() int { return len(p.jobs) }
+
 // Close stops accepting work and waits for in-flight jobs to finish.
 func (p *Pool) Close() {
 	p.closeMu.Lock()

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// prefetcher is the speculative half of the viewport pipeline: every served
+// heatmap tile predicts where the client pans or zooms next — the adjacent
+// windows at the same pyramid level, the parent tile one level up and the
+// child tile one level down — and renders those tiles in the background
+// into the same generation-keyed LRU the foreground path serves from.
+//
+// The discipline that keeps speculation free:
+//
+//   - predictions go through the exact renderTile path (cache → singleflight
+//     → pool), so a speculative render coalesces with a real request for the
+//     same tile and never double-renders;
+//   - workers yield to the foreground: a job only rasterizes while the render
+//     pool's queue is empty, and a saturated pool sheds the speculation
+//     (counted, never retried);
+//   - a stale-generation check drops predictions whose pane was hot-swapped
+//     while they queued;
+//   - tiles rendered speculatively are tracked until a foreground request
+//     first serves them (disposition becomes "prefetched") or the LRU evicts
+//     them untouched (counted as evicted_unused — the misprediction signal).
+type prefetcher struct {
+	s       *Server
+	jobs    chan tileParams
+	wg      sync.WaitGroup
+	workers int
+	closeMu sync.Mutex
+	closed  bool
+
+	// pending tracks cache keys populated by speculation and not yet served
+	// to any foreground request.
+	mu      sync.Mutex
+	pending map[string]struct{}
+
+	// stat receives the renderTile cache/compute accounting for speculative
+	// work, kept apart from statHeatmap so foreground counters stay exact.
+	stat endpointStats
+
+	enqueued      atomic.Int64
+	dropped       atomic.Int64
+	rendered      atomic.Int64
+	coalesced     atomic.Int64
+	skippedCached atomic.Int64
+	skippedStale  atomic.Int64
+	shed          atomic.Int64
+	served        atomic.Int64
+	evictedUnused atomic.Int64
+}
+
+// newPrefetcher starts the worker set and hooks cache eviction. Call before
+// the server sees traffic (New does).
+func newPrefetcher(s *Server, workers, queue int) *prefetcher {
+	if queue < 1 {
+		queue = 16 * workers
+	}
+	pf := &prefetcher{
+		s:       s,
+		jobs:    make(chan tileParams, queue),
+		workers: workers,
+		pending: make(map[string]struct{}),
+	}
+	s.cache.OnEvict(pf.noteEvicted)
+	for i := 0; i < workers; i++ {
+		pf.wg.Add(1)
+		go pf.worker()
+	}
+	return pf
+}
+
+// speculate enqueues the predicted neighbours of a just-served tile. nRows
+// is the pane's display row count, levels its pyramid depth. Non-blocking:
+// a full queue drops predictions rather than delaying the caller.
+func (pf *prefetcher) speculate(p tileParams, nRows, levels int) {
+	span := p.to - p.from
+	if span <= 0 || nRows <= 0 {
+		return
+	}
+	type window struct{ from, to int }
+	var cands []window
+	// Pan: the next and previous windows, truncated at the pane edges
+	// exactly like a client walking one full window per step would request
+	// them.
+	if p.to < nRows {
+		cands = append(cands, window{p.to, min(p.to+span, nRows)})
+	}
+	if p.from > 0 {
+		cands = append(cands, window{max(0, p.from-span), p.from})
+	}
+	// Zoom out: the parent window — double the span, same center.
+	if 2*span <= nRows {
+		center := (p.from + p.to) / 2
+		from := max(0, center-span)
+		cands = append(cands, window{from, min(nRows, from+2*span)})
+	}
+	// Zoom in: the child window — the center half.
+	if span >= 2 {
+		from := p.from + span/4
+		cands = append(cands, window{from, min(nRows, from+span/2)})
+	}
+	for _, c := range cands {
+		if c.to <= c.from || (c.from == p.from && c.to == p.to) {
+			continue
+		}
+		q := p
+		q.from, q.to = c.from, c.to
+		// Each candidate resolves its own auto level, so the predicted
+		// cache key is exactly what a future auto-level request for that
+		// window will form — including edge-truncated windows, whose
+		// shorter span resolves a finer level than the tile they neighbour.
+		q.level = autoLevel(c.to-c.from, p.h, levels)
+		pf.enqueue(q)
+	}
+}
+
+func (pf *prefetcher) enqueue(q tileParams) {
+	if _, ok := pf.s.cache.Get(q.key()); ok {
+		pf.skippedCached.Add(1)
+		return
+	}
+	pf.closeMu.Lock()
+	if pf.closed {
+		pf.closeMu.Unlock()
+		return
+	}
+	select {
+	case pf.jobs <- q:
+		pf.enqueued.Add(1)
+	default:
+		pf.dropped.Add(1)
+	}
+	pf.closeMu.Unlock()
+}
+
+func (pf *prefetcher) worker() {
+	defer pf.wg.Done()
+	for q := range pf.jobs {
+		pf.run(q)
+	}
+}
+
+// run renders one speculative tile, or declines to: already cached, stale
+// generation, or a render pool with foreground work waiting.
+func (pf *prefetcher) run(q tileParams) {
+	if gen, ok := pf.s.trees.generation(q.dsIndex); !ok || gen != q.gen {
+		pf.skippedStale.Add(1)
+		return
+	}
+	key := q.key()
+	if _, ok := pf.s.cache.Get(key); ok {
+		pf.skippedCached.Add(1)
+		return
+	}
+	if pf.s.pool.QueueLen() > 0 {
+		// Foreground renders are waiting for workers; speculation yields.
+		pf.shed.Add(1)
+		return
+	}
+	cd, gen, err := pf.s.trees.get(context.Background(), q.dsIndex)
+	if err != nil || gen != q.gen {
+		pf.skippedStale.Add(1)
+		return
+	}
+	// Mark before rendering so a foreground hit arriving right after the
+	// in-job cache fill already reads "prefetched".
+	pf.mark(key)
+	_, disp, err := pf.s.renderTile(context.Background(), cd, q, &pf.stat)
+	switch {
+	case errors.Is(err, ErrSaturated):
+		pf.unmark(key)
+		pf.shed.Add(1)
+	case errors.Is(err, ErrClosed):
+		pf.unmark(key)
+	case err != nil:
+		pf.unmark(key)
+	case disp == dispCoalesced:
+		// A real request was already rendering this tile; the singleflight
+		// absorbed our speculation.
+		pf.unmark(key)
+		pf.coalesced.Add(1)
+	case disp == dispHit:
+		pf.unmark(key)
+		pf.skippedCached.Add(1)
+	default:
+		pf.rendered.Add(1)
+	}
+}
+
+func (pf *prefetcher) mark(key string) {
+	pf.mu.Lock()
+	pf.pending[key] = struct{}{}
+	pf.mu.Unlock()
+}
+
+func (pf *prefetcher) unmark(key string) {
+	pf.mu.Lock()
+	delete(pf.pending, key)
+	pf.mu.Unlock()
+}
+
+// claim consumes a pending mark: the foreground request serving key was
+// answered by a speculative render. Returns whether the mark existed.
+func (pf *prefetcher) claim(key string) bool {
+	pf.mu.Lock()
+	_, ok := pf.pending[key]
+	if ok {
+		delete(pf.pending, key)
+	}
+	pf.mu.Unlock()
+	if ok {
+		pf.served.Add(1)
+	}
+	return ok
+}
+
+// noteEvicted is the cache's eviction observer: a speculative tile evicted
+// before any foreground touch was a wasted prediction.
+func (pf *prefetcher) noteEvicted(key string) {
+	if !strings.HasPrefix(key, "tile\x1f") {
+		return
+	}
+	pf.mu.Lock()
+	_, ok := pf.pending[key]
+	if ok {
+		delete(pf.pending, key)
+	}
+	pf.mu.Unlock()
+	if ok {
+		pf.evictedUnused.Add(1)
+	}
+}
+
+// snapshot assembles the prefetch section of /api/stats.
+func (pf *prefetcher) snapshot() PrefetchInfo {
+	pf.mu.Lock()
+	pending := len(pf.pending)
+	pf.mu.Unlock()
+	return PrefetchInfo{
+		Workers:       pf.workers,
+		Enqueued:      pf.enqueued.Load(),
+		Dropped:       pf.dropped.Load(),
+		Rendered:      pf.rendered.Load(),
+		Coalesced:     pf.coalesced.Load(),
+		SkippedCached: pf.skippedCached.Load(),
+		SkippedStale:  pf.skippedStale.Load(),
+		Shed:          pf.shed.Load(),
+		Served:        pf.served.Load(),
+		EvictedUnused: pf.evictedUnused.Load(),
+		Pending:       pending,
+	}
+}
+
+// Close drains the queue and stops the workers.
+func (pf *prefetcher) Close() {
+	pf.closeMu.Lock()
+	if !pf.closed {
+		pf.closed = true
+		close(pf.jobs)
+	}
+	pf.closeMu.Unlock()
+	pf.wg.Wait()
+}

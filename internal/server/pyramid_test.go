@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"image/color"
+	"net/http"
+	"testing"
+	"time"
+
+	"forestview/internal/microarray"
+	"forestview/internal/render"
+	"forestview/internal/spell"
+)
+
+// prefetchStats fetches the prefetch section of /api/stats.
+func prefetchStats(t *testing.T, s *Server) *PrefetchInfo {
+	t.Helper()
+	rec := get(t, s, "/api/stats")
+	var snap StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Prefetch
+}
+
+// TestHeatmapLevelZeroByteIdentity is the pyramid's regression oracle at the
+// serving layer: a default request (auto level resolving to 0) and an
+// explicit level=0 request must produce byte-for-byte the PNG the pre-pyramid
+// path produced — replicated here from the raw display rows.
+func TestHeatmapLevelZeroByteIdentity(t *testing.T) {
+	s, _ := rawFixture(t, 1)
+	cd, _, err := s.trees.get(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(cd.DisplayOrder)
+
+	// The pre-pyramid rendering path, verbatim. h exceeds half the row count,
+	// so auto-level resolves to 0 and all three requests hit the raw path.
+	const w, h = 96, 128
+	c := render.NewCanvas(w, h, color.RGBA{A: 255})
+	render.RenderHeatmap(c, render.Rect{X: 0, Y: 0, W: w, H: h},
+		cd.RowsInDisplayRange(0, n), render.HeatmapOptions{
+			ColorMap: render.GreenBlackRed, Limit: 2, CellBorder: true,
+		})
+	var want bytes.Buffer
+	if err := c.EncodePNG(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, u := range []string{
+		fmt.Sprintf("/api/heatmap?dataset=0&w=%d&h=%d", w, h),
+		fmt.Sprintf("/api/heatmap?dataset=0&w=%d&h=%d&level=0", w, h),
+		fmt.Sprintf("/api/heatmap?dataset=0&w=%d&h=%d&level=auto", w, h),
+	} {
+		rec := get(t, s, u)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", u, rec.Code, rec.Body.String())
+		}
+		if lv := rec.Header().Get("X-Forestview-Level"); lv != "0" {
+			t.Fatalf("%s resolved level %q, want 0 (span %d < h %d)", u, lv, n, h)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), want.Bytes()) {
+			t.Fatalf("%s differs from the pre-pyramid render (%d vs %d bytes)",
+				u, rec.Body.Len(), want.Len())
+		}
+	}
+}
+
+// TestHeatmapAutoLevel: a zoomed-out request (row span well past the pixel
+// height) auto-selects a coarser pyramid level, disclosed in the
+// X-Forestview-Level header, and still produces a valid PNG distinct from
+// level 0 of the same geometry.
+func TestHeatmapAutoLevel(t *testing.T) {
+	s, _ := rawFixture(t, 1) // 220 rows: pyramid levels {0, 1}
+	// span 220 >> 1 = 110 >= h=64, so auto resolves to level 1.
+	auto := get(t, s, "/api/heatmap?dataset=0&w=64&h=64")
+	if auto.Code != http.StatusOK || !bytes.HasPrefix(auto.Body.Bytes(), pngMagic) {
+		t.Fatalf("auto tile = %d", auto.Code)
+	}
+	if lv := auto.Header().Get("X-Forestview-Level"); lv != "1" {
+		t.Fatalf("auto level = %q, want 1", lv)
+	}
+	// The explicit twin shares the cache entry (auto resolves before keying).
+	twin := get(t, s, "/api/heatmap?dataset=0&w=64&h=64&level=1")
+	if twin.Header().Get(cacheHeader) != dispHit {
+		t.Fatalf("explicit level=1 after auto: disposition %q, want %q",
+			twin.Header().Get(cacheHeader), dispHit)
+	}
+	if !bytes.Equal(auto.Body.Bytes(), twin.Body.Bytes()) {
+		t.Fatal("auto and explicit level=1 tiles differ")
+	}
+	// Forcing level 0 renders from the raw rows: a different image.
+	l0 := get(t, s, "/api/heatmap?dataset=0&w=64&h=64&level=0")
+	if l0.Code != http.StatusOK {
+		t.Fatalf("level=0 tile = %d", l0.Code)
+	}
+	if bytes.Equal(auto.Body.Bytes(), l0.Body.Bytes()) {
+		t.Fatal("level 1 tile identical to level 0 tile")
+	}
+}
+
+// TestHeatmapLevelValidation extends the cheap-validation sweep to the
+// pyramid and array-tree parameters: every rejection must come from the row
+// count alone, before any tree builds.
+func TestHeatmapLevelValidation(t *testing.T) {
+	s, _ := rawFixture(t, 1) // 220 rows: valid levels are 0 and 1
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"level not a number", "/api/heatmap?dataset=0&level=high", http.StatusBadRequest},
+		{"negative level", "/api/heatmap?dataset=0&level=-1", http.StatusBadRequest},
+		{"level past pyramid", "/api/heatmap?dataset=0&level=2", http.StatusBadRequest},
+		{"atree not a number", "/api/heatmap?dataset=0&atree=tall", http.StatusBadRequest},
+		{"negative atree", "/api/heatmap?dataset=0&atree=-4", http.StatusBadRequest},
+		{"atree swallows tile", "/api/heatmap?dataset=0&h=128&atree=128", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if rec := get(t, s, c.url); rec.Code != c.want {
+				t.Errorf("%s = %d, want %d", c.url, rec.Code, c.want)
+			}
+		})
+	}
+	if ts := treeStats(t, s); ts.Builds != 0 || ts.Built != 0 {
+		t.Fatalf("validation built trees: %+v", ts)
+	}
+}
+
+// arrayFixture is rawFixture with column clustering on (and optional
+// prefetch workers), for the atree and prefetch tests.
+func arrayFixture(t *testing.T, prefetchWorkers int) (*Server, []*microarray.Dataset) {
+	t.Helper()
+	_, dss := rawFixture(t, 1) // reuse the generator; throw away that server
+	engine, err := spell.NewEngine(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Engine:          engine,
+		RawDatasets:     dss,
+		CacheBytes:      8 << 20,
+		RenderWorkers:   2,
+		RenderQueue:     64,
+		ClusterArrays:   true,
+		PrefetchWorkers: prefetchWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, dss
+}
+
+// TestHeatmapArrayDendrogramStrip mirrors the tree=W strip test for the
+// column dendrogram: atree=H changes the tile, requires ClusterArrays, and
+// a dataset swap invalidates column-tree tiles through the generation key.
+func TestHeatmapArrayDendrogramStrip(t *testing.T) {
+	s, dss := arrayFixture(t, 0)
+	withStrip := get(t, s, "/api/heatmap?dataset=0&w=128&h=256&atree=48")
+	if withStrip.Code != http.StatusOK || !bytes.HasPrefix(withStrip.Body.Bytes(), pngMagic) {
+		t.Fatalf("atree tile = %d: %s", withStrip.Code, withStrip.Body.String())
+	}
+	plain := get(t, s, "/api/heatmap?dataset=0&w=128&h=256")
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain tile = %d", plain.Code)
+	}
+	if bytes.Equal(withStrip.Body.Bytes(), plain.Body.Bytes()) {
+		t.Fatal("array dendrogram strip did not change the tile")
+	}
+	// Both strips at once still renders.
+	if rec := get(t, s, "/api/heatmap?dataset=0&w=128&h=256&tree=32&atree=48"); rec.Code != http.StatusOK {
+		t.Fatalf("tree+atree tile = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// A daemon without ClusterArrays has no array tree to draw: honest 422.
+	s2, _ := rawFixture(t, 1)
+	if rec := get(t, s2, "/api/heatmap?dataset=0&w=128&h=256&atree=48"); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("atree without ClusterArrays = %d", rec.Code)
+	}
+
+	// Swapping the dataset bumps the generation: the identical atree request
+	// re-renders rather than serving the stale column-tree tile.
+	if err := s.ReplaceDataset(dss[0].Name, dss[0]); err != nil {
+		t.Fatal(err)
+	}
+	again := get(t, s, "/api/heatmap?dataset=0&w=128&h=256&atree=48")
+	if again.Code != http.StatusOK {
+		t.Fatalf("post-swap atree tile = %d: %s", again.Code, again.Body.String())
+	}
+	if again.Header().Get(cacheHeader) == dispHit {
+		t.Fatal("post-swap atree tile served from the pre-swap cache entry")
+	}
+}
+
+// TestPrefetchServesNextWindow is the speculative pipeline's end-to-end
+// proof: serving one tile renders its pan/zoom neighbours in the
+// background, and the follow-up request for the adjacent window is a cache
+// hit disclosed as "prefetched", with the stats ledger accounting for every
+// enqueued prediction.
+func TestPrefetchServesNextWindow(t *testing.T) {
+	s, _ := arrayFixture(t, 2)
+	first := get(t, s, "/api/heatmap?dataset=0&w=64&h=48&rows=0:50")
+	if first.Code != http.StatusOK {
+		t.Fatalf("first tile = %d: %s", first.Code, first.Body.String())
+	}
+	// Predictions for rows 0:50 at level 0: the next window [50,100) and the
+	// parent tile at level 1. Wait for the background workers to drain them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pi := prefetchStats(t, s)
+		if pi == nil {
+			t.Fatal("stats missing prefetch section with workers enabled")
+		}
+		if pi.Rendered+pi.Coalesced+pi.SkippedCached+pi.SkippedStale+pi.Shed >= pi.Enqueued && pi.Enqueued >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetch queue never drained: %+v", *pi)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	next := get(t, s, "/api/heatmap?dataset=0&w=64&h=48&rows=50:100")
+	if next.Code != http.StatusOK {
+		t.Fatalf("next-window tile = %d", next.Code)
+	}
+	if disp := next.Header().Get(cacheHeader); disp != dispPrefetched {
+		t.Fatalf("next-window disposition = %q, want %q", disp, dispPrefetched)
+	}
+	pi := prefetchStats(t, s)
+	if pi.Served != 1 {
+		t.Fatalf("served = %d, want 1: %+v", pi.Served, *pi)
+	}
+	// A second identical request is an ordinary hit: "prefetched" discloses
+	// only the first foreground touch of a speculative render.
+	again := get(t, s, "/api/heatmap?dataset=0&w=64&h=48&rows=50:100")
+	if disp := again.Header().Get(cacheHeader); disp != dispHit {
+		t.Fatalf("second touch disposition = %q, want %q", disp, dispHit)
+	}
+}
+
+// TestPrefetchYieldsToForeground: speculation must never compete with real
+// requests for render workers. With the pool's queue non-empty, a prefetch
+// job sheds instead of rendering; with the queue full, enqueue-time
+// admission drops instead of blocking.
+func TestPrefetchYieldsToForeground(t *testing.T) {
+	s, _ := rawFixture(t, 1) // PrefetchWorkers 0: we drive the prefetcher by hand
+	_, gen, err := s.trees.get(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := newPrefetcher(s, 0, 4) // no workers: run() is called directly
+	t.Cleanup(pf.Close)
+
+	// Saturate the pool: rawFixture runs 2 workers over a 64-slot queue, so
+	// two blocked jobs pin the workers and a third sits in the queue.
+	block := make(chan struct{})
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, _ = s.pool.Run(context.Background(), func() (any, error) {
+				<-block
+				return nil, nil
+			})
+			done <- struct{}{}
+		}()
+	}
+	waitQueued := time.Now().Add(2 * time.Second)
+	for s.pool.QueueLen() == 0 {
+		if time.Now().After(waitQueued) {
+			t.Fatal("pool queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	q := tileParams{dsIndex: 0, gen: gen, from: 0, to: 50, w: 32, h: 24, cmap: render.GreenBlackRed, limit: 2}
+	pf.run(q)
+	if pi := pf.snapshot(); pi.Shed != 1 || pi.Rendered != 0 {
+		t.Fatalf("run against a backed-up pool: %+v (want shed=1, rendered=0)", pi)
+	}
+	if _, ok := s.cache.Get(q.key()); ok {
+		t.Fatal("shed speculation still rendered into the cache")
+	}
+	close(block)
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+
+	// With the pool idle again the same job renders.
+	pf.run(q)
+	if pi := pf.snapshot(); pi.Rendered != 1 {
+		t.Fatalf("run against an idle pool: %+v (want rendered=1)", pi)
+	}
+	if _, ok := s.cache.Get(q.key()); !ok {
+		t.Fatal("rendered speculation missing from the cache")
+	}
+
+	// A stale generation is skipped before any work.
+	stale := q
+	stale.gen, stale.from, stale.to = gen+1, 50, 100
+	pf.run(stale)
+	if pi := pf.snapshot(); pi.SkippedStale != 1 {
+		t.Fatalf("stale-generation run: %+v (want skipped_stale=1)", pi)
+	}
+
+	// Enqueue-time admission: a full queue drops, never blocks.
+	for i := 0; i < 6; i++ {
+		c := q
+		c.from, c.to = 50+i*10, 60+i*10
+		pf.enqueue(c)
+	}
+	if pi := pf.snapshot(); pi.Dropped != 2 || pi.Enqueued != 4 {
+		t.Fatalf("admission over a 4-slot queue: %+v (want enqueued=4, dropped=2)", pi)
+	}
+}
+
+// TestPrefetchEvictedUnusedAccounting: a speculative tile the LRU evicts
+// before any foreground touch is counted as a wasted prediction, and its
+// pending mark is released.
+func TestPrefetchEvictedUnusedAccounting(t *testing.T) {
+	s, _ := rawFixture(t, 1)
+	pf := newPrefetcher(s, 0, 4)
+	t.Cleanup(pf.Close)
+
+	key := tileParams{dsIndex: 0, gen: 1, from: 0, to: 50, w: 32, h: 24, cmap: render.GreenBlackRed, limit: 2}.key()
+	pf.mark(key)
+	// The 8 MiB budget splits across 16 shards, so ~400 KiB entries pressure
+	// a shard after two tenants; flood filler keys until some land in the
+	// speculative tile's shard and push it out.
+	s.cache.Put(key, []byte("png"), 400<<10)
+	for i := 0; i < 64 && pf.snapshot().EvictedUnused == 0; i++ {
+		s.cache.Put(fmt.Sprintf("tile\x1ffill%d", i), []byte("png2"), 400<<10)
+	}
+	if pi := pf.snapshot(); pi.EvictedUnused != 1 || pi.Pending != 0 {
+		t.Fatalf("after eviction pressure: %+v (want evicted_unused=1, pending=0)", pi)
+	}
+	// A claim after eviction finds nothing: the tile is gone either way.
+	if pf.claim(key) {
+		t.Fatal("claimed a key the cache already evicted")
+	}
+}

@@ -120,6 +120,24 @@ type Config struct {
 	// TreeOptimizeOrder additionally runs the Gruvaeus-Wainer leaf
 	// orientation pass on lazily built trees.
 	TreeOptimizeOrder bool
+	// ClusterArrays additionally clusters the experiment (column) axis of
+	// lazily built trees, enabling the atree=H column-dendrogram strip —
+	// the paper's two-axis ForestView display.
+	ClusterArrays bool
+	// Float32Slabs serves heatmap tiles from float32 pyramid slabs instead
+	// of float64, halving memory bandwidth on the render hot loop at a
+	// bounded color error (see DESIGN.md §8). Level-0 tiles lose their
+	// byte-identity with the float64 path when enabled.
+	Float32Slabs bool
+
+	// PrefetchWorkers enables speculative tile prefetch: each served
+	// heatmap tile enqueues its predicted pan/zoom neighbours for
+	// background rendering into the shared LRU. 0 (the default) disables
+	// speculation entirely.
+	PrefetchWorkers int
+	// PrefetchQueue bounds the speculative tile queue (default
+	// 16×PrefetchWorkers); predictions beyond it are dropped, not queued.
+	PrefetchQueue int
 
 	// CacheBytes budgets the shared LRU cache (default 64 MiB).
 	CacheBytes int64
@@ -145,13 +163,14 @@ type Config struct {
 // Server is the forestviewd HTTP engine. It implements http.Handler and
 // spellweb.Searcher.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *Cache
-	flights flightGroup
-	pool    *Pool
-	trees   *treeCache
-	start   time.Time
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *Cache
+	flights  flightGroup
+	pool     *Pool
+	trees    *treeCache
+	prefetch *prefetcher // nil unless cfg.PrefetchWorkers > 0
+	start    time.Time
 
 	nameMu  sync.RWMutex
 	dsIndex map[string]int // dataset name -> pane index
@@ -231,10 +250,13 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		cache:   NewCache(cfg.CacheBytes),
 		pool:    NewPool(cfg.RenderWorkers, cfg.RenderQueue),
-		trees:   newTreeCache(treeClusterOptions(cfg.TreeMetric, cfg.TreeLinkage, cfg.TreeOptimizeOrder)),
+		trees:   newTreeCache(treeClusterOptions(cfg.TreeMetric, cfg.TreeLinkage, cfg.TreeOptimizeOrder, cfg.ClusterArrays)),
 		start:   time.Now(),
 		dsIndex: make(map[string]int, len(cfg.Datasets)+len(cfg.RawDatasets)),
 		warm:    newWarmTracker(),
+	}
+	if cfg.PrefetchWorkers > 0 {
+		s.prefetch = newPrefetcher(s, cfg.PrefetchWorkers, cfg.PrefetchQueue)
 	}
 	for _, cd := range cfg.Datasets {
 		// Nil entries stay addressable by index position (and resolve to
@@ -335,8 +357,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close releases the render pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the prefetch workers (which submit to the render pool) and
+// then releases the pool.
+func (s *Server) Close() {
+	if s.prefetch != nil {
+		s.prefetch.Close()
+	}
+	s.pool.Close()
+}
 
 // NumDatasets implements spellweb.Searcher. A coordinator reports the sum
 // of its shards' slices (0 while no shard has answered an info probe yet).
@@ -502,9 +530,10 @@ func joinIDs(ids []string) string {
 // response header so load envelopes (and curl users) can attribute a
 // request's latency to the layer that served it.
 const (
-	dispHit       = "hit"       // served from the shared LRU
-	dispMiss      = "miss"      // this request executed the computation
-	dispCoalesced = "coalesced" // joined another request's in-flight compute
+	dispHit        = "hit"        // served from the shared LRU
+	dispMiss       = "miss"       // this request executed the computation
+	dispCoalesced  = "coalesced"  // joined another request's in-flight compute
+	dispPrefetched = "prefetched" // served from the LRU, put there by speculation
 )
 
 // cacheHeader is the response header carrying the cache disposition.
@@ -710,6 +739,10 @@ func (s *Server) Stats() StatsSnapshot {
 				RefusedStale: s.handoffRefused.Load(),
 			},
 		}
+	}
+	if s.prefetch != nil {
+		pi := s.prefetch.snapshot()
+		snap.Prefetch = &pi
 	}
 	if s.cfg.Scatter != nil {
 		snap.Endpoints["fleet"] = s.statFleet.snapshot()

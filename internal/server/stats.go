@@ -134,6 +134,30 @@ type EnrichCacheInfo struct {
 	Bytes   int64 `json:"bytes"`
 }
 
+// PrefetchInfo is the prefetch section of /api/stats: the speculative tile
+// pipeline's full ledger. Enqueued splits into Rendered (speculative work
+// that actually rasterized), Coalesced (a foreground request was already
+// rendering the tile — singleflight absorbed the speculation), SkippedCached
+// (already resident by the time the worker got to it), SkippedStale (the
+// pane's generation moved under the queued job), Shed (the render pool was
+// saturated or busy with foreground work — speculation never competes) and
+// Dropped (queue full at enqueue time). Served vs EvictedUnused is the
+// prediction quality signal: tiles a real request later consumed vs tiles
+// that died cold in the LRU.
+type PrefetchInfo struct {
+	Workers       int   `json:"workers"`
+	Enqueued      int64 `json:"enqueued"`
+	Dropped       int64 `json:"dropped"`
+	Rendered      int64 `json:"rendered"`
+	Coalesced     int64 `json:"coalesced"`
+	SkippedCached int64 `json:"skipped_cached"`
+	SkippedStale  int64 `json:"skipped_stale"`
+	Shed          int64 `json:"shed"`
+	Served        int64 `json:"served"`
+	EvictedUnused int64 `json:"evicted_unused"`
+	Pending       int   `json:"pending"`
+}
+
 // ServerInfo is the server section of /api/stats: which daemon produced a
 // measurement series. Load-harness analyze output joins on this, so a
 // capacity curve is always attributable to the topology role (and Go
@@ -156,6 +180,7 @@ type StatsSnapshot struct {
 	Cache         CacheInfo                   `json:"cache"`
 	TreeCache     TreeCacheInfo               `json:"tree_cache"`
 	EnrichCache   *EnrichCacheInfo            `json:"enrich_cache,omitempty"` // nil without an ontology
+	Prefetch      *PrefetchInfo               `json:"prefetch,omitempty"`     // nil unless prefetching
 	Scatter       *shard.StatsSnapshot        `json:"scatter,omitempty"`      // nil unless coordinating
 	Shard         *ShardRoleInfo              `json:"shard,omitempty"`        // nil unless a shard backend
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`

@@ -163,6 +163,18 @@ func (tc *treeCache) get(ctx context.Context, idx int) (*core.ClusteredDataset, 
 	}
 }
 
+// generation returns the pane's current generation without forcing a
+// build — the prefetcher's staleness check before it spends a speculative
+// render.
+func (tc *treeCache) generation(idx int) (uint64, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if idx < 0 || idx >= len(tc.entries) {
+		return 0, false
+	}
+	return tc.entries[idx].gen, true
+}
+
 // rows returns the pane's display row count without forcing a build — the
 // cheap half of request validation.
 func (tc *treeCache) rows(idx int) (int, bool) {
@@ -245,6 +257,6 @@ func (tc *treeCache) snapshot() TreeCacheInfo {
 }
 
 // treeClusterOptions maps the server config onto core.ClusterOptions.
-func treeClusterOptions(metric cluster.Metric, linkage cluster.Linkage, optimize bool) core.ClusterOptions {
-	return core.ClusterOptions{Metric: metric, Linkage: linkage, OptimizeOrder: optimize}
+func treeClusterOptions(metric cluster.Metric, linkage cluster.Linkage, optimize, clusterArrays bool) core.ClusterOptions {
+	return core.ClusterOptions{Metric: metric, Linkage: linkage, OptimizeOrder: optimize, ClusterArrays: clusterArrays}
 }

@@ -193,7 +193,7 @@ func TestReplaceDatasetInvalidates(t *testing.T) {
 func TestTreeCacheLeaderCancelHandover(t *testing.T) {
 	u := synth.NewUniverse(1200, 10, 5)
 	ds := u.Generate(synth.DatasetSpec{Name: "big", NumExperiments: 24, Seed: 6})
-	tc := newTreeCache(treeClusterOptions(cluster.PearsonDist, cluster.AverageLinkage, false))
+	tc := newTreeCache(treeClusterOptions(cluster.PearsonDist, cluster.AverageLinkage, false, false))
 	tc.addRaw(ds)
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())

@@ -77,6 +77,12 @@ type EndpointReport struct {
 	Hits      int `json:"cache_hits"`
 	Misses    int `json:"cache_misses"`
 	Coalesced int `json:"cache_coalesced"`
+	// Prefetched counts hits the server disclosed as speculative renders:
+	// tiles ready before this walk asked for them.
+	Prefetched int `json:"cache_prefetched"`
+	// WarmRate is (hits+prefetched+coalesced)/all-disclosed — the fraction
+	// of requests that never paid a cold render.
+	WarmRate float64 `json:"warm_rate"`
 	// Latency is scheduled-arrival-relative (coordinated-omission-free);
 	// Service is send-relative (the server's share alone).
 	Latency Quantiles `json:"latency"`
@@ -185,6 +191,8 @@ func Analyze(envs []Envelope, opt AnalyzeOptions) *Report {
 			ep.Misses++
 		case "coalesced":
 			ep.Coalesced++
+		case "prefetched":
+			ep.Prefetched++
 		}
 		if e.IssueDelayMS > opt.StallMS {
 			rep.Stalls++
@@ -203,6 +211,9 @@ func Analyze(envs []Envelope, opt AnalyzeOptions) *Report {
 	for name, ep := range rep.Endpoints {
 		ep.Latency = quantilesOf(epLat[name])
 		ep.Service = quantilesOf(epSvc[name])
+		if disclosed := ep.Hits + ep.Misses + ep.Coalesced + ep.Prefetched; disclosed > 0 {
+			ep.WarmRate = float64(ep.Hits+ep.Prefetched+ep.Coalesced) / float64(disclosed)
+		}
 	}
 
 	ids := make([]int, 0, len(steps))
@@ -260,13 +271,17 @@ func (r *Report) WriteText(w io.Writer) {
 	}
 	sort.Strings(names)
 	fmt.Fprintf(w, "\n%-10s %8s %6s %6s %6s %10s %10s %10s  %s\n",
-		"endpoint", "requests", "5xx", "4xx", "degr", "p50", "p95", "p99", "hit/miss/coal")
+		"endpoint", "requests", "5xx", "4xx", "degr", "p50", "p95", "p99", "hit/miss/coal/prefetch")
 	for _, name := range names {
 		ep := r.Endpoints[name]
-		fmt.Fprintf(w, "%-10s %8d %6d %6d %6d %8.1fms %8.1fms %8.1fms  %d/%d/%d\n",
+		fmt.Fprintf(w, "%-10s %8d %6d %6d %6d %8.1fms %8.1fms %8.1fms  %d/%d/%d/%d",
 			name, ep.Requests, ep.Errors5xx, ep.Errors4xx, ep.Degraded,
 			ep.Latency.P50, ep.Latency.P95, ep.Latency.P99,
-			ep.Hits, ep.Misses, ep.Coalesced)
+			ep.Hits, ep.Misses, ep.Coalesced, ep.Prefetched)
+		if ep.Hits+ep.Misses+ep.Coalesced+ep.Prefetched > 0 {
+			fmt.Fprintf(w, " (warm %.0f%%)", 100*ep.WarmRate)
+		}
+		fmt.Fprintln(w)
 	}
 
 	if len(r.Steps) > 1 || (len(r.Steps) == 1 && r.Steps[0].OfferedQPS > 0) {

@@ -40,8 +40,10 @@ type Envelope struct {
 	// transport (see Error).
 	Status int   `json:"status"`
 	Bytes  int64 `json:"bytes"`
-	// Cache is the X-Forestview-Cache disposition (hit|miss|coalesced),
-	// empty when the endpoint does not disclose one.
+	// Cache is the X-Forestview-Cache disposition
+	// (hit|miss|coalesced|prefetched), empty when the endpoint does not
+	// disclose one. "prefetched" is a hit whose tile the server rendered
+	// speculatively before this request asked for it.
 	Cache string `json:"cache,omitempty"`
 	// ShardsOK/ShardsTotal/Degraded mirror the X-Forestview-Shards-*
 	// headers on scattered responses.

@@ -28,6 +28,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -45,10 +46,25 @@ type Mix struct {
 // dominates, tile pulls follow the viewer around, enrichment punctuates.
 func DefaultMix() Mix { return Mix{Search: 5, Heatmap: 3, Enrich: 2, Stats: 0} }
 
+// DiurnalPeriod is one sinusoidal component of a time-varying arrival
+// rate: the instantaneous rate swings by ±Amplitude·Rate over each Period.
+// Stacking several periods (a long "daily" swell plus a short "burst"
+// ripple) reproduces the multi-period load traces production services see.
+type DiurnalPeriod struct {
+	Period    time.Duration
+	Amplitude float64 // fraction of the base rate, e.g. 0.5 = ±50%
+}
+
 // Spec configures a Plan.
 type Spec struct {
 	// Rate is the open-loop arrival rate in requests/second.
 	Rate float64
+	// Diurnal, when non-empty, modulates Rate sinusoidally: the
+	// instantaneous rate at offset t is
+	// Rate·max(0.05, 1 + Σᵢ Amplitudeᵢ·sin(2πt/Periodᵢ)), sampled by
+	// thinning a homogeneous process at the peak rate — still open-loop,
+	// still a pure function of the seed.
+	Diurnal []DiurnalPeriod
 	// Duration bounds the arrival schedule.
 	Duration time.Duration
 	// Seed makes the plan deterministic.
@@ -82,6 +98,10 @@ type Spec struct {
 	EnrichBurst int
 	// EnrichGenes is the genes per enrichment selection (default 20).
 	EnrichGenes int
+
+	// ZoomEvery is the pan steps between zoom transitions in a panwalk
+	// plan (default 8); NewPlan ignores it.
+	ZoomEvery int
 }
 
 // Op is one scheduled request.
@@ -127,6 +147,9 @@ func (s Spec) withDefaults() Spec {
 	if s.EnrichGenes <= 0 {
 		s.EnrichGenes = 20
 	}
+	if s.ZoomEvery <= 0 {
+		s.ZoomEvery = 8
+	}
 	return s
 }
 
@@ -170,7 +193,7 @@ func NewPlan(spec Spec) (*Plan, error) {
 	g.init()
 
 	plan := &Plan{Spec: spec}
-	for t := time.Duration(float64(time.Second) * rng.ExpFloat64() / spec.Rate); t < spec.Duration; t += time.Duration(float64(time.Second) * rng.ExpFloat64() / spec.Rate) {
+	for _, t := range spec.arrivals(rng) {
 		r := rng.Intn(total)
 		var op Op
 		switch {
@@ -187,4 +210,140 @@ func NewPlan(spec Spec) (*Plan, error) {
 		plan.Ops = append(plan.Ops, op)
 	}
 	return plan, nil
+}
+
+// rateAt is the instantaneous arrival rate at offset t: the base rate
+// modulated by every diurnal period, floored at 5% so the process never
+// fully dies mid-trace.
+func (s Spec) rateAt(t time.Duration) float64 {
+	mod := 1.0
+	for _, d := range s.Diurnal {
+		mod += d.Amplitude * math.Sin(2*math.Pi*t.Seconds()/d.Period.Seconds())
+	}
+	return s.Rate * math.Max(0.05, mod)
+}
+
+// arrivals draws the arrival schedule. Without diurnal periods this is a
+// homogeneous Poisson process at Rate. With them, it thins a homogeneous
+// process at the peak rate rmax = Rate·(1+Σ|amplitude|): each candidate
+// arrival at offset t survives with probability rate(t)/rmax, the standard
+// exact sampler for a non-homogeneous Poisson process.
+func (s Spec) arrivals(rng *rand.Rand) []time.Duration {
+	rmax := s.Rate
+	for _, d := range s.Diurnal {
+		if d.Period <= 0 {
+			continue
+		}
+		rmax += s.Rate * math.Abs(d.Amplitude)
+	}
+	var out []time.Duration
+	for t := time.Duration(float64(time.Second) * rng.ExpFloat64() / rmax); t < s.Duration; t += time.Duration(float64(time.Second) * rng.ExpFloat64() / rmax) {
+		if len(s.Diurnal) > 0 && rng.Float64()*rmax > s.rateAt(t) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// NewPanwalkPlan materializes a heatmap-only schedule that mimics an
+// interactive viewer panning through a clustered pane: every op moves one
+// full window from the previous one (down until the pane edge, then back
+// up), with a zoom transition every ZoomEvery pans — doubling the window
+// around its center (zoom out) or narrowing to its center half (zoom in).
+// These are exactly the neighbourhoods the daemon's speculative prefetcher
+// predicts, so against a prefetching server the steady-state walk should
+// land almost entirely on prefetched or cached tiles; against a
+// non-prefetching server every fresh window is a miss. Arrivals honor
+// Diurnal like NewPlan. The result is a pure function of the spec.
+func NewPanwalkPlan(spec Spec) (*Plan, error) {
+	spec = spec.withDefaults()
+	spec.Mix = Mix{Heatmap: 1}
+	if spec.Rate <= 0 {
+		return nil, fmt.Errorf("workload: rate must be positive, got %g", spec.Rate)
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration must be positive, got %v", spec.Duration)
+	}
+	if len(spec.PaneRows) == 0 {
+		return nil, fmt.Errorf("workload: panwalk needs pane row counts")
+	}
+	for i, n := range spec.PaneRows {
+		if n <= 0 {
+			return nil, fmt.Errorf("workload: pane %d has %d rows", i, n)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	walkers := make([]panWalker, len(spec.PaneRows))
+	for i, rows := range spec.PaneRows {
+		win := spec.TileRows
+		if win > rows {
+			win = rows
+		}
+		walkers[i] = panWalker{pane: i, rows: rows, to: win, dir: 1}
+	}
+
+	plan := &Plan{Spec: spec}
+	for _, t := range spec.arrivals(rng) {
+		w := &walkers[rng.Intn(len(walkers))]
+		plan.Ops = append(plan.Ops, Op{
+			At:       t,
+			Endpoint: "heatmap",
+			Path: fmt.Sprintf("/api/heatmap?dataset=%d&rows=%d:%d&w=%d&h=%d",
+				w.pane, w.from, w.to, spec.TileSize, spec.TileSize),
+		})
+		w.step(spec.ZoomEvery, rng)
+	}
+	return plan, nil
+}
+
+// panWalker holds one pane's walk state. Unlike the mixed plan's
+// tileWalker (half-window hops), it moves in whole windows and zooms with
+// the prefetcher's own parent/child geometry, so predicted and requested
+// tiles share cache keys.
+type panWalker struct {
+	pane, rows int
+	from, to   int // current window [from, to)
+	dir        int // +1 panning down, -1 panning up
+	pans       int // pans since the last zoom
+}
+
+// step advances to the next window.
+func (w *panWalker) step(zoomEvery int, rng *rand.Rand) {
+	span := w.to - w.from
+	if span >= w.rows {
+		return // the window already covers the whole pane; nowhere to go
+	}
+	if w.pans++; w.pans >= zoomEvery {
+		w.pans = 0
+		if rng.Intn(2) == 0 && 2*span < w.rows {
+			// Zoom out to the parent window: double span, same center.
+			center := (w.from + w.to) / 2
+			w.from = max(0, center-span)
+			w.to = min(w.rows, w.from+2*span)
+			return
+		}
+		if span >= 16 {
+			// Zoom in to the child window: the center half.
+			w.from += span / 4
+			w.to = min(w.rows, w.from+span/2)
+			return
+		}
+		// Too small to zoom in, too large to zoom out: fall through to a pan.
+	}
+	if w.dir > 0 {
+		if w.to >= w.rows {
+			w.dir = -1
+		} else {
+			w.from, w.to = w.to, min(w.to+span, w.rows)
+			return
+		}
+	}
+	if w.from <= 0 {
+		w.dir = 1
+		w.from, w.to = w.to, min(w.to+span, w.rows)
+		return
+	}
+	w.from, w.to = max(0, w.from-span), w.from
 }
